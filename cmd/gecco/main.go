@@ -1,0 +1,176 @@
+// Command gecco abstracts an event log under user constraints.
+//
+// Usage:
+//
+//	gecco -log events.xes -constraints rules.txt -out abstracted.xes
+//	gecco -log events.csv -constraint 'distinct(role) <= 1' -mode dfg -dot out.dot
+//
+// The constraint file holds one constraint per line ('#' comments allowed);
+// -constraint adds single constraints on the command line (repeatable).
+// Output formats follow the file extensions (.xes or .csv).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"gecco"
+	"gecco/internal/candidates"
+	"gecco/internal/suggest"
+)
+
+type constraintList []string
+
+func (c *constraintList) String() string { return strings.Join(*c, "; ") }
+
+func (c *constraintList) Set(v string) error {
+	*c = append(*c, v)
+	return nil
+}
+
+func main() {
+	var (
+		logPath     = flag.String("log", "", "input event log (.xes or .csv)")
+		consFile    = flag.String("constraints", "", "file with one constraint per line")
+		outPath     = flag.String("out", "", "output path for the abstracted log (.xes or .csv)")
+		dotPath     = flag.String("dot", "", "write the abstracted log's DFG as Graphviz DOT")
+		dotFrac     = flag.Float64("dotfrac", 0.8, "edge-frequency fraction for the DOT view (1 = all edges)")
+		mode        = flag.String("mode", "dfg", "candidate computation: exh | dfg | beam")
+		beamWidth   = flag.Int("k", 0, "beam width for -mode beam (0 = 5*|classes|)")
+		strategy    = flag.String("strategy", "complete", "abstraction strategy: complete | startcomplete")
+		maxChecks   = flag.Int("budget", 0, "max candidate checks (0 = unlimited)")
+		solverLimit = flag.Duration("solver-timeout", 30*time.Second, "Step 2 time limit")
+		nameAttr    = flag.String("name-attr", "", "prefix activity names by this class attribute (e.g. org)")
+		useMIP      = flag.Bool("mip", false, "use the MIP formulation for Step 2 instead of branch and bound")
+		quiet       = flag.Bool("q", false, "suppress the grouping report")
+		suggestOnly = flag.Bool("suggest", false, "profile the log and print constraint suggestions, then exit")
+	)
+	var extra constraintList
+	flag.Var(&extra, "constraint", "single constraint (repeatable)")
+	flag.Parse()
+
+	if *logPath == "" {
+		fmt.Fprintln(os.Stderr, "gecco: -log is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	log, err := readLog(*logPath)
+	fatal(err)
+
+	if *suggestOnly {
+		fmt.Println("suggested constraints (singleton pass rate | constraint | rationale):")
+		for _, s := range suggest.Suggest(log) {
+			fmt.Printf("  %5.0f%%  %-34s  # %s\n", 100*s.SingletonPass, s.Constraint, s.Rationale)
+		}
+		return
+	}
+
+	text := ""
+	if *consFile != "" {
+		b, err := os.ReadFile(*consFile)
+		fatal(err)
+		text = string(b)
+	}
+	for _, c := range extra {
+		text += "\n" + c
+	}
+	set, err := gecco.ParseConstraints(text)
+	fatal(err)
+	if set.Len() == 0 {
+		fmt.Fprintln(os.Stderr, "gecco: warning: no constraints given; distance alone drives the grouping")
+	}
+
+	cfg := gecco.Config{
+		BeamWidth:       *beamWidth,
+		Budget:          candidates.Budget{MaxChecks: *maxChecks},
+		SolverTimeout:   *solverLimit,
+		NameByClassAttr: *nameAttr,
+	}
+	switch *mode {
+	case "exh":
+		cfg.Mode = gecco.ModeExhaustive
+	case "dfg":
+		cfg.Mode = gecco.ModeDFGUnbounded
+	case "beam":
+		cfg.Mode = gecco.ModeDFGBeam
+	default:
+		fatal(fmt.Errorf("unknown -mode %q", *mode))
+	}
+	switch *strategy {
+	case "complete":
+		cfg.Strategy = gecco.StrategyCompletionOnly
+	case "startcomplete":
+		cfg.Strategy = gecco.StrategyStartComplete
+	default:
+		fatal(fmt.Errorf("unknown -strategy %q", *strategy))
+	}
+	if *useMIP {
+		cfg.Solver = gecco.SolverMIP
+	}
+
+	res, err := gecco.AbstractSet(log, set, cfg)
+	fatal(err)
+
+	if !res.Feasible {
+		fmt.Fprintf(os.Stderr, "gecco: no grouping satisfies the constraints: %s\n", res.Diagnostics)
+		for c, frac := range res.Diagnostics.PerConstraint {
+			fmt.Fprintf(os.Stderr, "  %-40s rejects %.0f%% of singleton groups\n", c, 100*frac)
+		}
+		os.Exit(1)
+	}
+	if !*quiet {
+		st, ast := gecco.Stats(log), gecco.Stats(res.Abstracted)
+		fmt.Printf("grouping (distance %.4f, %d candidates, %v):\n", res.Distance, res.NumCandidates, res.Timings.Total().Round(time.Millisecond))
+		for i, name := range res.Grouping.Names {
+			fmt.Printf("  %-20s <- %s\n", name, strings.Join(res.GroupClasses[i], ", "))
+		}
+		fmt.Printf("classes %d -> %d, DFG edges %d -> %d\n", st.NumClasses, ast.NumClasses, st.NumDFGEdges, ast.NumDFGEdges)
+	}
+	if *outPath != "" {
+		fatal(writeLog(*outPath, res.Abstracted))
+	}
+	if *dotPath != "" {
+		fatal(os.WriteFile(*dotPath, []byte(gecco.DFGDot(res.Abstracted, *dotFrac)), 0o644))
+	}
+}
+
+func readLog(path string) (*gecco.Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch filepath.Ext(path) {
+	case ".xes":
+		return gecco.ReadXES(f)
+	case ".csv":
+		return gecco.ReadCSV(f, gecco.CSVOptions{})
+	}
+	return nil, fmt.Errorf("unsupported log format %q (want .xes or .csv)", filepath.Ext(path))
+}
+
+func writeLog(path string, log *gecco.Log) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch filepath.Ext(path) {
+	case ".xes":
+		return gecco.WriteXES(f, log)
+	case ".csv":
+		return gecco.WriteCSV(f, log)
+	}
+	return fmt.Errorf("unsupported output format %q (want .xes or .csv)", filepath.Ext(path))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gecco:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,63 @@
+// Loan application — the §VI-D case study. A synthetic loan-application
+// log shaped like BPI-2017 (24 classes across three IT systems: application
+// handling A, offers O, workflow W) is abstracted under the constraint that
+// no activity mixes events from different systems (|g.org| <= 1). The
+// program prints the before/after statistics and the 80/20 DFGs of
+// Figures 1 and 8, and shows what happens without the constraint.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"gecco"
+	"gecco/internal/procgen"
+)
+
+func main() {
+	log := procgen.LoanLog(1000, 17)
+	st := gecco.Stats(log)
+	fmt.Printf("loan log: %d classes, %d traces, %d variants, %d DFG edges, avg trace length %.1f\n",
+		st.NumClasses, st.NumTraces, st.NumVariants, st.NumDFGEdges, st.AvgTraceLen)
+
+	// The case-study constraint: one origin system per activity.
+	res, err := gecco.Abstract(log, "distinct(class.org) <= 1\n|g| <= 8",
+		gecco.Config{Mode: gecco.ModeDFGUnbounded, NameByClassAttr: "org"})
+	if err != nil {
+		panic(err)
+	}
+	if !res.Feasible {
+		panic("case study infeasible: " + res.Diagnostics.String())
+	}
+	ast := gecco.Stats(res.Abstracted)
+	fmt.Printf("\nabstracted (|g.org| <= 1): %d activities, %d DFG edges\n", ast.NumClasses, ast.NumDFGEdges)
+	for i, name := range res.Grouping.Names {
+		fmt.Printf("  %-16s <- {%s}\n", name, strings.Join(res.GroupClasses[i], ", "))
+	}
+
+	// §VI-D's closing observation: without the constraint, activities mix
+	// events from all three systems, obscuring the inter-system flow.
+	free, err := gecco.Abstract(log, "|g| <= 8", gecco.Config{Mode: gecco.ModeDFGUnbounded})
+	if err != nil {
+		panic(err)
+	}
+	mixed := 0
+	if free.Feasible {
+		for _, gc := range free.GroupClasses {
+			systems := map[byte]bool{}
+			for _, c := range gc {
+				systems[c[0]] = true
+			}
+			if len(systems) > 1 {
+				mixed++
+			}
+		}
+		fmt.Printf("\nwithout the constraint: %d of %d activities mix origin systems\n",
+			mixed, len(free.GroupClasses))
+	}
+
+	fmt.Println("\nFigure 1 (original 80/20 DFG, DOT):")
+	fmt.Println(gecco.DFGDot(log, 0.8))
+	fmt.Println("Figure 8 (abstracted 80/20 DFG, DOT):")
+	fmt.Println(gecco.DFGDot(res.Abstracted, 0.8))
+}

@@ -1,0 +1,46 @@
+// Quickstart: abstract the paper's running example (Table I) under the
+// role constraint of §II and print the resulting grouping, the abstracted
+// traces, and the before/after directly-follows graphs (Figures 2 and 3).
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"gecco"
+	"gecco/internal/procgen"
+)
+
+func main() {
+	// The four traces of Table I, with role attributes (clerk/manager).
+	log := procgen.RunningExampleTable1()
+	fmt.Println("original traces:")
+	for _, tr := range log.Traces {
+		fmt.Printf("  %-8s %s\n", tr.ID, tr.Variant())
+	}
+
+	// "Each activity comprises only events performed by one role."
+	res, err := gecco.Abstract(log, "distinct(role) <= 1",
+		gecco.Config{Mode: gecco.ModeDFGUnbounded, NamePrefix: "clrk"})
+	if err != nil {
+		panic(err)
+	}
+	if !res.Feasible {
+		panic("unexpectedly infeasible: " + res.Diagnostics.String())
+	}
+
+	fmt.Printf("\ngrouping (distance %.2f — the paper's Figure 7 reports 3.08):\n", res.Distance)
+	for i, name := range res.Grouping.Names {
+		fmt.Printf("  %-8s <- {%s}\n", name, strings.Join(res.GroupClasses[i], ", "))
+	}
+
+	fmt.Println("\nabstracted traces:")
+	for _, tr := range res.Abstracted.Traces {
+		fmt.Printf("  %-8s %s\n", tr.ID, tr.Variant())
+	}
+
+	fmt.Println("\nFigure 2 (original DFG, DOT):")
+	fmt.Println(gecco.DFGDot(log, 1))
+	fmt.Println("Figure 3 (abstracted DFG, DOT):")
+	fmt.Println(gecco.DFGDot(res.Abstracted, 1))
+}

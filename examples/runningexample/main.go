@@ -1,0 +1,74 @@
+// Running example — the full §II / §V walk-through on the exact Table I
+// log: candidate computation in all three configurations, the exclusive-
+// alternative merge of Algorithm 3, the optimal grouping of Figure 7 with
+// its distance 3.08, both Step 2 solvers, and both abstraction strategies.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"gecco"
+	"gecco/internal/procgen"
+)
+
+func main() {
+	log := procgen.RunningExampleTable1()
+	constraint := "distinct(role) <= 1"
+
+	fmt.Println("=== configurations (§VI-A) ===")
+	for _, cfg := range []struct {
+		name string
+		c    gecco.Config
+	}{
+		{"Exh ", gecco.Config{Mode: gecco.ModeExhaustive}},
+		{"DFG∞", gecco.Config{Mode: gecco.ModeDFGUnbounded}},
+		{"DFGk", gecco.Config{Mode: gecco.ModeDFGBeam, BeamWidth: 5}},
+	} {
+		res, err := gecco.Abstract(log, constraint, cfg.c)
+		if err != nil {
+			panic(err)
+		}
+		var parts []string
+		for _, gc := range res.GroupClasses {
+			parts = append(parts, "{"+strings.Join(gc, ",")+"}")
+		}
+		fmt.Printf("%s  %d candidates, distance %.4f: %s\n",
+			cfg.name, res.NumCandidates, res.Distance, strings.Join(parts, " "))
+	}
+	fmt.Println("\nDFG∞ reproduces Figure 7: {rcp,ckc,ckt} {acc} {rej} {prio,inf,arv}, dist 3.08.")
+	fmt.Println("Exh additionally finds candidates no DFG path generates ({acc,rej}, the")
+	fmt.Println("all-clerk group) and reaches a lower distance — the 'not meaningful'")
+	fmt.Println("grouping §II warns about, avoided by the DFG-based instantiation.")
+
+	fmt.Println("\n=== Algorithm 3: exclusive behavioural alternatives ===")
+	with, _ := gecco.Abstract(log, constraint, gecco.Config{Mode: gecco.ModeDFGUnbounded})
+	without, _ := gecco.Abstract(log, constraint, gecco.Config{Mode: gecco.ModeDFGUnbounded, SkipExclusiveMerge: true})
+	fmt.Printf("with merge:    %d candidates, distance %.4f\n", with.NumCandidates, with.Distance)
+	fmt.Printf("without merge: %d candidates, distance %.4f\n", without.NumCandidates, without.Distance)
+	fmt.Println("(ckc/ckt never follow each other, so only the merge finds {rcp,ckc,ckt})")
+
+	fmt.Println("\n=== Step 2 solvers agree ===")
+	bb, _ := gecco.Abstract(log, constraint, gecco.Config{Mode: gecco.ModeDFGUnbounded, Solver: gecco.SolverBranchAndBound})
+	mip, _ := gecco.Abstract(log, constraint, gecco.Config{Mode: gecco.ModeDFGUnbounded, Solver: gecco.SolverMIP})
+	fmt.Printf("branch&bound: %.4f   MIP (Eq. 3-5 on own simplex): %.4f\n", bb.Distance, mip.Distance)
+
+	fmt.Println("\n=== abstraction strategies (§V-D) ===")
+	sigma5 := &gecco.Log{Traces: []gecco.Trace{{ID: "sigma5", Events: []gecco.Event{
+		{Class: "rcp"}, {Class: "ckc"}, {Class: "prio"}, {Class: "acc"}, {Class: "inf"}, {Class: "arv"},
+	}}}}
+	for i := range sigma5.Traces[0].Events {
+		sigma5.Traces[0].Events[i].SetAttr("role", gecco.Value{Kind: 1, Str: roleOf(sigma5.Traces[0].Events[i].Class)})
+	}
+	co, _ := gecco.Abstract(sigma5, constraint, gecco.Config{Mode: gecco.ModeDFGUnbounded, NamePrefix: "clrk", Strategy: gecco.StrategyCompletionOnly})
+	sc, _ := gecco.Abstract(sigma5, constraint, gecco.Config{Mode: gecco.ModeDFGUnbounded, NamePrefix: "clrk", Strategy: gecco.StrategyStartComplete})
+	fmt.Printf("σ5 completion-only:  %s\n", co.Abstracted.Traces[0].Variant())
+	fmt.Printf("σ5 start+complete:   %s   (interleaving of clrk2 and acc preserved)\n", sc.Abstracted.Traces[0].Variant())
+}
+
+func roleOf(class string) string {
+	if class == "acc" || class == "rej" {
+		return "manager"
+	}
+	return "clerk"
+}

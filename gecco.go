@@ -1,0 +1,181 @@
+// Package gecco is a Go implementation of GECCO — Constraint-driven
+// Abstraction of Low-level Event Logs (Rebmann, Weidlich, van der Aa,
+// ICDE 2022). It groups the event classes of a log into higher-level
+// activities such that user-declared constraints hold and a behavioural
+// distance to the original log is minimal, then rewrites the log in terms
+// of the found activities.
+//
+// # Quick start
+//
+//	log, _ := gecco.ReadXESFile("events.xes")
+//	res, err := gecco.Abstract(log, "distinct(role) <= 1\n|g| <= 8", gecco.Config{Mode: gecco.ModeDFGUnbounded})
+//	if err != nil { ... }
+//	if res.Feasible {
+//	    gecco.WriteXESFile("abstracted.xes", res.Abstracted)
+//	}
+//
+// Constraints are declared in a small textual language; see
+// internal/constraints.Parse for the full grammar. Three pipeline
+// configurations mirror the paper: exhaustive candidate computation
+// (ModeExhaustive), DFG-guided search (ModeDFGUnbounded), and beam-pruned
+// DFG search (ModeDFGBeam, the paper's DFGk with k = 5·|C_L| by default).
+package gecco
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"gecco/internal/abstraction"
+	"gecco/internal/constraints"
+	"gecco/internal/core"
+	"gecco/internal/csvlog"
+	"gecco/internal/dfg"
+	"gecco/internal/eventlog"
+	"gecco/internal/instances"
+	"gecco/internal/logfilter"
+	"gecco/internal/suggest"
+	"gecco/internal/xes"
+)
+
+// Re-exported data model types. A Log is a set of traces; each Trace is a
+// sequence of Events with a class and typed attributes.
+type (
+	Log   = eventlog.Log
+	Trace = eventlog.Trace
+	Event = eventlog.Event
+	Value = eventlog.Value
+
+	// Config tunes the pipeline; its zero value runs exhaustive candidate
+	// computation with unlimited budget and completion-only abstraction.
+	Config = core.Config
+	// Result is the pipeline outcome: the grouping, its distance, the
+	// abstracted log, timings, and infeasibility diagnostics.
+	Result = core.Result
+	// ConstraintSet is a parsed, categorised set of constraints.
+	ConstraintSet = constraints.Set
+)
+
+// Pipeline configurations (§VI-A of the paper).
+const (
+	ModeExhaustive   = core.Exhaustive
+	ModeDFGUnbounded = core.DFGUnbounded
+	ModeDFGBeam      = core.DFGBeam
+)
+
+// Abstraction strategies (§V-D).
+const (
+	StrategyCompletionOnly = abstraction.CompletionOnly
+	StrategyStartComplete  = abstraction.StartComplete
+)
+
+// Step 2 solvers.
+const (
+	SolverBranchAndBound = core.SolverBB
+	SolverMIP            = core.SolverMIP
+)
+
+// ParseConstraints parses newline-separated constraint declarations; blank
+// lines and '#' comments are skipped.
+func ParseConstraints(text string) (*ConstraintSet, error) {
+	return constraints.ParseSet(text)
+}
+
+// Abstract runs the GECCO pipeline on the log under textual constraints.
+func Abstract(log *Log, constraintText string, cfg Config) (*Result, error) {
+	set, err := ParseConstraints(constraintText)
+	if err != nil {
+		return nil, fmt.Errorf("gecco: %w", err)
+	}
+	return AbstractSet(log, set, cfg)
+}
+
+// AbstractSet runs the GECCO pipeline with an already-built constraint set.
+func AbstractSet(log *Log, set *ConstraintSet, cfg Config) (*Result, error) {
+	return core.Run(log, set, cfg)
+}
+
+// ReadXES parses an event log in IEEE XES format.
+func ReadXES(r io.Reader) (*Log, error) { return xes.Read(r) }
+
+// WriteXES serialises an event log in IEEE XES format.
+func WriteXES(w io.Writer, log *Log) error { return xes.Write(w, log) }
+
+// ReadXESFile reads an XES file.
+func ReadXESFile(path string) (*Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return xes.Read(f)
+}
+
+// WriteXESFile writes an XES file.
+func WriteXESFile(path string, log *Log) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := xes.Write(f, log); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// CSVOptions configures CSV import; zero value expects columns "case",
+// "activity" and optionally "time".
+type CSVOptions = csvlog.Options
+
+// ReadCSV parses an event log from CSV (one event per row).
+func ReadCSV(r io.Reader, opts CSVOptions) (*Log, error) { return csvlog.Read(r, opts) }
+
+// WriteCSV serialises an event log as CSV.
+func WriteCSV(w io.Writer, log *Log) error { return csvlog.Write(w, log) }
+
+// DFGDot renders the log's directly-follows graph in Graphviz DOT format.
+// fraction < 1 keeps only the most frequent edges covering that share of
+// total edge frequency (e.g. 0.8 for the paper's "80/20" views); pass 1 for
+// the full graph.
+func DFGDot(log *Log, fraction float64) string {
+	g := dfg.Build(eventlog.NewIndex(log))
+	if fraction < 1 {
+		g = g.FilterTopEdges(fraction)
+	}
+	return g.DOT(log.Name)
+}
+
+// Stats summarises a log (classes, traces, variants, DFG edges, average
+// trace length) in the shape of the paper's Table III.
+func Stats(log *Log) eventlog.Stats { return log.ComputeStats() }
+
+// InstancePolicies control how group instances are segmented (§IV-A).
+const (
+	PolicySplitOnRepeat = instances.SplitOnRepeat
+	PolicyWholeTrace    = instances.WholeTrace
+)
+
+// Log preprocessing helpers (see internal/logfilter for the full set).
+
+// FilterTopVariants keeps the traces of the most frequent variants covering
+// the given fraction of the log (e.g. 0.8).
+func FilterTopVariants(log *Log, fraction float64) *Log {
+	return logfilter.TopVariants(log, fraction)
+}
+
+// FilterSample keeps each trace with probability p, deterministically.
+func FilterSample(log *Log, p float64, seed int64) *Log {
+	return logfilter.Sample(log, p, seed)
+}
+
+// FilterProjectClasses keeps only events of the given classes.
+func FilterProjectClasses(log *Log, classes []string) *Log {
+	return logfilter.ProjectClasses(log, classes)
+}
+
+// SuggestConstraints profiles the log and returns ranked constraint
+// proposals (§VIII future work; see internal/suggest).
+func SuggestConstraints(log *Log) []suggest.Suggestion {
+	return suggest.Suggest(log)
+}

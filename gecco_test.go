@@ -1,0 +1,170 @@
+package gecco_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"gecco"
+	"gecco/internal/procgen"
+)
+
+// End-to-end through the public API: the paper's headline example.
+func TestPublicAPIPipeline(t *testing.T) {
+	log := procgen.RunningExampleTable1()
+	res, err := gecco.Abstract(log, "distinct(role) <= 1",
+		gecco.Config{Mode: gecco.ModeDFGUnbounded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("infeasible: %v", res.Diagnostics)
+	}
+	if math.Abs(res.Distance-3.0833333) > 1e-5 {
+		t.Fatalf("distance %f, want 3.0833", res.Distance)
+	}
+	if len(res.Grouping.Names) != 4 {
+		t.Fatalf("got %d activities, want 4", len(res.Grouping.Names))
+	}
+}
+
+func TestPublicAPIParseError(t *testing.T) {
+	log := procgen.RunningExampleTable1()
+	if _, err := gecco.Abstract(log, "not a constraint", gecco.Config{}); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestPublicAPIXESRoundTrip(t *testing.T) {
+	log := procgen.RunningExampleTable1()
+	var buf bytes.Buffer
+	if err := gecco.WriteXES(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	back, err := gecco.ReadXES(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gecco.Stats(back).NumClasses != 8 {
+		t.Fatal("round trip lost classes")
+	}
+}
+
+func TestPublicAPICSV(t *testing.T) {
+	csv := "case,activity\n1,a\n1,b\n2,a\n"
+	log, err := gecco.ReadCSV(strings.NewReader(csv), gecco.CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Traces) != 2 {
+		t.Fatalf("traces = %d", len(log.Traces))
+	}
+	var buf bytes.Buffer
+	if err := gecco.WriteCSV(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "case,activity") {
+		t.Fatal("CSV header missing")
+	}
+}
+
+func TestPublicAPIDFGDot(t *testing.T) {
+	log := procgen.RunningExampleTable1()
+	full := gecco.DFGDot(log, 1)
+	if !strings.Contains(full, "digraph") {
+		t.Fatal("not DOT output")
+	}
+	filtered := gecco.DFGDot(procgen.RunningExample(300, 3), 0.5)
+	if strings.Count(filtered, "->") >= strings.Count(gecco.DFGDot(procgen.RunningExample(300, 3), 1), "->") {
+		t.Fatal("filtering did not reduce edges")
+	}
+}
+
+func TestPublicAPIStats(t *testing.T) {
+	st := gecco.Stats(procgen.RunningExampleTable1())
+	if st.NumClasses != 8 || st.NumTraces != 4 || st.NumVariants != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// The start+complete strategy surfaces through the public API.
+func TestPublicAPIStrategies(t *testing.T) {
+	log := procgen.RunningExampleTable1()
+	res, err := gecco.Abstract(log, "distinct(role) <= 1",
+		gecco.Config{Mode: gecco.ModeDFGUnbounded, Strategy: gecco.StrategyStartComplete, NamePrefix: "clrk"})
+	if err != nil || !res.Feasible {
+		t.Fatal("pipeline failed")
+	}
+	found := false
+	for _, tr := range res.Abstracted.Traces {
+		if strings.Contains(tr.Variant(), "+start") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("start markers missing from start+complete abstraction")
+	}
+}
+
+func TestXESFileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/log.xes"
+	orig := procgen.RunningExampleTable1()
+	if err := gecco.WriteXESFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := gecco.ReadXESFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Traces) != 4 {
+		t.Fatalf("traces = %d", len(back.Traces))
+	}
+	if _, err := gecco.ReadXESFile(dir + "/missing.xes"); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestParseConstraintsHelper(t *testing.T) {
+	set, err := gecco.ParseConstraints("|g| <= 8\n# comment\ndistinct(role) <= 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 2 {
+		t.Fatalf("set has %d constraints", set.Len())
+	}
+	if _, err := gecco.ParseConstraints("garbage"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestFilterHelpers(t *testing.T) {
+	log := procgen.RunningExample(200, 5)
+	top := gecco.FilterTopVariants(log, 0.5)
+	if len(top.Traces) == 0 || len(top.Traces) >= len(log.Traces) {
+		t.Fatalf("top-variant filter kept %d of %d", len(top.Traces), len(log.Traces))
+	}
+	sample := gecco.FilterSample(log, 0.3, 7)
+	if len(sample.Traces) == 0 || len(sample.Traces) >= len(log.Traces) {
+		t.Fatalf("sample kept %d of %d", len(sample.Traces), len(log.Traces))
+	}
+	proj := gecco.FilterProjectClasses(log, []string{"rcp", "acc"})
+	if got := gecco.Stats(proj).NumClasses; got != 2 {
+		t.Fatalf("projection has %d classes, want 2", got)
+	}
+}
+
+func TestSuggestHelper(t *testing.T) {
+	sugs := gecco.SuggestConstraints(procgen.RunningExampleTable1())
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions")
+	}
+	// Suggested constraints are usable end to end.
+	res, err := gecco.Abstract(procgen.RunningExampleTable1(), sugs[0].Constraint.String(),
+		gecco.Config{Mode: gecco.ModeDFGUnbounded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+}

@@ -1,0 +1,427 @@
+// Package candidates implements Step 1 of GECCO (§V-B): the computation of
+// candidate groups of event classes that satisfy the user constraints.
+// Three procedures are provided, mirroring the paper: exhaustive lattice
+// enumeration (Algorithm 1), DFG-guided beam search (Algorithm 2), and the
+// merging of exclusive behavioural alternatives (Algorithm 3). All honour a
+// budget: like the paper's 5-hour timeout, on exhaustion the candidates
+// found so far are returned and the pipeline continues.
+package candidates
+
+import (
+	"sort"
+	"time"
+
+	"gecco/internal/bitset"
+	"gecco/internal/constraints"
+	"gecco/internal/dfg"
+	"gecco/internal/distance"
+	"gecco/internal/eventlog"
+)
+
+// Budget caps candidate computation. Zero values mean "unlimited".
+type Budget struct {
+	MaxChecks int           // maximum groups/paths assessed
+	TimeLimit time.Duration // wall-clock limit
+}
+
+type budgetState struct {
+	Budget
+	deadline time.Time
+	used     int
+	exceeded bool
+}
+
+func (b *budgetState) start() {
+	if b.TimeLimit > 0 {
+		b.deadline = time.Now().Add(b.TimeLimit)
+	}
+}
+
+// spend consumes one unit and reports whether the budget still allows work.
+func (b *budgetState) spend() bool {
+	if b.exceeded {
+		return false
+	}
+	b.used++
+	if b.MaxChecks > 0 && b.used > b.MaxChecks {
+		b.exceeded = true
+		return false
+	}
+	if !b.deadline.IsZero() && b.used&63 == 0 && time.Now().After(b.deadline) {
+		b.exceeded = true
+		return false
+	}
+	return true
+}
+
+// Result is the output of a candidate computation.
+type Result struct {
+	Groups   []bitset.Set
+	TimedOut bool // budget exhausted; Groups holds what was found so far
+	Checks   int  // groups/paths assessed
+}
+
+// set tracks candidate groups with key-based deduplication.
+type set struct {
+	keys   map[string]struct{}
+	groups []bitset.Set
+}
+
+func newSet() *set { return &set{keys: make(map[string]struct{})} }
+
+func (s *set) add(g bitset.Set) bool {
+	k := g.Key()
+	if _, ok := s.keys[k]; ok {
+		return false
+	}
+	s.keys[k] = struct{}{}
+	s.groups = append(s.groups, g)
+	return true
+}
+
+func (s *set) contains(g bitset.Set) bool {
+	_, ok := s.keys[g.Key()]
+	return ok
+}
+
+// hasSatisfyingSubset reports whether some size-(|g|-1) subset of g is a
+// known candidate. In the monotonic mode this implies (by induction over
+// the lattice walk) that g satisfies all monotonic constraints.
+func (s *set) hasSatisfyingSubset(g bitset.Set, universe int) bool {
+	found := false
+	g.ForEach(func(c int) bool {
+		sub := g.Clone()
+		sub.Remove(c)
+		if !sub.IsEmpty() && s.contains(sub) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Exhaustive implements Algorithm 1: iterative enumeration of co-occurring
+// groups of increasing size with monotonicity-based pruning.
+func Exhaustive(x *eventlog.Index, ev *constraints.Evaluator, budget Budget) Result {
+	mode := ev.Set.CheckingMode()
+	n := x.NumClasses()
+	bs := &budgetState{Budget: budget}
+	bs.start()
+
+	cands := newSet()
+	queued := make(map[string]struct{}) // every group ever placed in toCheck
+
+	var toCheck []bitset.Set
+	for c := 0; c < n; c++ {
+		g := bitset.New(n)
+		g.Add(c)
+		toCheck = append(toCheck, g)
+		queued[g.Key()] = struct{}{}
+	}
+
+	for len(toCheck) > 0 && !bs.exceeded {
+		var newCands []bitset.Set
+		for _, g := range toCheck {
+			if !bs.spend() {
+				break
+			}
+			ok := false
+			if mode == constraints.ModeMono && cands.hasSatisfyingSubset(g, n) {
+				ok = true
+			} else {
+				ok = ev.Holds(g)
+			}
+			if ok {
+				if cands.add(g) {
+					newCands = append(newCands, g)
+				}
+			}
+		}
+		if bs.exceeded {
+			break
+		}
+		// Group expansion (lines 9–13). In the anti-monotonic mode only
+		// groups whose anti-monotonic constraints hold are expandable:
+		// growing a group can never repair such a violation, but a group
+		// failing only a non-monotonic constraint (e.g. an incomplete
+		// must-link pair) may still have satisfying supergroups.
+		expandFrom := toCheck
+		if mode == constraints.ModeAnti {
+			expandFrom = expandFrom[:0]
+			for _, g := range toCheck {
+				if ev.HoldsAnti(g) {
+					expandFrom = append(expandFrom, g)
+				}
+			}
+		}
+		toCheck = expand(x, expandFrom, n, queued)
+	}
+	return Result{Groups: cands.groups, TimedOut: bs.exceeded, Checks: bs.used}
+}
+
+// expand creates all one-class-larger groups from base groups, keeping only
+// unseen groups whose classes co-occur in at least one trace.
+func expand(x *eventlog.Index, base []bitset.Set, n int, queued map[string]struct{}) []bitset.Set {
+	var out []bitset.Set
+	for _, g := range base {
+		// Only classes co-occurring with all of g can pass occurs(); use the
+		// co-trace set to test cheaply per extension class.
+		co := x.CoTraces(g)
+		if co.IsEmpty() {
+			continue
+		}
+		for c := 0; c < n; c++ {
+			if g.Contains(c) {
+				continue
+			}
+			if !co.Intersects(x.ClassTraces[c]) {
+				continue // occurs(g ∪ {c}, L) fails
+			}
+			ng := g.With(c)
+			k := ng.Key()
+			if _, seen := queued[k]; seen {
+				continue
+			}
+			queued[k] = struct{}{}
+			out = append(out, ng)
+		}
+	}
+	return out
+}
+
+// path is a DFG path; its nodes form the candidate group.
+type path struct {
+	nodes []int
+	group bitset.Set
+}
+
+func pathKey(nodes []int) string {
+	b := make([]byte, 0, len(nodes)*2)
+	for _, n := range nodes {
+		b = append(b, byte(n), byte(n>>8))
+	}
+	return string(b)
+}
+
+// DFGBased implements Algorithm 2: beam search over DFG paths, prioritising
+// paths whose node sets have the lowest distance. A beamWidth k <= 0 means
+// unlimited (the DFG∞ configuration).
+func DFGBased(x *eventlog.Index, ev *constraints.Evaluator, dc *distance.Calc, g *dfg.Graph, beamWidth int, budget Budget) Result {
+	mode := ev.Set.CheckingMode()
+	bs := &budgetState{Budget: budget}
+	bs.start()
+
+	cands := newSet()
+	seenPaths := make(map[string]struct{})
+
+	var toCheck []path
+	for v := 0; v < g.N; v++ {
+		p := path{nodes: []int{v}, group: bitset.FromSlice(g.N, []int{v})}
+		toCheck = append(toCheck, p)
+		seenPaths[pathKey(p.nodes)] = struct{}{}
+	}
+
+	firstFrontier := true
+	for len(toCheck) > 0 && !bs.exceeded {
+		// Sort by group distance, lowest first (line 5).
+		sortPathsByDist(toCheck, dc)
+		limit := len(toCheck)
+		if beamWidth > 0 && beamWidth < limit && !firstFrontier {
+			limit = beamWidth
+		}
+		// The first frontier (all singletons) is never beam-pruned: a
+		// dropped singleton could make the exact cover of Step 2
+		// infeasible even though the class is trivially coverable.
+		firstFrontier = false
+		var toExpand []path
+		for i := 0; i < limit; i++ {
+			if !bs.spend() {
+				break
+			}
+			p := toCheck[i]
+			switch mode {
+			case constraints.ModeMono:
+				if cands.hasSatisfyingSubset(p.group, g.N) || ev.Holds(p.group) {
+					cands.add(p.group)
+				}
+				toExpand = append(toExpand, p) // mono mode always expands
+			case constraints.ModeAnti:
+				if ev.Holds(p.group) {
+					cands.add(p.group)
+					toExpand = append(toExpand, p)
+				} else if ev.HoldsAnti(p.group) {
+					// Violates only non-monotonic constraints: larger
+					// paths may still satisfy them.
+					toExpand = append(toExpand, p)
+				}
+			default: // non-monotonic
+				if ev.Holds(p.group) {
+					cands.add(p.group)
+				}
+				toExpand = append(toExpand, p)
+			}
+		}
+		if bs.exceeded {
+			break
+		}
+		// Path expansion (lines 21–29).
+		toCheck = toCheck[:0]
+		for _, p := range toExpand {
+			last := p.nodes[len(p.nodes)-1]
+			for _, succ := range g.Out(last) {
+				if p.group.Contains(succ) {
+					continue
+				}
+				nn := append(append([]int(nil), p.nodes...), succ)
+				addPath(x, nn, p.group.With(succ), &toCheck, seenPaths)
+			}
+			first := p.nodes[0]
+			for _, pred := range g.In(first) {
+				if p.group.Contains(pred) {
+					continue
+				}
+				nn := append([]int{pred}, p.nodes...)
+				addPath(x, nn, p.group.With(pred), &toCheck, seenPaths)
+			}
+		}
+	}
+	return Result{Groups: cands.groups, TimedOut: bs.exceeded, Checks: bs.used}
+}
+
+func addPath(x *eventlog.Index, nodes []int, group bitset.Set, out *[]path, seen map[string]struct{}) {
+	k := pathKey(nodes)
+	if _, ok := seen[k]; ok {
+		return
+	}
+	seen[k] = struct{}{}
+	if !x.Occurs(group) {
+		return // line 29: retain only paths whose groups occur in the log
+	}
+	*out = append(*out, path{nodes: nodes, group: group})
+}
+
+func sortPathsByDist(ps []path, dc *distance.Calc) {
+	type scoredPath struct {
+		d float64
+		p path
+	}
+	tmp := make([]scoredPath, len(ps))
+	for i := range ps {
+		tmp[i] = scoredPath{dc.Group(ps[i].group), ps[i]}
+	}
+	// Stable so that ties keep insertion order, which keeps the beam
+	// deterministic across runs.
+	sort.SliceStable(tmp, func(i, j int) bool { return tmp[i].d < tmp[j].d })
+	for i := range tmp {
+		ps[i] = tmp[i].p
+	}
+}
+
+// ExclusiveMerge implements Algorithm 3: extending the candidate set with
+// merged groups of exclusive behavioural alternatives — candidates sharing
+// identical DFG pre- and post-sets with no edges between them. Only
+// class-based constraints need re-checking on merges (instance-based
+// constraints cannot be newly violated by merging exclusive groups).
+func ExclusiveMerge(x *eventlog.Index, ev *constraints.Evaluator, g *dfg.Graph, current []bitset.Set) []bitset.Set {
+	cands := newSet()
+	for _, c := range current {
+		cands.add(c)
+	}
+	// Iterated pairing of exclusive alternatives can in principle generate
+	// exponentially many unions on xor-heavy logs; cap the additions at
+	// |current| (the same order as Step 1's own output), after which the
+	// candidate set is already rich enough for Step 2.
+	maxAdditions := len(current)
+	if maxAdditions < 64 {
+		maxAdditions = 64
+	}
+	additions := 0
+	type prePost struct{ pre, post string }
+	sig := func(grp bitset.Set) prePost {
+		return prePost{g.PreSet(grp).Key(), g.PostSet(grp).Key()}
+	}
+	// Bucket the original candidates by pre/post signature.
+	buckets := make(map[prePost][]bitset.Set)
+	for _, c := range current {
+		s := sig(c)
+		buckets[s] = append(buckets[s], c)
+	}
+	seenBucket := make(map[prePost]bool)
+	for _, c := range current {
+		s := sig(c)
+		if seenBucket[s] {
+			continue
+		}
+		seenBucket[s] = true
+		equiv := append([]bitset.Set(nil), buckets[s]...)
+		if len(equiv) < 2 {
+			continue
+		}
+		type pair struct{ i, j int }
+		var stack []pair
+		pushedPairs := make(map[[2]string]bool)
+		push := func(i, j int) {
+			ki, kj := equiv[i].Key(), equiv[j].Key()
+			if ki > kj {
+				ki, kj = kj, ki
+			}
+			k := [2]string{ki, kj}
+			if !pushedPairs[k] {
+				pushedPairs[k] = true
+				stack = append(stack, pair{i, j})
+			}
+		}
+		for i := 0; i < len(equiv); i++ {
+			for j := i + 1; j < len(equiv); j++ {
+				push(i, j)
+			}
+		}
+		for len(stack) > 0 {
+			pr := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			gi, gj := equiv[pr.i], equiv[pr.j]
+			if gi.Intersects(gj) {
+				continue
+			}
+			gij := gi.Union(gj)
+			if !g.Exclusive(gi, gj) || !ev.HoldsClass(gij) {
+				continue
+			}
+			if additions >= maxAdditions {
+				return cands.groups
+			}
+			if !cands.add(gij) {
+				continue // already known
+			}
+			additions++
+			// Try combining the merge with its pre/post context (lines
+			// 13–19): only if both constituents already combined with it.
+			pre, post := g.PreSet(gi), g.PostSet(gi)
+			prePostU := pre.Union(post)
+			switch {
+			case cands.contains(prePostU.Union(gi)) && cands.contains(prePostU.Union(gj)):
+				addIfHolds(cands, ev, prePostU.Union(gij))
+			case cands.contains(pre.Union(gi)) && cands.contains(pre.Union(gj)):
+				addIfHolds(cands, ev, pre.Union(gij))
+			case cands.contains(post.Union(gi)) && cands.contains(post.Union(gj)):
+				addIfHolds(cands, ev, post.Union(gij))
+			}
+			// Iteratively pair the merge with the remaining equivalents.
+			equiv = append(equiv, gij)
+			self := len(equiv) - 1
+			for k := 0; k < self; k++ {
+				if k != pr.i && k != pr.j {
+					push(self, k)
+				}
+			}
+		}
+	}
+	return cands.groups
+}
+
+func addIfHolds(cands *set, ev *constraints.Evaluator, g bitset.Set) {
+	if ev.HoldsClass(g) {
+		cands.add(g)
+	}
+}

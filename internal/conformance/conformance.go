@@ -1,0 +1,130 @@
+// Package conformance provides directly-follows conformance measures
+// between an event log and a discovered model: fitness (how much of the
+// log's behaviour the model allows) and precision (how much of the model's
+// behaviour the log exhibits). These are the standard lightweight
+// DFG-level counterparts of replay fitness/precision and are used to sanity
+// -check that an abstracted log still conforms to the model discovered from
+// it — behaviour GECCO's distance minimisation is designed to preserve.
+package conformance
+
+import (
+	"gecco/internal/discovery"
+	"gecco/internal/eventlog"
+)
+
+// Result bundles the conformance measures.
+type Result struct {
+	// Fitness is the fraction of the log's directly-follows moves
+	// (including start and end moves) that the model allows, weighted by
+	// frequency. 1.0 = every observed transition is possible in the model.
+	Fitness float64
+	// Precision is the fraction of the model's edges (plus allowed start/
+	// end classes) that are actually observed in the log. 1.0 = the model
+	// allows nothing the log does not do.
+	Precision float64
+}
+
+// Evaluate computes fitness and precision between the log and the model.
+// The model must stem from a log over the same class universe (classes are
+// matched by label; unknown classes count as misfits).
+func Evaluate(log *eventlog.Log, m *discovery.Model) Result {
+	labelID := make(map[string]int, len(m.Labels))
+	for i, l := range m.Labels {
+		labelID[l] = i
+	}
+	allowedStart := make(map[int]bool)
+	allowedEnd := make(map[int]bool)
+	for _, c := range m.StartClasses {
+		allowedStart[c] = true
+	}
+	for _, c := range m.EndClasses {
+		allowedEnd[c] = true
+	}
+
+	var total, fit int
+	observedEdges := make(map[[2]int]bool)
+	observedStart := make(map[int]bool)
+	observedEnd := make(map[int]bool)
+	for i := range log.Traces {
+		ev := log.Traces[i].Events
+		if len(ev) == 0 {
+			continue
+		}
+		prev := -1
+		for j := range ev {
+			c, known := labelID[ev[j].Class]
+			if !known {
+				c = -1
+			}
+			switch {
+			case j == 0:
+				total++
+				if known {
+					observedStart[c] = true
+					if allowedStart[c] {
+						fit++
+					}
+				}
+			default:
+				total++
+				if known && prev >= 0 {
+					observedEdges[[2]int{prev, c}] = true
+					// Self-loops are model annotations, not edges.
+					if (prev == c && m.SelfLoop[c]) || m.Graph.Has(prev, c) {
+						fit++
+					}
+				}
+			}
+			prev = c
+		}
+		total++
+		if prev >= 0 {
+			observedEnd[prev] = true
+			if allowedEnd[prev] {
+				fit++
+			}
+		}
+	}
+
+	// Precision: allowed behaviour that was observed.
+	allowed, used := 0, 0
+	for a := 0; a < m.Graph.N; a++ {
+		for _, b := range m.Graph.Out(a) {
+			allowed++
+			if observedEdges[[2]int{a, b}] {
+				used++
+			}
+		}
+	}
+	for c := range allowedStart {
+		allowed++
+		if observedStart[c] {
+			used++
+		}
+	}
+	for c := range allowedEnd {
+		allowed++
+		if observedEnd[c] {
+			used++
+		}
+	}
+
+	res := Result{}
+	if total > 0 {
+		res.Fitness = float64(fit) / float64(total)
+	}
+	if allowed > 0 {
+		res.Precision = float64(used) / float64(allowed)
+	}
+	return res
+}
+
+// SelfEvaluate discovers a model from the log (without edge filtering) and
+// evaluates the log against it; fitness is 1.0 by construction, making this
+// a useful invariant check, while precision reflects how much of the
+// model's generalisation the log exercises.
+func SelfEvaluate(log *eventlog.Log) Result {
+	x := eventlog.NewIndex(log)
+	m := discovery.Discover(x, discovery.Options{EdgeFilter: 1, Epsilon: 2})
+	return Evaluate(log, m)
+}

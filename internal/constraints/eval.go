@@ -1,0 +1,240 @@
+package constraints
+
+import (
+	"fmt"
+	"sort"
+
+	"gecco/internal/bitset"
+	"gecco/internal/eventlog"
+	"gecco/internal/instances"
+)
+
+// Evaluator checks groups against a constraint set over one indexed log. It
+// memoises class-level attribute extractions and verdicts per group, and
+// checks R_C before R_I as the paper prescribes (cheap checks first).
+type Evaluator struct {
+	X      *eventlog.Index
+	Set    *Set
+	Policy instances.Policy
+
+	classCtx     ClassContext
+	instCtx      InstanceContext
+	attrCache    map[string][]map[string]struct{}
+	verdicts     map[string]bool
+	antiVerdicts map[string]bool
+
+	// Checks counts the number of full (non-memoised) group validations,
+	// for the runtime accounting of §VI.
+	Checks int
+	// LogPasses counts validations that required scanning the event log
+	// (i.e. R_I was evaluated).
+	LogPasses int
+}
+
+// NewEvaluator builds an evaluator for the log and constraint set.
+func NewEvaluator(x *eventlog.Index, set *Set, policy instances.Policy) *Evaluator {
+	e := &Evaluator{
+		X:            x,
+		Set:          set,
+		Policy:       policy,
+		attrCache:    make(map[string][]map[string]struct{}),
+		verdicts:     make(map[string]bool),
+		antiVerdicts: make(map[string]bool),
+	}
+	e.classCtx = ClassContext{
+		Classes:    x.Classes,
+		ClassID:    x.ClassID,
+		AttrValues: e.classAttrValues,
+	}
+	e.instCtx = InstanceContext{X: x}
+	return e
+}
+
+func (e *Evaluator) classAttrValues(attr string) []map[string]struct{} {
+	if v, ok := e.attrCache[attr]; ok {
+		return v
+	}
+	v := e.X.ClassAttrValues(attr)
+	e.attrCache[attr] = v
+	return v
+}
+
+// HoldsClass checks only the class-based constraints for the group.
+func (e *Evaluator) HoldsClass(g bitset.Set) bool {
+	for _, c := range e.Set.Class {
+		if !c.HoldsGroup(&e.classCtx, g) {
+			return false
+		}
+	}
+	return true
+}
+
+// HoldsInstance checks only the instance-based constraints for the group,
+// scanning the log once to materialise the group's instances.
+func (e *Evaluator) HoldsInstance(g bitset.Set) bool {
+	if len(e.Set.Instance) == 0 {
+		return true
+	}
+	e.LogPasses++
+	insts := instances.OfLog(e.X, g, e.Policy)
+	for _, c := range e.Set.Instance {
+		if !c.HoldsInstances(&e.instCtx, g, insts) {
+			return false
+		}
+	}
+	return true
+}
+
+// Holds checks all per-group constraints (R_C then R_I), memoising the
+// verdict per group.
+func (e *Evaluator) Holds(g bitset.Set) bool {
+	key := g.Key()
+	if v, ok := e.verdicts[key]; ok {
+		return v
+	}
+	e.Checks++
+	v := e.HoldsClass(g) && e.HoldsInstance(g)
+	e.verdicts[key] = v
+	return v
+}
+
+// HoldsAnti checks only the anti-monotonic per-group constraints. This is
+// the expansion criterion of Algorithm 1's anti-monotonic mode: a group
+// violating a *non*-monotonic constraint (e.g. mustlink with one endpoint)
+// may still have satisfying supergroups and must stay expandable, whereas an
+// anti-monotonic violation can never be repaired by growing the group.
+func (e *Evaluator) HoldsAnti(g bitset.Set) bool {
+	key := g.Key()
+	if v, ok := e.antiVerdicts[key]; ok {
+		return v
+	}
+	ok := true
+	for _, c := range e.Set.Class {
+		if c.Monotonicity() == AntiMonotonic && !c.HoldsGroup(&e.classCtx, g) {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		var anti []InstanceConstraint
+		for _, c := range e.Set.Instance {
+			if c.Monotonicity() == AntiMonotonic {
+				anti = append(anti, c)
+			}
+		}
+		if len(anti) > 0 {
+			e.LogPasses++
+			insts := instances.OfLog(e.X, g, e.Policy)
+			for _, c := range anti {
+				if !c.HoldsInstances(&e.instCtx, g, insts) {
+					ok = false
+					break
+				}
+			}
+		}
+	}
+	e.antiVerdicts[key] = ok
+	return ok
+}
+
+// HoldsGrouping checks the grouping constraints for a grouping of size k.
+func (e *Evaluator) HoldsGrouping(k int) bool {
+	for _, c := range e.Set.Grouping {
+		if !c.HoldsGrouping(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// Violations describes why a grouping problem is infeasible, to let users
+// refine their constraints (§V-C: GECCO indicates possible causes).
+type Violations struct {
+	// UncoverableClasses are event classes for which not even the singleton
+	// group satisfies the per-group constraints.
+	UncoverableClasses []string
+	// PerConstraint maps a constraint's string form to the fraction of
+	// singleton groups it rejects.
+	PerConstraint map[string]float64
+	// GroupBoundConflict describes an arithmetic conflict between grouping
+	// bounds and group-size bounds (e.g. 70 classes cannot be covered by 3
+	// groups of at most 8 classes); empty if none was detected.
+	GroupBoundConflict string
+}
+
+func (v *Violations) String() string {
+	if v == nil {
+		return "feasible"
+	}
+	s := fmt.Sprintf("%d uncoverable classes", len(v.UncoverableClasses))
+	if len(v.UncoverableClasses) > 0 {
+		n := len(v.UncoverableClasses)
+		if n > 5 {
+			n = 5
+		}
+		s += fmt.Sprintf(" (e.g. %v)", v.UncoverableClasses[:n])
+	}
+	if v.GroupBoundConflict != "" {
+		s += "; " + v.GroupBoundConflict
+	}
+	return s
+}
+
+// Diagnose inspects singleton groups against the constraint set and reports
+// which classes cannot be covered at all and which constraints reject them.
+func (e *Evaluator) Diagnose() *Violations {
+	v := &Violations{PerConstraint: make(map[string]float64)}
+	n := e.X.NumClasses()
+	for c := 0; c < n; c++ {
+		g := bitset.New(n)
+		g.Add(c)
+		bad := false
+		for _, cc := range e.Set.Class {
+			if !cc.HoldsGroup(&e.classCtx, g) {
+				v.PerConstraint[cc.String()]++
+				bad = true
+			}
+		}
+		insts := instances.OfLog(e.X, g, e.Policy)
+		for _, ic := range e.Set.Instance {
+			if !ic.HoldsInstances(&e.instCtx, g, insts) {
+				v.PerConstraint[ic.String()]++
+				bad = true
+			}
+		}
+		if bad {
+			v.UncoverableClasses = append(v.UncoverableClasses, e.X.Classes[c])
+		}
+	}
+	for k := range v.PerConstraint {
+		v.PerConstraint[k] /= float64(n)
+	}
+	sort.Strings(v.UncoverableClasses)
+
+	// Arithmetic conflict between |G| bounds and |g| bounds.
+	maxGroupSize := n
+	for _, cc := range e.Set.Class {
+		if gs, ok := cc.(GroupSize); ok && gs.Op.upperBounding() {
+			limit := gs.N
+			if gs.Op == LT {
+				limit--
+			}
+			if limit < maxGroupSize {
+				maxGroupSize = limit
+			}
+		}
+	}
+	if maxGroupSize < 1 {
+		maxGroupSize = 1
+	}
+	_, maxGroups := e.Set.GroupBounds()
+	if maxGroups >= 0 {
+		minNeeded := (n + maxGroupSize - 1) / maxGroupSize
+		if minNeeded > maxGroups {
+			v.GroupBoundConflict = fmt.Sprintf(
+				"%d classes need at least %d groups of size <= %d, but at most %d groups are allowed",
+				n, minNeeded, maxGroupSize, maxGroups)
+		}
+	}
+	return v
+}

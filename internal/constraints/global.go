@@ -1,0 +1,110 @@
+package constraints
+
+import (
+	"fmt"
+
+	"gecco/internal/bitset"
+	"gecco/internal/instances"
+)
+
+// GroupingInstanceConstraint is checked against an entire grouping and the
+// instances of all its groups — the paper's first future-work direction
+// (§VIII: "instance-based constraints over the entire grouping rather than
+// per group"). Such constraints cannot be checked per candidate, so Step 2
+// enforces them by iterating the exact-cover solve with no-good cuts: each
+// optimal grouping that violates a global constraint is excluded and the
+// next-best grouping is sought.
+type GroupingInstanceConstraint interface {
+	Constraint
+	HoldsGroupingInstances(ctx *InstanceContext, groups []bitset.Set, insts [][]instances.Instance) bool
+}
+
+// globalCategory marks grouping-instance constraints; they are stored with
+// the grouping constraints but evaluated on the full solution.
+//
+// AvgInstancesPerTrace bounds the mean number of activity instances per
+// trace in the abstracted log: "avginstances <= 4" demands that, on
+// average, a trace abstracts to at most 4 activity instances — a direct,
+// global handle on the attained abstraction coarseness that no per-group
+// constraint can express.
+type AvgInstancesPerTrace struct {
+	Op Op
+	N  float64
+}
+
+func (AvgInstancesPerTrace) Category() Category         { return Grouping }
+func (AvgInstancesPerTrace) Monotonicity() Monotonicity { return NonMonotonic }
+func (c AvgInstancesPerTrace) String() string           { return fmt.Sprintf("avginstances %s %g", c.Op, c.N) }
+
+// HoldsGrouping is vacuously true: the size of the grouping alone does not
+// decide this constraint; the real check is HoldsGroupingInstances.
+func (c AvgInstancesPerTrace) HoldsGrouping(int) bool { return true }
+
+// Bounds places no group-count bound.
+func (c AvgInstancesPerTrace) Bounds() (int, int) { return 0, -1 }
+
+func (c AvgInstancesPerTrace) HoldsGroupingInstances(ctx *InstanceContext, groups []bitset.Set, insts [][]instances.Instance) bool {
+	traces := ctx.X.NumTraces()
+	if traces == 0 {
+		return true
+	}
+	total := 0
+	for _, gi := range insts {
+		total += len(gi)
+	}
+	return c.Op.Cmp(float64(total)/float64(traces), c.N)
+}
+
+// MaxInstancesPerTrace bounds the number of activity instances in every
+// single abstracted trace: "maxinstances <= 6".
+type MaxInstancesPerTrace struct {
+	N int
+}
+
+func (MaxInstancesPerTrace) Category() Category         { return Grouping }
+func (MaxInstancesPerTrace) Monotonicity() Monotonicity { return NonMonotonic }
+func (c MaxInstancesPerTrace) String() string           { return fmt.Sprintf("maxinstances <= %d", c.N) }
+func (c MaxInstancesPerTrace) HoldsGrouping(int) bool   { return true }
+func (c MaxInstancesPerTrace) Bounds() (int, int)       { return 0, -1 }
+
+func (c MaxInstancesPerTrace) HoldsGroupingInstances(ctx *InstanceContext, groups []bitset.Set, insts [][]instances.Instance) bool {
+	perTrace := make(map[int]int)
+	for _, gi := range insts {
+		for i := range gi {
+			perTrace[gi[i].Trace]++
+			if perTrace[gi[i].Trace] > c.N {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// GlobalConstraints extracts the grouping-instance constraints of the set.
+func (s *Set) GlobalConstraints() []GroupingInstanceConstraint {
+	var out []GroupingInstanceConstraint
+	for _, c := range s.Grouping {
+		if g, ok := c.(GroupingInstanceConstraint); ok {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// HoldsGlobal evaluates all grouping-instance constraints on a grouping.
+func (e *Evaluator) HoldsGlobal(groups []bitset.Set) bool {
+	globals := e.Set.GlobalConstraints()
+	if len(globals) == 0 {
+		return true
+	}
+	insts := make([][]instances.Instance, len(groups))
+	for i, g := range groups {
+		insts[i] = instances.OfLog(e.X, g, e.Policy)
+	}
+	for _, c := range globals {
+		if !c.HoldsGroupingInstances(&e.instCtx, groups, insts) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,97 @@
+package constraints
+
+import (
+	"testing"
+
+	"gecco/internal/bitset"
+	"gecco/internal/eventlog"
+	"gecco/internal/instances"
+	"gecco/internal/procgen"
+)
+
+func TestParseGlobalConstraints(t *testing.T) {
+	c := MustParse("avginstances <= 4")
+	if _, ok := c.(AvgInstancesPerTrace); !ok {
+		t.Fatalf("parsed %#v", c)
+	}
+	if c.Category() != Grouping {
+		t.Fatal("global constraints live in the grouping category")
+	}
+	c2 := MustParse("maxinstances <= 6")
+	if mi, ok := c2.(MaxInstancesPerTrace); !ok || mi.N != 6 {
+		t.Fatalf("parsed %#v", c2)
+	}
+	// Round trip.
+	for _, src := range []string{"avginstances <= 4", "maxinstances <= 6"} {
+		if _, err := Parse(MustParse(src).String()); err != nil {
+			t.Errorf("round trip %q: %v", src, err)
+		}
+	}
+	if _, err := Parse("maxinstances >= 3"); err == nil {
+		t.Error("maxinstances lower bound should be rejected")
+	}
+}
+
+func TestGlobalConstraintsExtracted(t *testing.T) {
+	set := NewSet(MustParse("avginstances <= 4"), MustParse("|G| <= 5"), MustParse("|g| <= 8"))
+	if len(set.GlobalConstraints()) != 1 {
+		t.Fatalf("globals = %d, want 1", len(set.GlobalConstraints()))
+	}
+	// Plain grouping constraints are not global.
+	lo, hi := set.GroupBounds()
+	if lo != 0 || hi != 5 {
+		t.Fatalf("bounds (%d,%d)", lo, hi)
+	}
+}
+
+func TestHoldsGlobalAvgInstances(t *testing.T) {
+	log := procgen.RunningExampleTable1()
+	x := eventlog.NewIndex(log)
+	mk := func(names ...string) bitset.Set {
+		g, _ := x.GroupFromNames(names)
+		return g
+	}
+	// Figure 7's grouping: instances per trace: σ1: clrk1, acc, clrk2 = 3;
+	// σ2: 3; σ3: 3; σ4: 2×clrk1 + acc + rej + clrk2 = 5. Avg = 14/4 = 3.5.
+	groups := []bitset.Set{
+		mk("rcp", "ckc", "ckt"), mk("acc"), mk("rej"), mk("prio", "inf", "arv"),
+	}
+	evOK := NewEvaluator(x, NewSet(MustParse("avginstances <= 3.5")), instances.SplitOnRepeat)
+	if !evOK.HoldsGlobal(groups) {
+		t.Error("avg 3.5 should satisfy <= 3.5")
+	}
+	evTight := NewEvaluator(x, NewSet(MustParse("avginstances <= 3.4")), instances.SplitOnRepeat)
+	if evTight.HoldsGlobal(groups) {
+		t.Error("avg 3.5 should violate <= 3.4")
+	}
+}
+
+func TestHoldsGlobalMaxInstances(t *testing.T) {
+	log := procgen.RunningExampleTable1()
+	x := eventlog.NewIndex(log)
+	mk := func(names ...string) bitset.Set {
+		g, _ := x.GroupFromNames(names)
+		return g
+	}
+	groups := []bitset.Set{
+		mk("rcp", "ckc", "ckt"), mk("acc"), mk("rej"), mk("prio", "inf", "arv"),
+	}
+	// σ4 has 5 instances under this grouping.
+	ev5 := NewEvaluator(x, NewSet(MustParse("maxinstances <= 5")), instances.SplitOnRepeat)
+	if !ev5.HoldsGlobal(groups) {
+		t.Error("max 5 should hold")
+	}
+	ev4 := NewEvaluator(x, NewSet(MustParse("maxinstances <= 4")), instances.SplitOnRepeat)
+	if ev4.HoldsGlobal(groups) {
+		t.Error("σ4's 5 instances should violate <= 4")
+	}
+}
+
+func TestHoldsGlobalVacuousWithoutGlobals(t *testing.T) {
+	log := procgen.RunningExampleTable1()
+	x := eventlog.NewIndex(log)
+	ev := NewEvaluator(x, NewSet(MustParse("|g| <= 8")), instances.SplitOnRepeat)
+	if !ev.HoldsGlobal(nil) {
+		t.Fatal("no global constraints: vacuously true")
+	}
+}

@@ -1,0 +1,350 @@
+// Package core orchestrates the GECCO pipeline of §V: Step 1 candidate
+// computation (exhaustive or DFG-based, plus exclusive-alternative merging),
+// Step 2 optimal grouping via weighted set partitioning, and Step 3 trace
+// abstraction. The root package gecco wraps this with the public API.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"gecco/internal/abstraction"
+	"gecco/internal/bitset"
+	"gecco/internal/candidates"
+	"gecco/internal/constraints"
+	"gecco/internal/cover"
+	"gecco/internal/dfg"
+	"gecco/internal/distance"
+	"gecco/internal/eventlog"
+	"gecco/internal/instances"
+	"gecco/internal/mip"
+	"math"
+)
+
+// Mode selects the Step 1 instantiation (§V-B and the configurations of
+// §VI-A).
+type Mode int
+
+const (
+	// Exhaustive is Algorithm 1 (configuration Exh).
+	Exhaustive Mode = iota
+	// DFGUnbounded is Algorithm 2 without beam pruning (DFG∞).
+	DFGUnbounded
+	// DFGBeam is Algorithm 2 with beam width k (DFGk); the paper uses
+	// k = 5·|C_L|, which is the default when BeamWidth is 0.
+	DFGBeam
+)
+
+func (m Mode) String() string {
+	return [...]string{"Exh", "DFG∞", "DFGk"}[m]
+}
+
+// Solver selects the Step 2 solver.
+type Solver int
+
+const (
+	// SolverBB is the direct branch-and-bound set-partitioning solver
+	// (default; exact and fastest on these instances).
+	SolverBB Solver = iota
+	// SolverMIP uses the paper's MIP formulation on internal/mip.
+	SolverMIP
+)
+
+// Config tunes a pipeline run. The zero value is a sensible default:
+// exhaustive candidates, unlimited budget, completion-only abstraction.
+type Config struct {
+	Mode      Mode
+	BeamWidth int // DFGBeam only; 0 means 5·|C_L|
+	Strategy  abstraction.Strategy
+	Policy    instances.Policy
+	Budget    candidates.Budget
+	Solver    Solver
+	// SolverTimeout caps Step 2; zero means none. On expiry the best
+	// incumbent found is used.
+	SolverTimeout time.Duration
+	// SkipExclusiveMerge disables Algorithm 3 (ablation §VI / DESIGN.md).
+	SkipExclusiveMerge bool
+	// NamePrefix labels multi-class activities; default "Activity ".
+	NamePrefix string
+	// NameByClassAttr, when set, prefixes activity labels with the group's
+	// unique value of this class-level attribute (e.g. "org" yields labels
+	// like "A_Activity 1" as in Figure 8).
+	NameByClassAttr string
+	// CustomCandidates, when non-nil, replaces Step 1 entirely (Mode and
+	// Budget are ignored). Used by the graph-querying baseline BL_Q, which
+	// substitutes its own candidate computation while keeping Steps 2–3.
+	CustomCandidates func(x *eventlog.Index, graph *dfg.Graph) ([]bitset.Set, error)
+}
+
+// Timings records per-step wall-clock durations.
+type Timings struct {
+	Candidates time.Duration
+	Solve      time.Duration
+	Abstract   time.Duration
+}
+
+// Total returns the summed step durations.
+func (t Timings) Total() time.Duration { return t.Candidates + t.Solve + t.Abstract }
+
+// Result is the outcome of a pipeline run.
+type Result struct {
+	Feasible bool
+	// Grouping holds the selected groups and their activity names (only
+	// when feasible).
+	Grouping abstraction.Grouping
+	// GroupClasses lists, per selected group, the member class names.
+	GroupClasses [][]string
+	Distance     float64
+	// Abstracted is the abstracted log L' when feasible; otherwise the
+	// original log, as the paper prescribes (§V-C).
+	Abstracted *eventlog.Log
+	// Diagnostics explains infeasibility (nil when feasible).
+	Diagnostics *constraints.Violations
+
+	NumCandidates      int
+	CandidatesTimedOut bool
+	ConstraintChecks   int
+	SolverNodes        int
+	Timings            Timings
+}
+
+// Run executes the full GECCO pipeline on the log under the constraint set.
+func Run(log *eventlog.Log, set *constraints.Set, cfg Config) (*Result, error) {
+	if len(log.Traces) == 0 {
+		return nil, fmt.Errorf("core: empty log")
+	}
+	x := eventlog.NewIndex(log)
+	graph := dfg.Build(x)
+	ev := constraints.NewEvaluator(x, set, cfg.Policy)
+	dc := distance.NewCalc(x, cfg.Policy)
+
+	// Step 1: candidate computation.
+	t0 := time.Now()
+	var cr candidates.Result
+	if cfg.CustomCandidates != nil {
+		groups, err := cfg.CustomCandidates(x, graph)
+		if err != nil {
+			return nil, fmt.Errorf("core: custom candidates: %w", err)
+		}
+		cr = candidates.Result{Groups: groups}
+	} else {
+		switch cfg.Mode {
+		case Exhaustive:
+			cr = candidates.Exhaustive(x, ev, cfg.Budget)
+		case DFGUnbounded:
+			cr = candidates.DFGBased(x, ev, dc, graph, -1, cfg.Budget)
+		case DFGBeam:
+			k := cfg.BeamWidth
+			if k <= 0 {
+				k = 5 * x.NumClasses()
+			}
+			cr = candidates.DFGBased(x, ev, dc, graph, k, cfg.Budget)
+		default:
+			return nil, fmt.Errorf("core: unknown mode %d", cfg.Mode)
+		}
+	}
+	groups := cr.Groups
+	if !cfg.SkipExclusiveMerge && cfg.CustomCandidates == nil {
+		groups = candidates.ExclusiveMerge(x, ev, graph, groups)
+	}
+	candTime := time.Since(t0)
+
+	// Step 2: optimal grouping.
+	t1 := time.Now()
+	costs := make([]float64, len(groups))
+	for i, g := range groups {
+		costs[i] = dc.Group(g)
+	}
+	minG, maxG := set.GroupBounds()
+	prob := &cover.Problem{
+		NumClasses: x.NumClasses(),
+		Candidates: groups,
+		Costs:      costs,
+		MinGroups:  minG,
+		MaxGroups:  maxG,
+	}
+	solveOnce := func() (cover.Result, error) {
+		switch cfg.Solver {
+		case SolverBB:
+			return cover.SolveBBTimeout(prob, cfg.SolverTimeout), nil
+		case SolverMIP:
+			r, _ := cover.SolveMIP(prob, mip.Options{TimeLimit: cfg.SolverTimeout})
+			return r, nil
+		default:
+			return cover.Result{}, fmt.Errorf("core: unknown solver %d", cfg.Solver)
+		}
+	}
+	res, err := solveOnce()
+	if err != nil {
+		return nil, err
+	}
+	// Verification pass: the paper's monotonic pruning admits supergroups
+	// of satisfying groups without re-validation, which is unsound when a
+	// superset gains new instances in previously-vacuous traces. Re-check
+	// the selected groups and re-solve without any violating candidate so
+	// the returned grouping always genuinely satisfies R.
+	// Each round invalidates at least one selected candidate, so the loop
+	// terminates; the cap keeps worst-case Step 2 time bounded when a
+	// SolverTimeout is set.
+	maxRounds := len(groups)
+	if cfg.SolverTimeout > 0 && maxRounds > 16 {
+		maxRounds = 16
+	}
+	clean := false
+	for round := 0; res.Feasible && round < maxRounds; round++ {
+		violating := false
+		for _, gi := range res.Selected {
+			if !ev.HoldsClass(groups[gi]) || !ev.HoldsInstance(groups[gi]) {
+				costs[gi] = math.Inf(1)
+				violating = true
+			}
+		}
+		if !violating {
+			clean = true
+			break
+		}
+		if res, err = solveOnce(); err != nil {
+			return nil, err
+		}
+	}
+	if res.Feasible && !clean {
+		// The round cap was hit with violations outstanding: declare the
+		// problem unsolved rather than return a constraint-violating
+		// grouping. (Requires adversarial candidate sets; not observed in
+		// practice.)
+		res.Feasible = false
+	}
+	// Global grouping-instance constraints (§VIII future work, implemented
+	// here): enforced by no-good cuts — each violating optimum is excluded
+	// and the next-best grouping is sought.
+	if len(set.GlobalConstraints()) > 0 {
+		for round := 0; res.Feasible && round < 64; round++ {
+			sel := make([]bitset.Set, len(res.Selected))
+			for i, gi := range res.Selected {
+				sel[i] = groups[gi]
+			}
+			if ev.HoldsGlobal(sel) {
+				break
+			}
+			prob.Forbidden = append(prob.Forbidden, append([]int(nil), res.Selected...))
+			if res, err = solveOnce(); err != nil {
+				return nil, err
+			}
+			if round == 63 {
+				res.Feasible = false // exhausted the cut budget
+			}
+		}
+	}
+	solveTime := time.Since(t1)
+
+	out := &Result{
+		NumCandidates:      len(groups),
+		CandidatesTimedOut: cr.TimedOut,
+		ConstraintChecks:   ev.Checks,
+		Timings:            Timings{Candidates: candTime, Solve: solveTime},
+	}
+	if !res.Feasible {
+		out.Abstracted = log
+		out.Diagnostics = ev.Diagnose()
+		return out, nil
+	}
+
+	// Step 3: abstraction.
+	t2 := time.Now()
+	selected := make([]bitset.Set, len(res.Selected))
+	for i, gi := range res.Selected {
+		selected[i] = groups[gi]
+	}
+	sortByFirstOccurrence(x, selected)
+	names := a.names(cfg, x, selected)
+	grouping := abstraction.Grouping{Groups: selected, Names: names}
+	abstracted, err := abstraction.Apply(x, grouping, cfg.Strategy, cfg.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("core: abstraction: %w", err)
+	}
+	out.Timings.Abstract = time.Since(t2)
+	out.Feasible = true
+	out.Grouping = grouping
+	out.Distance = res.Cost
+	out.SolverNodes = res.Nodes
+	out.Abstracted = abstracted
+	out.GroupClasses = make([][]string, len(selected))
+	for i, g := range selected {
+		out.GroupClasses[i] = x.GroupNames(g)
+	}
+	return out, nil
+}
+
+// sortByFirstOccurrence orders groups by the position at which any of their
+// classes first appears in the log, so that activity numbering follows the
+// process flow (clrk1 before clrk2 in the running example).
+func sortByFirstOccurrence(x *eventlog.Index, groups []bitset.Set) {
+	first := make([]int, len(groups))
+	for i := range first {
+		first[i] = 1 << 30
+	}
+	pos := 0
+	for _, seq := range x.Seqs {
+		for _, c := range seq {
+			for gi, g := range groups {
+				if first[gi] > pos && g.Contains(c) {
+					first[gi] = pos
+				}
+			}
+			pos++
+		}
+	}
+	type pair struct {
+		f int
+		g bitset.Set
+	}
+	pairs := make([]pair, len(groups))
+	for i := range groups {
+		pairs[i] = pair{first[i], groups[i]}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].f < pairs[j].f })
+	for i := range pairs {
+		groups[i] = pairs[i].g
+	}
+}
+
+// namer isolates activity naming so it can be unit-tested.
+type namer struct{}
+
+var a namer
+
+func (namer) names(cfg Config, x *eventlog.Index, groups []bitset.Set) []string {
+	prefix := cfg.NamePrefix
+	if prefix == "" {
+		prefix = "Activity "
+	}
+	if cfg.NameByClassAttr == "" {
+		return abstraction.AutoNames(x, groups, prefix)
+	}
+	vals := x.ClassAttrValues(cfg.NameByClassAttr)
+	names := make([]string, len(groups))
+	counters := make(map[string]int)
+	for i, g := range groups {
+		if g.Len() == 1 {
+			names[i] = x.Classes[g.Min()]
+			continue
+		}
+		distinct := make(map[string]struct{})
+		g.ForEach(func(c int) bool {
+			for v := range vals[c] {
+				distinct[v] = struct{}{}
+			}
+			return true
+		})
+		tag := ""
+		if len(distinct) == 1 {
+			for v := range distinct {
+				tag = v + "_"
+			}
+		}
+		counters[tag]++
+		names[i] = fmt.Sprintf("%s%s%d", tag, prefix, counters[tag])
+	}
+	return names
+}

@@ -1,0 +1,167 @@
+// Package csvlog reads and writes event logs as CSV, the other common
+// interchange format for process-mining data. The expected shape is one
+// event per row with at least a case-id column and an activity (class)
+// column; additional columns become event attributes. Column types are
+// inferred per column: RFC 3339 timestamps, numbers, booleans, else strings.
+package csvlog
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"gecco/internal/eventlog"
+)
+
+// Options configures CSV import.
+type Options struct {
+	CaseColumn     string // default "case"
+	ActivityColumn string // default "activity"
+	TimeColumn     string // default "time"; parsed as the event timestamp
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.CaseColumn == "" {
+		out.CaseColumn = "case"
+	}
+	if out.ActivityColumn == "" {
+		out.ActivityColumn = "activity"
+	}
+	if out.TimeColumn == "" {
+		out.TimeColumn = "time"
+	}
+	return out
+}
+
+// Read parses CSV event data into a Log. Rows are grouped into traces by the
+// case column, preserving row order within each case.
+func Read(r io.Reader, opts Options) (*eventlog.Log, error) {
+	opts = opts.withDefaults()
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("csvlog: read header: %w", err)
+	}
+	col := make(map[string]int, len(header))
+	for i, h := range header {
+		col[h] = i
+	}
+	caseIdx, ok := col[opts.CaseColumn]
+	if !ok {
+		return nil, fmt.Errorf("csvlog: missing case column %q", opts.CaseColumn)
+	}
+	actIdx, ok := col[opts.ActivityColumn]
+	if !ok {
+		return nil, fmt.Errorf("csvlog: missing activity column %q", opts.ActivityColumn)
+	}
+
+	byCase := make(map[string][]eventlog.Event)
+	var caseOrder []string
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("csvlog: line %d: %w", line, err)
+		}
+		if caseIdx >= len(rec) || actIdx >= len(rec) {
+			return nil, fmt.Errorf("csvlog: line %d: too few fields", line)
+		}
+		caseID := rec[caseIdx]
+		ev := eventlog.Event{Class: rec[actIdx]}
+		for i, h := range header {
+			if i == caseIdx || i == actIdx || i >= len(rec) || rec[i] == "" {
+				continue
+			}
+			name := h
+			if h == opts.TimeColumn {
+				name = eventlog.AttrTimestamp
+			}
+			ev.SetAttr(name, inferValue(rec[i]))
+		}
+		if _, seen := byCase[caseID]; !seen {
+			caseOrder = append(caseOrder, caseID)
+		}
+		byCase[caseID] = append(byCase[caseID], ev)
+	}
+	log := &eventlog.Log{}
+	for _, id := range caseOrder {
+		log.Traces = append(log.Traces, eventlog.Trace{ID: id, Events: byCase[id]})
+	}
+	return log, nil
+}
+
+func inferValue(s string) eventlog.Value {
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return eventlog.Time(t)
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return eventlog.Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return eventlog.Float(f)
+	}
+	if s == "true" || s == "false" {
+		return eventlog.Bool(s == "true")
+	}
+	return eventlog.String(s)
+}
+
+// Write serialises the log as CSV with columns case, activity, followed by
+// the union of attribute names in sorted order.
+func Write(w io.Writer, log *eventlog.Log) error {
+	attrSet := make(map[string]struct{})
+	for i := range log.Traces {
+		for j := range log.Traces[i].Events {
+			for k := range log.Traces[i].Events[j].Attrs {
+				attrSet[k] = struct{}{}
+			}
+		}
+	}
+	attrs := make([]string, 0, len(attrSet))
+	for k := range attrSet {
+		attrs = append(attrs, k)
+	}
+	sort.Strings(attrs)
+
+	cw := csv.NewWriter(w)
+	header := append([]string{"case", "activity"}, attrs...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for i := range log.Traces {
+		tr := &log.Traces[i]
+		for j := range tr.Events {
+			ev := &tr.Events[j]
+			row[0], row[1] = tr.ID, ev.Class
+			for k, a := range attrs {
+				if v, ok := ev.Attrs[a]; ok {
+					row[2+k] = formatValue(v)
+				} else {
+					row[2+k] = ""
+				}
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatValue(v eventlog.Value) string {
+	switch v.Kind {
+	case eventlog.KindTime:
+		return v.Time.Format(time.RFC3339)
+	default:
+		return v.AsString()
+	}
+}

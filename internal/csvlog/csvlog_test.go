@@ -1,0 +1,123 @@
+package csvlog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gecco/internal/eventlog"
+	"gecco/internal/procgen"
+)
+
+const sampleCSV = `case,activity,time,role,cost
+c1,register,2021-06-01T08:00:00Z,clerk,12.5
+c1,approve,2021-06-01T09:00:00Z,manager,3
+c2,register,2021-06-01T10:00:00Z,clerk,7
+`
+
+func TestReadSample(t *testing.T) {
+	log, err := Read(strings.NewReader(sampleCSV), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Traces) != 2 {
+		t.Fatalf("traces = %d, want 2", len(log.Traces))
+	}
+	if log.Traces[0].ID != "c1" || len(log.Traces[0].Events) != 2 {
+		t.Fatalf("trace 0 = %+v", log.Traces[0])
+	}
+	ev := &log.Traces[0].Events[0]
+	if ev.Class != "register" {
+		t.Errorf("class = %q", ev.Class)
+	}
+	if _, ok := ev.Timestamp(); !ok {
+		t.Error("time column not mapped to timestamp")
+	}
+	if v := ev.Attrs["cost"]; !v.IsNumeric() || v.Num != 12.5 {
+		t.Errorf("cost = %+v", v)
+	}
+	if v := ev.Attrs["role"]; v.Str != "clerk" {
+		t.Errorf("role = %+v", v)
+	}
+}
+
+func TestCustomColumns(t *testing.T) {
+	src := "id,act\n1,a\n1,b\n"
+	log, err := Read(strings.NewReader(src), Options{CaseColumn: "id", ActivityColumn: "act"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Traces) != 1 || log.Traces[0].Variant() != "a,b" {
+		t.Fatalf("log = %+v", log)
+	}
+}
+
+func TestMissingColumns(t *testing.T) {
+	if _, err := Read(strings.NewReader("x,y\n1,2\n"), Options{}); err == nil {
+		t.Fatal("expected error for missing case column")
+	}
+	if _, err := Read(strings.NewReader("case,y\n1,2\n"), Options{}); err == nil {
+		t.Fatal("expected error for missing activity column")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := procgen.RunningExampleTable1()
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Traces) != len(orig.Traces) {
+		t.Fatalf("trace count %d != %d", len(back.Traces), len(orig.Traces))
+	}
+	for i := range orig.Traces {
+		if orig.Traces[i].Variant() != back.Traces[i].Variant() {
+			t.Fatalf("trace %d variant mismatch", i)
+		}
+	}
+	// Spot-check attribute fidelity.
+	ov := orig.Traces[0].Events[0].Attrs[eventlog.AttrCost]
+	bv := back.Traces[0].Events[0].Attrs[eventlog.AttrCost]
+	if ov.Num != bv.Num {
+		t.Fatalf("cost %f != %f", bv.Num, ov.Num)
+	}
+	if _, ok := back.Traces[0].Events[0].Timestamp(); !ok {
+		t.Fatal("timestamp lost in round trip")
+	}
+}
+
+func TestTypeInference(t *testing.T) {
+	src := "case,activity,n,f,b,s\n1,a,42,1.5,true,hello\n"
+	log, err := Read(strings.NewReader(src), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := log.Traces[0].Events[0].Attrs
+	if at["n"].Kind != eventlog.KindInt {
+		t.Errorf("n kind = %v", at["n"].Kind)
+	}
+	if at["f"].Kind != eventlog.KindFloat {
+		t.Errorf("f kind = %v", at["f"].Kind)
+	}
+	if at["b"].Kind != eventlog.KindBool {
+		t.Errorf("b kind = %v", at["b"].Kind)
+	}
+	if at["s"].Kind != eventlog.KindString {
+		t.Errorf("s kind = %v", at["s"].Kind)
+	}
+}
+
+func TestEmptyValuesSkipped(t *testing.T) {
+	src := "case,activity,role\n1,a,\n"
+	log, err := Read(strings.NewReader(src), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := log.Traces[0].Events[0].Attrs["role"]; ok {
+		t.Fatal("empty cell should not create an attribute")
+	}
+}

@@ -1,0 +1,237 @@
+// Package dfg builds and manipulates directly-follows graphs (§III-A of the
+// paper): directed graphs over event classes with an edge a→b whenever b
+// immediately succeeds a in some trace. Edge frequencies are retained for
+// filtering (the "80/20" views of Figures 1 and 8) and for the spectral
+// partitioning baseline.
+package dfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gecco/internal/bitset"
+	"gecco/internal/eventlog"
+)
+
+// Graph is a directly-follows graph over the class universe of an Index.
+// Vertices are class ids 0..N-1; Freq[a][b] > 0 iff a >L b.
+type Graph struct {
+	N      int
+	Labels []string // class names, index-aligned with vertex ids
+	Freq   [][]int  // Freq[a][b] = number of direct successions a→b
+
+	// StartFreq / EndFreq count how often a class starts / ends a trace.
+	StartFreq []int
+	EndFreq   []int
+
+	out [][]int // adjacency: successors of each vertex, sorted
+	in  [][]int // adjacency: predecessors of each vertex, sorted
+}
+
+// Build constructs the DFG of the indexed log.
+func Build(x *eventlog.Index) *Graph {
+	n := x.NumClasses()
+	g := &Graph{
+		N:         n,
+		Labels:    x.Classes,
+		Freq:      make([][]int, n),
+		StartFreq: make([]int, n),
+		EndFreq:   make([]int, n),
+	}
+	for a := range g.Freq {
+		g.Freq[a] = make([]int, n)
+	}
+	for _, seq := range x.Seqs {
+		if len(seq) == 0 {
+			continue
+		}
+		g.StartFreq[seq[0]]++
+		g.EndFreq[seq[len(seq)-1]]++
+		for j := 0; j+1 < len(seq); j++ {
+			g.Freq[seq[j]][seq[j+1]]++
+		}
+	}
+	g.rebuildAdj()
+	return g
+}
+
+// FromFreq builds a graph from an explicit frequency matrix. The slices are
+// retained, not copied; callers must not mutate them afterwards.
+func FromFreq(labels []string, freq [][]int, startFreq, endFreq []int) *Graph {
+	g := &Graph{
+		N:         len(labels),
+		Labels:    labels,
+		Freq:      freq,
+		StartFreq: startFreq,
+		EndFreq:   endFreq,
+	}
+	g.rebuildAdj()
+	return g
+}
+
+func (g *Graph) rebuildAdj() {
+	g.out = make([][]int, g.N)
+	g.in = make([][]int, g.N)
+	for a := 0; a < g.N; a++ {
+		for b := 0; b < g.N; b++ {
+			if g.Freq[a][b] > 0 {
+				g.out[a] = append(g.out[a], b)
+				g.in[b] = append(g.in[b], a)
+			}
+		}
+	}
+}
+
+// Has reports whether edge a→b exists.
+func (g *Graph) Has(a, b int) bool { return g.Freq[a][b] > 0 }
+
+// Out returns the successors of a (sorted ascending). The slice is shared;
+// callers must not modify it.
+func (g *Graph) Out(a int) []int { return g.out[a] }
+
+// In returns the predecessors of a (sorted ascending). The slice is shared;
+// callers must not modify it.
+func (g *Graph) In(a int) []int { return g.in[a] }
+
+// NumEdges returns the number of directly-follows edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for a := range g.out {
+		n += len(g.out[a])
+	}
+	return n
+}
+
+// PreSet returns the classes with an edge into any member of group, members
+// excluded (the DFG.pre(g) of Algorithm 3).
+func (g *Graph) PreSet(group bitset.Set) bitset.Set {
+	pre := bitset.New(g.N)
+	group.ForEach(func(b int) bool {
+		for _, a := range g.in[b] {
+			if !group.Contains(a) {
+				pre.Add(a)
+			}
+		}
+		return true
+	})
+	return pre
+}
+
+// PostSet returns the classes reachable by one edge from any member of
+// group, members excluded (the DFG.post(g) of Algorithm 3).
+func (g *Graph) PostSet(group bitset.Set) bitset.Set {
+	post := bitset.New(g.N)
+	group.ForEach(func(a int) bool {
+		for _, b := range g.out[a] {
+			if !group.Contains(b) {
+				post.Add(b)
+			}
+		}
+		return true
+	})
+	return post
+}
+
+// Exclusive reports whether no DFG edge connects gi and gj in either
+// direction (the exclusive(gi, gj) predicate of Algorithm 3).
+func (g *Graph) Exclusive(gi, gj bitset.Set) bool {
+	ok := true
+	gi.ForEach(func(a int) bool {
+		for _, b := range g.out[a] {
+			if gj.Contains(b) {
+				ok = false
+				return false
+			}
+		}
+		for _, b := range g.in[a] {
+			if gj.Contains(b) {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// FilterTopEdges returns a copy of the graph retaining only the
+// highest-frequency edges whose cumulative frequency reaches the given
+// fraction of the total (e.g. 0.8 for the paper's "80/20" views). Every
+// vertex keeps at least its single most frequent incoming and outgoing edge
+// so the view stays connected in the usual process-map sense.
+func (g *Graph) FilterTopEdges(fraction float64) *Graph {
+	type edge struct{ a, b, f int }
+	var edges []edge
+	total := 0
+	for a := 0; a < g.N; a++ {
+		for _, b := range g.out[a] {
+			edges = append(edges, edge{a, b, g.Freq[a][b]})
+			total += g.Freq[a][b]
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].f > edges[j].f })
+	keep := make(map[[2]int]bool)
+	cum := 0
+	for _, e := range edges {
+		if float64(cum) >= fraction*float64(total) {
+			break
+		}
+		keep[[2]int{e.a, e.b}] = true
+		cum += e.f
+	}
+	// Preserve each vertex's strongest in/out edge.
+	for v := 0; v < g.N; v++ {
+		bestOut, bestIn := -1, -1
+		for _, b := range g.out[v] {
+			if bestOut < 0 || g.Freq[v][b] > g.Freq[v][bestOut] {
+				bestOut = b
+			}
+		}
+		for _, a := range g.in[v] {
+			if bestIn < 0 || g.Freq[a][v] > g.Freq[bestIn][v] {
+				bestIn = a
+			}
+		}
+		if bestOut >= 0 {
+			keep[[2]int{v, bestOut}] = true
+		}
+		if bestIn >= 0 {
+			keep[[2]int{bestIn, v}] = true
+		}
+	}
+	out := &Graph{
+		N:         g.N,
+		Labels:    g.Labels,
+		Freq:      make([][]int, g.N),
+		StartFreq: append([]int(nil), g.StartFreq...),
+		EndFreq:   append([]int(nil), g.EndFreq...),
+	}
+	for a := 0; a < g.N; a++ {
+		out.Freq[a] = make([]int, g.N)
+		for b := 0; b < g.N; b++ {
+			if keep[[2]int{a, b}] {
+				out.Freq[a][b] = g.Freq[a][b]
+			}
+		}
+	}
+	out.rebuildAdj()
+	return out
+}
+
+// DOT renders the graph in Graphviz DOT format with edge frequencies, for
+// regenerating the paper's DFG figures.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=box, style=rounded];\n", name)
+	for v := 0; v < g.N; v++ {
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", v, g.Labels[v])
+	}
+	for a := 0; a < g.N; a++ {
+		for _, c := range g.out[a] {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"%d\"];\n", a, c, g.Freq[a][c])
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package dfg
+
+import (
+	"strings"
+	"testing"
+
+	"gecco/internal/bitset"
+	"gecco/internal/eventlog"
+	"gecco/internal/procgen"
+)
+
+func runningExample(t *testing.T) (*eventlog.Index, *Graph) {
+	t.Helper()
+	x := eventlog.NewIndex(procgen.RunningExampleTable1())
+	return x, Build(x)
+}
+
+func id(x *eventlog.Index, name string) int { return x.ClassID[name] }
+
+// Figure 2's directly-follows relation for the running example.
+func TestRunningExampleEdges(t *testing.T) {
+	x, g := runningExample(t)
+	has := [][2]string{
+		{"rcp", "ckc"}, {"rcp", "ckt"}, {"ckc", "acc"}, {"ckt", "acc"},
+		{"ckc", "rej"}, {"acc", "prio"}, {"rej", "prio"}, {"prio", "inf"},
+		{"prio", "arv"}, {"inf", "arv"}, {"arv", "inf"}, {"acc", "inf"},
+		{"rej", "rcp"},
+	}
+	for _, e := range has {
+		if !g.Has(id(x, e[0]), id(x, e[1])) {
+			t.Errorf("missing edge %s→%s", e[0], e[1])
+		}
+	}
+	hasNot := [][2]string{
+		{"rcp", "acc"}, {"acc", "rej"}, {"rej", "acc"},
+		{"ckc", "ckt"}, {"arv", "rcp"},
+	}
+	for _, e := range hasNot {
+		if g.Has(id(x, e[0]), id(x, e[1])) {
+			t.Errorf("unexpected edge %s→%s", e[0], e[1])
+		}
+	}
+}
+
+func TestStartEndFrequencies(t *testing.T) {
+	x, g := runningExample(t)
+	if g.StartFreq[id(x, "rcp")] != 4 {
+		t.Errorf("rcp starts %d traces, want 4", g.StartFreq[id(x, "rcp")])
+	}
+	// σ1, σ3 end with arv; σ2, σ4 end with inf.
+	if g.EndFreq[id(x, "arv")] != 2 || g.EndFreq[id(x, "inf")] != 2 {
+		t.Errorf("end freqs arv=%d inf=%d", g.EndFreq[id(x, "arv")], g.EndFreq[id(x, "inf")])
+	}
+}
+
+func TestPrePostSets(t *testing.T) {
+	x, g := runningExample(t)
+	grp := bitset.FromSlice(g.N, []int{id(x, "ckc"), id(x, "ckt")})
+	pre := g.PreSet(grp)
+	if pre.Len() != 1 || !pre.Contains(id(x, "rcp")) {
+		t.Errorf("pre = %v", x.GroupNames(pre))
+	}
+	post := g.PostSet(grp)
+	if post.Len() != 2 || !post.Contains(id(x, "acc")) || !post.Contains(id(x, "rej")) {
+		t.Errorf("post = %v", x.GroupNames(post))
+	}
+}
+
+// Figure 6: {ckc, ckt} are proper behavioural alternatives (equal pre/post
+// and no connecting edges); {acc, rej} are exclusive but NOT alternatives
+// (their postsets differ: rej can loop back to rcp).
+func TestBehaviouralAlternatives(t *testing.T) {
+	x, g := runningExample(t)
+	ckc := bitset.FromSlice(g.N, []int{id(x, "ckc")})
+	ckt := bitset.FromSlice(g.N, []int{id(x, "ckt")})
+	if !g.Exclusive(ckc, ckt) {
+		t.Error("ckc/ckt should be exclusive")
+	}
+	if g.PreSet(ckc).Key() != g.PreSet(ckt).Key() || g.PostSet(ckc).Key() != g.PostSet(ckt).Key() {
+		t.Error("ckc/ckt should have identical pre/post sets")
+	}
+	acc := bitset.FromSlice(g.N, []int{id(x, "acc")})
+	rej := bitset.FromSlice(g.N, []int{id(x, "rej")})
+	if !g.Exclusive(acc, rej) {
+		t.Error("acc/rej should have no connecting edges")
+	}
+	if g.PostSet(acc).Key() == g.PostSet(rej).Key() {
+		t.Error("acc/rej postsets must differ (rej loops back to rcp)")
+	}
+}
+
+func TestFilterTopEdgesKeepsStrongest(t *testing.T) {
+	log := procgen.RunningExample(300, 3)
+	x := eventlog.NewIndex(log)
+	g := Build(x)
+	f := g.FilterTopEdges(0.5)
+	if f.NumEdges() >= g.NumEdges() {
+		t.Fatalf("filtering did not reduce edges: %d -> %d", g.NumEdges(), f.NumEdges())
+	}
+	// Every vertex with outgoing edges keeps at least one.
+	for v := 0; v < g.N; v++ {
+		if len(g.Out(v)) > 0 && len(f.Out(v)) == 0 {
+			t.Errorf("vertex %s lost all outgoing edges", g.Labels[v])
+		}
+	}
+	// Kept edges preserve original frequencies.
+	for a := 0; a < f.N; a++ {
+		for _, b := range f.Out(a) {
+			if f.Freq[a][b] != g.Freq[a][b] {
+				t.Errorf("edge %d→%d frequency changed", a, b)
+			}
+		}
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	_, g := runningExample(t)
+	dot := g.DOT("running")
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "rcp") {
+		t.Fatal("DOT output malformed")
+	}
+	if !strings.Contains(dot, "->") {
+		t.Fatal("DOT output has no edges")
+	}
+}
+
+func TestNumEdgesMatchesStats(t *testing.T) {
+	log := procgen.RunningExample(200, 5)
+	x := eventlog.NewIndex(log)
+	g := Build(x)
+	if st := log.ComputeStats(); st.NumDFGEdges != g.NumEdges() {
+		t.Fatalf("stats edges %d != graph edges %d", st.NumDFGEdges, g.NumEdges())
+	}
+}

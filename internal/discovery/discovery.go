@@ -1,0 +1,222 @@
+// Package discovery implements a simplified Split-Miner-style process
+// discovery used to score abstraction quality: the paper's "C. red." metric
+// (Tables V–VII) compares the control-flow complexity (CFC) of models
+// discovered from the original and the abstracted log. The pipeline follows
+// Split Miner's stages — DFG construction, self-loop and short-loop
+// detection, concurrency detection, frequency-based edge filtering, and
+// split-gateway synthesis — and computes the established CFC measure on the
+// result. Absolute model quality is not the point; the complexity *ratio*
+// between original and abstracted logs is robust to the simplifications.
+package discovery
+
+import (
+	"gecco/internal/dfg"
+	"gecco/internal/eventlog"
+)
+
+// Options tunes discovery.
+type Options struct {
+	// EdgeFilter is the cumulative frequency fraction of DFG edges kept
+	// (Split Miner's percentile filter); 0 means the default 0.8.
+	EdgeFilter float64
+	// Epsilon is the balance threshold for concurrency detection: a↔b with
+	// |f(a,b)-f(b,a)| / (f(a,b)+f(b,a)) < 1-Epsilon counts as concurrent;
+	// 0 means the default 0.7.
+	Epsilon float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.EdgeFilter == 0 {
+		o.EdgeFilter = 0.8
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.7
+	}
+	return o
+}
+
+// Model is a discovered process model in gateway-annotated DFG form.
+type Model struct {
+	Labels     []string
+	Graph      *dfg.Graph
+	SelfLoop   []bool
+	Concurrent map[[2]int]bool // canonical ordering a < b
+	// Splits[v] are the XOR branch groups of v's outgoing edges; each
+	// group of size > 1 is an AND split nested under the XOR.
+	Splits [][][]int
+	// Joins[v] mirrors Splits for incoming edges.
+	Joins [][][]int
+	// StartClasses are the classes that begin traces (after filtering).
+	StartClasses []int
+	EndClasses   []int
+}
+
+// Discover runs the pipeline on an indexed log.
+func Discover(x *eventlog.Index, opts Options) *Model {
+	opts = opts.withDefaults()
+	full := dfg.Build(x)
+
+	m := &Model{
+		Labels:     full.Labels,
+		SelfLoop:   make([]bool, full.N),
+		Concurrent: make(map[[2]int]bool),
+	}
+	// Stage 1: self-loops.
+	for v := 0; v < full.N; v++ {
+		if full.Has(v, v) {
+			m.SelfLoop[v] = true
+		}
+	}
+	// Stage 2: short loops (a→b→a with strong asymmetry) vs concurrency.
+	for a := 0; a < full.N; a++ {
+		for b := a + 1; b < full.N; b++ {
+			fab, fba := full.Freq[a][b], full.Freq[b][a]
+			if fab == 0 || fba == 0 {
+				continue
+			}
+			balance := 1 - absInt(fab-fba)/float64(fab+fba)
+			if balance >= opts.Epsilon {
+				m.Concurrent[[2]int{a, b}] = true
+			}
+		}
+	}
+	// Stage 3: prune self-loops (treated as activity annotations) and
+	// edges between concurrent pairs (interleaving artifacts, as in Split
+	// Miner), then apply the frequency filter.
+	pruned := cloneWithoutSelfLoops(full)
+	for key := range m.Concurrent {
+		pruned = dropEdgePair(pruned, key[0], key[1])
+	}
+	m.Graph = pruned.FilterTopEdges(opts.EdgeFilter)
+	// Stage 4: gateway synthesis.
+	m.Splits = make([][][]int, m.Graph.N)
+	m.Joins = make([][][]int, m.Graph.N)
+	for v := 0; v < m.Graph.N; v++ {
+		m.Splits[v] = groupBranches(m, m.Graph.Out(v))
+		m.Joins[v] = groupBranches(m, m.Graph.In(v))
+	}
+	for v := 0; v < m.Graph.N; v++ {
+		if m.Graph.StartFreq[v] > 0 {
+			m.StartClasses = append(m.StartClasses, v)
+		}
+		if m.Graph.EndFreq[v] > 0 {
+			m.EndClasses = append(m.EndClasses, v)
+		}
+	}
+	return m
+}
+
+func absInt(x int) float64 {
+	if x < 0 {
+		return float64(-x)
+	}
+	return float64(x)
+}
+
+func dropEdgePair(g *dfg.Graph, a, b int) *dfg.Graph {
+	freq := make([][]int, g.N)
+	for i := 0; i < g.N; i++ {
+		freq[i] = append([]int(nil), g.Freq[i]...)
+	}
+	freq[a][b], freq[b][a] = 0, 0
+	return dfg.FromFreq(g.Labels, freq, g.StartFreq, g.EndFreq)
+}
+
+func cloneWithoutSelfLoops(g *dfg.Graph) *dfg.Graph {
+	freq := make([][]int, g.N)
+	for a := 0; a < g.N; a++ {
+		freq[a] = append([]int(nil), g.Freq[a]...)
+		freq[a][a] = 0
+	}
+	return dfg.FromFreq(g.Labels, freq, g.StartFreq, g.EndFreq)
+}
+
+// groupBranches partitions branch targets into AND groups: targets that are
+// pairwise concurrent share a group; the groups are alternatives (XOR).
+func groupBranches(m *Model, targets []int) [][]int {
+	if len(targets) == 0 {
+		return nil
+	}
+	parent := make(map[int]int, len(targets))
+	var find func(int) int
+	find = func(v int) int {
+		if parent[v] != v {
+			parent[v] = find(parent[v])
+		}
+		return parent[v]
+	}
+	for _, t := range targets {
+		parent[t] = t
+	}
+	for i, a := range targets {
+		for _, b := range targets[i+1:] {
+			key := [2]int{min(a, b), max(a, b)}
+			if m.Concurrent[key] {
+				parent[find(a)] = find(b)
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	for _, t := range targets {
+		r := find(t)
+		groups[r] = append(groups[r], t)
+	}
+	out := make([][]int, 0, len(groups))
+	// Deterministic order: by smallest member.
+	for _, t := range targets {
+		if find(t) == t {
+			out = append(out, groups[t])
+		}
+	}
+	return out
+}
+
+// CFC returns the control-flow complexity of the model: each XOR split over
+// n > 1 alternatives adds n, each AND split adds 1, plus an implicit XOR
+// over multiple start classes. Self-loops each add 1 (a loop-back XOR).
+func (m *Model) CFC() float64 {
+	cfc := 0.0
+	for v := 0; v < m.Graph.N; v++ {
+		groups := m.Splits[v]
+		if len(groups) > 1 {
+			cfc += float64(len(groups)) // XOR split
+		}
+		for _, g := range groups {
+			if len(g) > 1 {
+				cfc++ // AND split
+			}
+		}
+		if m.SelfLoop[v] {
+			cfc++
+		}
+	}
+	if len(m.StartClasses) > 1 {
+		cfc += float64(len(m.StartClasses))
+	}
+	return cfc
+}
+
+// Size returns the number of model elements: activities plus synthesised
+// split/join gateways (a coarse counterpart to model-size measures).
+func (m *Model) Size() int {
+	size := m.Graph.N
+	for v := 0; v < m.Graph.N; v++ {
+		if len(m.Splits[v]) > 1 {
+			size++
+		}
+		for _, g := range m.Splits[v] {
+			if len(g) > 1 {
+				size++
+			}
+		}
+		if len(m.Joins[v]) > 1 {
+			size++
+		}
+		for _, g := range m.Joins[v] {
+			if len(g) > 1 {
+				size++
+			}
+		}
+	}
+	return size
+}

@@ -1,0 +1,85 @@
+// Package distance implements GECCO's distance measure (§IV-B, Eq. 1 and 2):
+// a per-group score combining cohesion (few interruptions by foreign
+// events), correlation (few missing classes per instance), and a unary-group
+// penalty, averaged over the group's instances. Lower is better.
+package distance
+
+import (
+	"math"
+
+	"gecco/internal/bitset"
+	"gecco/internal/eventlog"
+	"gecco/internal/instances"
+)
+
+// Calc computes and memoises group distances over one indexed log.
+type Calc struct {
+	X      *eventlog.Index
+	Policy instances.Policy
+	cache  map[string]float64
+
+	// Evals counts non-memoised group evaluations (runtime accounting).
+	Evals int
+}
+
+// NewCalc builds a distance calculator for the log.
+func NewCalc(x *eventlog.Index, policy instances.Policy) *Calc {
+	return &Calc{X: x, Policy: policy, cache: make(map[string]float64)}
+}
+
+// Group computes dist(g, L) per Eq. 1. Groups with no instances in the log
+// (which only arise for never-occurring class combinations) score +Inf.
+func (c *Calc) Group(g bitset.Set) float64 {
+	key := g.Key()
+	if v, ok := c.cache[key]; ok {
+		return v
+	}
+	c.Evals++
+	v := c.compute(g)
+	c.cache[key] = v
+	return v
+}
+
+// compute evaluates Eq. 1 over the log's distinct variants, weighting each
+// by its trace multiplicity: the measure depends only on class sequences,
+// so identical traces need not be re-segmented.
+func (c *Calc) compute(g bitset.Set) float64 {
+	size := float64(g.Len())
+	sum := 0.0
+	numInsts := 0
+	nClasses := c.X.NumClasses()
+	for v, seq := range c.X.VariantSeqs {
+		if !c.X.VariantClasses[v].Intersects(g) {
+			continue
+		}
+		weight := float64(c.X.VariantCount[v])
+		for _, positions := range instances.Segments(seq, nClasses, g, c.Policy) {
+			first, last := positions[0], positions[len(positions)-1]
+			interrupts := (last - first + 1) - len(positions)
+			present := 0
+			seen := make(map[int]struct{}, len(positions))
+			for _, pos := range positions {
+				if _, ok := seen[seq[pos]]; !ok {
+					seen[seq[pos]] = struct{}{}
+					present++
+				}
+			}
+			missing := g.Len() - present
+			sum += weight * (float64(interrupts)/float64(len(positions)) + float64(missing)/size + 1/size)
+			numInsts += c.X.VariantCount[v]
+		}
+	}
+	if numInsts == 0 {
+		return math.Inf(1)
+	}
+	return sum / float64(numInsts)
+}
+
+// Grouping computes dist(G, L) per Eq. 2: the sum over all groups.
+func (c *Calc) Grouping(groups []bitset.Set) float64 {
+	total := 0.0
+	for _, g := range groups {
+		total += c.Group(g)
+	}
+	return total
+}

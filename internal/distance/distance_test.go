@@ -1,0 +1,195 @@
+package distance
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gecco/internal/bitset"
+	"gecco/internal/eventlog"
+	"gecco/internal/instances"
+	"gecco/internal/procgen"
+)
+
+func group(x *eventlog.Index, names ...string) bitset.Set {
+	g, unknown := x.GroupFromNames(names)
+	if len(unknown) > 0 {
+		panic("unknown classes in test group")
+	}
+	return g
+}
+
+// Golden values for the running example (Table I), hand-derived from Eq. 1
+// and matching the paper's optimal total of 3.08 (Figure 7).
+func TestRunningExampleGroupDistances(t *testing.T) {
+	x := eventlog.NewIndex(procgen.RunningExampleTable1())
+	c := NewCalc(x, instances.SplitOnRepeat)
+
+	cases := []struct {
+		names []string
+		want  float64
+	}{
+		// 5 instances, each: 0 interrupts + 1 missing/3 + 1/3 = 2/3.
+		{[]string{procgen.RCP, procgen.CKC, procgen.CKT}, 2.0 / 3.0},
+		// σ1, σ2, σ4 complete (1/3 each), σ3 misses prio (2/3).
+		{[]string{procgen.PRIO, procgen.INF, procgen.ARV}, (3*(1.0/3.0) + 2.0/3.0) / 4},
+		// Singletons always score exactly 1 (perfect cohesion/correlation).
+		{[]string{procgen.ACC}, 1},
+		{[]string{procgen.REJ}, 1},
+	}
+	for _, tc := range cases {
+		got := c.Group(group(x, tc.names...))
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("dist(%v) = %.6f, want %.6f", tc.names, got, tc.want)
+		}
+	}
+}
+
+// The paper's Figure 7: the optimal grouping has total distance 3.08.
+func TestRunningExampleOptimalTotal(t *testing.T) {
+	x := eventlog.NewIndex(procgen.RunningExampleTable1())
+	c := NewCalc(x, instances.SplitOnRepeat)
+	groups := []bitset.Set{
+		group(x, procgen.RCP, procgen.CKC, procgen.CKT),
+		group(x, procgen.PRIO, procgen.INF, procgen.ARV),
+		group(x, procgen.ACC),
+		group(x, procgen.REJ),
+	}
+	got := c.Grouping(groups)
+	if math.Abs(got-3.0833333333) > 1e-6 {
+		t.Fatalf("total distance = %.6f, want 3.0833 (paper: 3.08)", got)
+	}
+}
+
+func TestNeverOccurringGroupIsInfinite(t *testing.T) {
+	// acc and rej are exclusive: never co-occur... except σ4 contains both!
+	// Use a log where two classes truly never co-occur.
+	log := &eventlog.Log{Traces: []eventlog.Trace{
+		{ID: "1", Events: []eventlog.Event{{Class: "a"}, {Class: "b"}}},
+		{ID: "2", Events: []eventlog.Event{{Class: "a"}, {Class: "c"}}},
+	}}
+	x := eventlog.NewIndex(log)
+	c := NewCalc(x, instances.SplitOnRepeat)
+	// {b, c} never co-occur but each occurs: distance is finite (instances
+	// exist per trace); an empty-instance group needs a class that never
+	// occurs at all, which the index cannot represent. Verify {b,c} is
+	// finite and interruption-free instead.
+	d := c.Group(group(x, "b", "c"))
+	if math.IsInf(d, 1) {
+		t.Fatal("exclusive-but-occurring group should have finite distance")
+	}
+	// Each instance: 1 event, 1 missing of 2, plus 1/2 → (0 + 1/2 + 1/2) = 1.
+	if math.Abs(d-1) > 1e-12 {
+		t.Fatalf("dist({b,c}) = %.4f, want 1", d)
+	}
+}
+
+func TestInterruptedGroupScoresWorse(t *testing.T) {
+	log := &eventlog.Log{Traces: []eventlog.Trace{
+		{ID: "1", Events: []eventlog.Event{{Class: "a"}, {Class: "x"}, {Class: "b"}}},
+		{ID: "2", Events: []eventlog.Event{{Class: "c"}, {Class: "d"}, {Class: "y"}}},
+	}}
+	x := eventlog.NewIndex(log)
+	c := NewCalc(x, instances.SplitOnRepeat)
+	interrupted := c.Group(group(x, "a", "b")) // a x b: one interruption
+	adjacent := c.Group(group(x, "c", "d"))    // c d: none
+	if interrupted <= adjacent {
+		t.Fatalf("interrupted %f should exceed adjacent %f", interrupted, adjacent)
+	}
+}
+
+func TestCacheConsistency(t *testing.T) {
+	x := eventlog.NewIndex(procgen.RunningExampleTable1())
+	c := NewCalc(x, instances.SplitOnRepeat)
+	g := group(x, procgen.RCP, procgen.CKC)
+	d1 := c.Group(g)
+	d2 := c.Group(g)
+	if d1 != d2 {
+		t.Fatal("cached distance differs")
+	}
+	if c.Evals != 1 {
+		t.Fatalf("Evals = %d, want 1 (memoised)", c.Evals)
+	}
+}
+
+// Property: distance is strictly positive and finite for occurring groups,
+// over random groups of the simulated running example.
+func TestQuickDistancePositive(t *testing.T) {
+	log := procgen.RunningExample(150, 11)
+	x := eventlog.NewIndex(log)
+	c := NewCalc(x, instances.SplitOnRepeat)
+	n := x.NumClasses()
+	f := func(mask uint16) bool {
+		g := bitset.New(n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				g.Add(i)
+			}
+		}
+		if g.IsEmpty() {
+			return true
+		}
+		d := c.Group(g)
+		if x.Occurs(g) {
+			return d > 0 && !math.IsInf(d, 1)
+		}
+		return d > 0 // may be +Inf when the classes never co-occur
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: singleton groups always have distance exactly 1.
+func TestQuickSingletonDistanceIsOne(t *testing.T) {
+	log := procgen.RunningExample(100, 13)
+	x := eventlog.NewIndex(log)
+	c := NewCalc(x, instances.SplitOnRepeat)
+	for i := 0; i < x.NumClasses(); i++ {
+		g := bitset.New(x.NumClasses())
+		g.Add(i)
+		if d := c.Group(g); math.Abs(d-1) > 1e-12 {
+			t.Fatalf("singleton %q distance %f, want 1", x.Classes[i], d)
+		}
+	}
+}
+
+// The variant-compacted computation must agree exactly with a naive
+// per-trace evaluation of Eq. 1.
+func TestVariantCompactionMatchesNaive(t *testing.T) {
+	log := procgen.RunningExample(400, 51)
+	x := eventlog.NewIndex(log)
+	c := NewCalc(x, instances.SplitOnRepeat)
+	naive := func(g bitset.Set) float64 {
+		insts := instances.OfLog(x, g, instances.SplitOnRepeat)
+		if len(insts) == 0 {
+			return math.Inf(1)
+		}
+		size := float64(g.Len())
+		sum := 0.0
+		for i := range insts {
+			inst := &insts[i]
+			sum += float64(instances.Interrupts(inst)) / float64(inst.Len())
+			sum += float64(instances.Missing(x, inst, g)) / size
+			sum += 1 / size
+		}
+		return sum / float64(len(insts))
+	}
+	n := x.NumClasses()
+	for mask := 1; mask < 1<<n; mask += 7 { // sampled subsets
+		g := bitset.New(n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				g.Add(i)
+			}
+		}
+		want := naive(g)
+		got := c.Group(g)
+		if math.IsInf(want, 1) != math.IsInf(got, 1) {
+			t.Fatalf("mask %b: inf mismatch", mask)
+		}
+		if !math.IsInf(want, 1) && math.Abs(got-want) > 1e-9 {
+			t.Fatalf("mask %b: variant %.12f vs naive %.12f", mask, got, want)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package eventlog
+
+import (
+	"testing"
+	"time"
+)
+
+func sampleLog() *Log {
+	mk := func(classes ...string) Trace {
+		tr := Trace{ID: "t"}
+		for _, c := range classes {
+			tr.Events = append(tr.Events, Event{Class: c})
+		}
+		return tr
+	}
+	return &Log{Name: "sample", Traces: []Trace{
+		mk("a", "b", "c"),
+		mk("a", "c"),
+		mk("a", "b", "c"),
+	}}
+}
+
+func TestClassesSorted(t *testing.T) {
+	log := sampleLog()
+	got := log.Classes()
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Classes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Classes = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestVariants(t *testing.T) {
+	log := sampleLog()
+	v := log.Variants()
+	if len(v) != 2 {
+		t.Fatalf("got %d variants, want 2", len(v))
+	}
+	if v["a,b,c"] != 2 || v["a,c"] != 1 {
+		t.Fatalf("variant counts %v", v)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	st := sampleLog().ComputeStats()
+	if st.NumClasses != 3 || st.NumTraces != 3 || st.NumVariants != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.NumDFGEdges != 3 { // a→b, b→c, a→c
+		t.Fatalf("edges = %d, want 3", st.NumDFGEdges)
+	}
+	if st.AvgTraceLen < 2.6 || st.AvgTraceLen > 2.7 {
+		t.Fatalf("avg len = %f", st.AvgTraceLen)
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	if String("x").AsString() != "x" {
+		t.Error("string AsString")
+	}
+	if Int(42).AsString() != "42" {
+		t.Error("int AsString")
+	}
+	if !Float(1.5).IsNumeric() || !Int(2).IsNumeric() || String("s").IsNumeric() {
+		t.Error("IsNumeric")
+	}
+	ts := time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+	if Time(ts).AsString() != "2021-06-01T00:00:00Z" {
+		t.Errorf("time AsString = %s", Time(ts).AsString())
+	}
+	if Bool(true).AsString() != "true" {
+		t.Error("bool AsString")
+	}
+}
+
+func TestEventAttrHelpers(t *testing.T) {
+	e := Event{Class: "a"}
+	if _, ok := e.Attr("missing"); ok {
+		t.Error("Attr on empty map should miss")
+	}
+	e.SetAttr("k", Int(1))
+	if v, ok := e.Attr("k"); !ok || v.Num != 1 {
+		t.Error("SetAttr/Attr round trip")
+	}
+	if _, ok := e.Timestamp(); ok {
+		t.Error("Timestamp without time attr")
+	}
+	ts := time.Now()
+	e.SetAttr(AttrTimestamp, Time(ts))
+	if got, ok := e.Timestamp(); !ok || !got.Equal(ts) {
+		t.Error("Timestamp round trip")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	log := sampleLog()
+	log.Traces[0].Events[0].SetAttr("k", Int(1))
+	cl := log.Clone()
+	cl.Traces[0].Events[0].SetAttr("k", Int(2))
+	cl.Traces[0].Events[0].Class = "zz"
+	if log.Traces[0].Events[0].Attrs["k"].Num != 1 {
+		t.Error("clone shares attribute maps")
+	}
+	if log.Traces[0].Events[0].Class == "zz" {
+		t.Error("clone shares event slices")
+	}
+}

@@ -1,0 +1,189 @@
+package eventlog
+
+import (
+	"gecco/internal/bitset"
+)
+
+// Index is an interned, read-only view of a Log. Event classes are mapped to
+// dense integer ids so that groups of classes can be represented as bit sets
+// and traces as int slices. All of GECCO's inner loops operate on an Index.
+type Index struct {
+	Log     *Log
+	Classes []string       // id -> class name, sorted
+	ClassID map[string]int // class name -> id
+
+	// Seqs[t][j] is the class id of the j-th event of trace t.
+	Seqs [][]int
+
+	// ClassTraces[c] is the set of trace indices containing class c, used
+	// for the occurs() co-occurrence check of Algorithms 1 and 2.
+	ClassTraces []bitset.Set
+
+	// ClassFreq[c] is the total number of events of class c.
+	ClassFreq []int
+
+	// Variant compaction: VariantSeqs holds the distinct class-id
+	// sequences, VariantCount their trace multiplicities, and TraceVariant
+	// maps each trace to its variant. Computations that depend only on
+	// control flow (notably the distance measure) iterate variants instead
+	// of traces, which is a large win on logs with few variants.
+	VariantSeqs  [][]int
+	VariantCount []int
+	TraceVariant []int
+
+	// VariantClasses[v] is the set of class ids occurring in variant v.
+	VariantClasses []bitset.Set
+}
+
+// NewIndex builds an Index for the log.
+func NewIndex(l *Log) *Index {
+	classes := l.Classes()
+	id := make(map[string]int, len(classes))
+	for i, c := range classes {
+		id[c] = i
+	}
+	idx := &Index{
+		Log:         l,
+		Classes:     classes,
+		ClassID:     id,
+		Seqs:        make([][]int, len(l.Traces)),
+		ClassTraces: make([]bitset.Set, len(classes)),
+		ClassFreq:   make([]int, len(classes)),
+	}
+	for c := range classes {
+		idx.ClassTraces[c] = bitset.New(len(l.Traces))
+	}
+	idx.TraceVariant = make([]int, len(l.Traces))
+	variantID := make(map[string]int)
+	for t := range l.Traces {
+		ev := l.Traces[t].Events
+		seq := make([]int, len(ev))
+		key := make([]byte, 0, len(ev)*2)
+		for j := range ev {
+			c := id[ev[j].Class]
+			seq[j] = c
+			idx.ClassTraces[c].Add(t)
+			idx.ClassFreq[c]++
+			key = append(key, byte(c), byte(c>>8))
+		}
+		idx.Seqs[t] = seq
+		v, ok := variantID[string(key)]
+		if !ok {
+			v = len(idx.VariantSeqs)
+			variantID[string(key)] = v
+			idx.VariantSeqs = append(idx.VariantSeqs, seq)
+			idx.VariantCount = append(idx.VariantCount, 0)
+			present := bitset.New(len(classes))
+			for _, c := range seq {
+				present.Add(c)
+			}
+			idx.VariantClasses = append(idx.VariantClasses, present)
+		}
+		idx.VariantCount[v]++
+		idx.TraceVariant[t] = v
+	}
+	return idx
+}
+
+// NumClasses returns the size of the class universe.
+func (x *Index) NumClasses() int { return len(x.Classes) }
+
+// NumTraces returns the number of traces.
+func (x *Index) NumTraces() int { return len(x.Seqs) }
+
+// Event returns the original event at position pos of trace t.
+func (x *Index) Event(t, pos int) *Event { return &x.Log.Traces[t].Events[pos] }
+
+// Occurs reports whether all classes of g co-occur in at least one trace
+// (the occurs(g, L) predicate of Algorithms 1 and 2).
+func (x *Index) Occurs(g bitset.Set) bool {
+	first := g.Min()
+	if first < 0 {
+		return false
+	}
+	acc := x.ClassTraces[first].Clone()
+	ok := true
+	g.ForEach(func(c int) bool {
+		if c == first {
+			return true
+		}
+		acc = acc.Intersect(x.ClassTraces[c])
+		if acc.IsEmpty() {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok && !acc.IsEmpty()
+}
+
+// CoTraces returns the set of trace indices in which all classes of g occur.
+func (x *Index) CoTraces(g bitset.Set) bitset.Set {
+	first := g.Min()
+	if first < 0 {
+		return bitset.New(x.NumTraces())
+	}
+	acc := x.ClassTraces[first].Clone()
+	g.ForEach(func(c int) bool {
+		if c != first {
+			acc = acc.Intersect(x.ClassTraces[c])
+		}
+		return !acc.IsEmpty()
+	})
+	return acc
+}
+
+// AnyTraces returns the set of trace indices in which at least one class of
+// g occurs; these are the traces that can contain instances of g.
+func (x *Index) AnyTraces(g bitset.Set) bitset.Set {
+	acc := bitset.New(x.NumTraces())
+	g.ForEach(func(c int) bool {
+		acc = acc.Union(x.ClassTraces[c])
+		return true
+	})
+	return acc
+}
+
+// GroupNames maps a class-id set to the sorted class names it contains.
+func (x *Index) GroupNames(g bitset.Set) []string {
+	out := make([]string, 0, g.Len())
+	g.ForEach(func(c int) bool {
+		out = append(out, x.Classes[c])
+		return true
+	})
+	return out
+}
+
+// GroupFromNames builds a class-id set from class names; unknown names are
+// ignored and reported via the second return value.
+func (x *Index) GroupFromNames(names []string) (bitset.Set, []string) {
+	g := bitset.New(x.NumClasses())
+	var unknown []string
+	for _, n := range names {
+		if id, ok := x.ClassID[n]; ok {
+			g.Add(id)
+		} else {
+			unknown = append(unknown, n)
+		}
+	}
+	return g, unknown
+}
+
+// ClassAttrValues returns, for each class id, the set of distinct values of
+// the named attribute over that class's events (the class-level attribute
+// view used by class-based constraints such as |g.origin| <= 1).
+func (x *Index) ClassAttrValues(attr string) []map[string]struct{} {
+	out := make([]map[string]struct{}, x.NumClasses())
+	for c := range out {
+		out[c] = make(map[string]struct{})
+	}
+	for t := range x.Log.Traces {
+		ev := x.Log.Traces[t].Events
+		for j := range ev {
+			if v, ok := ev[j].Attrs[attr]; ok {
+				out[x.Seqs[t][j]][v.AsString()] = struct{}{}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package eventlog
+
+import (
+	"testing"
+)
+
+func indexedLog() *Index {
+	mk := func(classes ...string) Trace {
+		tr := Trace{ID: "t"}
+		for _, c := range classes {
+			tr.Events = append(tr.Events, Event{Class: c})
+		}
+		return tr
+	}
+	return NewIndex(&Log{Traces: []Trace{
+		mk("a", "b", "c"),
+		mk("a", "c"),
+		mk("a", "b", "c"),
+		mk("d"),
+	}})
+}
+
+func TestIndexBasics(t *testing.T) {
+	x := indexedLog()
+	if x.NumClasses() != 4 || x.NumTraces() != 4 {
+		t.Fatalf("classes=%d traces=%d", x.NumClasses(), x.NumTraces())
+	}
+	if x.Classes[x.ClassID["b"]] != "b" {
+		t.Fatal("class id mapping broken")
+	}
+	if x.ClassFreq[x.ClassID["a"]] != 3 {
+		t.Fatalf("freq(a) = %d", x.ClassFreq[x.ClassID["a"]])
+	}
+	if got := x.Event(0, 1).Class; got != "b" {
+		t.Fatalf("Event(0,1) = %q", got)
+	}
+}
+
+func TestOccursAndCoTraces(t *testing.T) {
+	x := indexedLog()
+	ab, _ := x.GroupFromNames([]string{"a", "b"})
+	if !x.Occurs(ab) {
+		t.Error("a and b co-occur")
+	}
+	if got := x.CoTraces(ab).Len(); got != 2 {
+		t.Errorf("CoTraces(a,b) = %d, want 2", got)
+	}
+	ad, _ := x.GroupFromNames([]string{"a", "d"})
+	if x.Occurs(ad) {
+		t.Error("a and d never co-occur")
+	}
+	if !x.CoTraces(ad).IsEmpty() {
+		t.Error("CoTraces(a,d) should be empty")
+	}
+	empty, _ := x.GroupFromNames(nil)
+	if x.Occurs(empty) {
+		t.Error("empty group cannot occur")
+	}
+}
+
+func TestAnyTraces(t *testing.T) {
+	x := indexedLog()
+	bd, _ := x.GroupFromNames([]string{"b", "d"})
+	if got := x.AnyTraces(bd).Len(); got != 3 {
+		t.Fatalf("AnyTraces(b,d) = %d, want 3", got)
+	}
+}
+
+func TestGroupNamesRoundTrip(t *testing.T) {
+	x := indexedLog()
+	g, unknown := x.GroupFromNames([]string{"a", "c", "zzz"})
+	if len(unknown) != 1 || unknown[0] != "zzz" {
+		t.Fatalf("unknown = %v", unknown)
+	}
+	names := x.GroupNames(g)
+	if len(names) != 2 || names[0] != "a" || names[1] != "c" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestClassAttrValues(t *testing.T) {
+	log := &Log{Traces: []Trace{{ID: "1", Events: []Event{
+		{Class: "a", Attrs: map[string]Value{"role": String("x")}},
+		{Class: "a", Attrs: map[string]Value{"role": String("y")}},
+		{Class: "b", Attrs: map[string]Value{"role": String("x")}},
+		{Class: "c"},
+	}}}}
+	x := NewIndex(log)
+	vals := x.ClassAttrValues("role")
+	if len(vals[x.ClassID["a"]]) != 2 {
+		t.Errorf("a has %d role values, want 2", len(vals[x.ClassID["a"]]))
+	}
+	if len(vals[x.ClassID["b"]]) != 1 {
+		t.Errorf("b has %d role values, want 1", len(vals[x.ClassID["b"]]))
+	}
+	if len(vals[x.ClassID["c"]]) != 0 {
+		t.Errorf("c has %d role values, want 0", len(vals[x.ClassID["c"]]))
+	}
+}
+
+func TestVariantCompaction(t *testing.T) {
+	x := indexedLog()
+	if len(x.VariantSeqs) != 3 {
+		t.Fatalf("variants = %d, want 3", len(x.VariantSeqs))
+	}
+	// Multiplicities sum to the trace count.
+	total := 0
+	for _, c := range x.VariantCount {
+		total += c
+	}
+	if total != 4 {
+		t.Fatalf("variant counts sum to %d, want 4", total)
+	}
+	// Trace 0 and trace 2 share a variant; trace 1 does not.
+	if x.TraceVariant[0] != x.TraceVariant[2] {
+		t.Error("identical traces got different variants")
+	}
+	if x.TraceVariant[0] == x.TraceVariant[1] {
+		t.Error("different traces share a variant")
+	}
+	// Variant class sets match the sequences.
+	for v, seq := range x.VariantSeqs {
+		for _, c := range seq {
+			if !x.VariantClasses[v].Contains(c) {
+				t.Fatalf("variant %d class set misses class %d", v, c)
+			}
+		}
+	}
+}

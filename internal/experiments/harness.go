@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"time"
+
+	"gecco/internal/baselines"
+	"gecco/internal/candidates"
+	"gecco/internal/constraints"
+	"gecco/internal/core"
+	"gecco/internal/discovery"
+	"gecco/internal/eventlog"
+	"gecco/internal/instances"
+	"gecco/internal/metrics"
+)
+
+// Options tunes the harness; zero values pick defaults sized for a laptop
+// run (each abstraction problem gets a bounded candidate budget, mirroring
+// the paper's 5-hour timeout after which GECCO continues with the
+// candidates found so far).
+type Options struct {
+	MaxChecks     int           // candidate budget per problem (default 30000)
+	SolverTimeout time.Duration // Step 2 cap per problem (default 10s)
+	Logs          []*eventlog.Log
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxChecks == 0 {
+		o.MaxChecks = 12000
+	}
+	if o.SolverTimeout == 0 {
+		o.SolverTimeout = 3 * time.Second
+	}
+	return o
+}
+
+// Measures are the §VI-A evaluation measures for one abstraction problem.
+type Measures struct {
+	Applicable bool
+	Solved     bool
+	SRed       float64 // size reduction 1 - |G|/|C_L|
+	CRed       float64 // control-flow complexity reduction
+	Sil        float64 // silhouette coefficient
+	Seconds    float64 // wall-clock runtime
+}
+
+// evaluate scores a finished run against the original log.
+func evaluate(log *eventlog.Log, res *core.Result, elapsed time.Duration) Measures {
+	m := Measures{Applicable: true, Seconds: elapsed.Seconds()}
+	if res == nil || !res.Feasible {
+		return m
+	}
+	x := eventlog.NewIndex(log)
+	m.Solved = true
+	m.SRed = metrics.SizeReduction(len(res.Grouping.Groups), x.NumClasses())
+	m.CRed = metrics.ComplexityReduction(log, res.Abstracted, discovery.Options{})
+	m.Sil = metrics.Silhouette(x, res.Grouping.Groups)
+	return m
+}
+
+// RunProblem solves one abstraction problem (log × set × configuration) and
+// scores it.
+func RunProblem(log *eventlog.Log, id SetID, mode core.Mode, opts Options) Measures {
+	opts = opts.withDefaults()
+	x := eventlog.NewIndex(log)
+	set, ok := BuildSet(id, x)
+	if !ok {
+		return Measures{}
+	}
+	cfg := core.Config{
+		Mode:          mode,
+		Budget:        candidates.Budget{MaxChecks: opts.MaxChecks},
+		SolverTimeout: opts.SolverTimeout,
+	}
+	start := time.Now()
+	res, err := core.Run(log, set, cfg)
+	elapsed := time.Since(start)
+	if err != nil {
+		return Measures{Applicable: true, Seconds: elapsed.Seconds()}
+	}
+	return evaluate(log, res, elapsed)
+}
+
+// aggregate averages measures over applicable problems; SRed/CRed/Sil are
+// averaged over solved problems only, as in the paper's tables.
+type aggregate struct {
+	applicable, solved         int
+	sred, cred, sil, secSolved float64
+}
+
+func (a *aggregate) add(m Measures) {
+	if !m.Applicable {
+		return
+	}
+	a.applicable++
+	if !m.Solved {
+		return
+	}
+	a.solved++
+	a.sred += m.SRed
+	a.cred += m.CRed
+	a.sil += m.Sil
+	a.secSolved += m.Seconds
+}
+
+// Row is an aggregated result row for any of the tables.
+type Row struct {
+	Label   string
+	Solved  float64
+	SRed    float64
+	CRed    float64
+	Sil     float64
+	Seconds float64
+	N       int // applicable problems
+}
+
+func (a *aggregate) row(label string) Row {
+	r := Row{Label: label, N: a.applicable}
+	if a.applicable > 0 {
+		r.Solved = float64(a.solved) / float64(a.applicable)
+	}
+	if a.solved > 0 {
+		n := float64(a.solved)
+		r.SRed = a.sred / n
+		r.CRed = a.cred / n
+		r.Sil = a.sil / n
+		r.Seconds = a.secSolved / n
+	}
+	return r
+}
+
+// Table5 runs the Exh configuration per constraint set (paper Table V).
+func Table5(opts Options) []Row {
+	opts = opts.withDefaults()
+	var rows []Row
+	for _, id := range AllSets() {
+		agg := &aggregate{}
+		for _, log := range opts.Logs {
+			agg.add(RunProblem(log, id, core.Exhaustive, opts))
+		}
+		rows = append(rows, agg.row(string(id)))
+	}
+	return rows
+}
+
+// Table6 runs the three configurations over the core constraint sets
+// (paper Table VI).
+func Table6(opts Options) []Row {
+	opts = opts.withDefaults()
+	modes := []core.Mode{core.Exhaustive, core.DFGUnbounded, core.DFGBeam}
+	var rows []Row
+	for _, mode := range modes {
+		agg := &aggregate{}
+		for _, id := range CoreSets() {
+			for _, log := range opts.Logs {
+				agg.add(RunProblem(log, id, mode, opts))
+			}
+		}
+		rows = append(rows, agg.row(mode.String()))
+	}
+	return rows
+}
+
+// Table7 runs the baseline comparisons (paper Table VII): BL_Q vs DFG∞ on
+// BL1–BL3, BL_P vs Exh on BL4, BL_G vs DFGk on A, M, N.
+func Table7(opts Options) []Row {
+	opts = opts.withDefaults()
+	var rows []Row
+
+	// BL[1-3]: DFG∞ vs graph querying.
+	geccoQ, blq := &aggregate{}, &aggregate{}
+	for _, id := range []SetID{SetBL1, SetBL2, SetBL3} {
+		for _, log := range opts.Logs {
+			geccoQ.add(RunProblem(log, id, core.DFGUnbounded, opts))
+			blq.add(runBaselineQ(log, id, opts))
+		}
+	}
+	rows = append(rows, withLabel(geccoQ.row("BL[1-3] DFG∞"), "BL[1-3] DFG∞"))
+	rows = append(rows, withLabel(blq.row("BL[1-3] BL_Q"), "BL[1-3] BL_Q"))
+
+	// BL4: Exh vs spectral partitioning.
+	geccoP, blp := &aggregate{}, &aggregate{}
+	for _, log := range opts.Logs {
+		geccoP.add(RunProblem(log, SetBL4, core.Exhaustive, opts))
+		blp.add(runBaselineP(log, opts))
+	}
+	rows = append(rows, withLabel(geccoP.row(""), "BL4 Exh"))
+	rows = append(rows, withLabel(blp.row(""), "BL4 BL_P"))
+
+	// A, M, N: DFGk vs greedy.
+	geccoG, blg := &aggregate{}, &aggregate{}
+	for _, id := range []SetID{SetA, SetM, SetN} {
+		for _, log := range opts.Logs {
+			geccoG.add(RunProblem(log, id, core.DFGBeam, opts))
+			blg.add(runBaselineG(log, id, opts))
+		}
+	}
+	rows = append(rows, withLabel(geccoG.row(""), "A,M,N DFGk"))
+	rows = append(rows, withLabel(blg.row(""), "A,M,N BL_G"))
+	return rows
+}
+
+func withLabel(r Row, label string) Row {
+	r.Label = label
+	return r
+}
+
+func runBaselineQ(log *eventlog.Log, id SetID, opts Options) Measures {
+	x := eventlog.NewIndex(log)
+	set, ok := BuildSet(id, x)
+	if !ok {
+		return Measures{}
+	}
+	start := time.Now()
+	res, err := baselines.BLQ(log, set, core.Config{SolverTimeout: opts.SolverTimeout})
+	elapsed := time.Since(start)
+	if err != nil {
+		return Measures{Applicable: true, Seconds: elapsed.Seconds()}
+	}
+	return evaluate(log, res, elapsed)
+}
+
+func runBaselineP(log *eventlog.Log, opts Options) Measures {
+	x := eventlog.NewIndex(log)
+	n := x.NumClasses() / 2
+	if n < 1 {
+		n = 1
+	}
+	start := time.Now()
+	res, err := baselines.BLP(log, n, instances.SplitOnRepeat)
+	elapsed := time.Since(start)
+	if err != nil {
+		return Measures{Applicable: true, Seconds: elapsed.Seconds()}
+	}
+	return evaluate(log, res, elapsed)
+}
+
+func runBaselineG(log *eventlog.Log, id SetID, opts Options) Measures {
+	x := eventlog.NewIndex(log)
+	set, ok := BuildSet(id, x)
+	if !ok {
+		return Measures{}
+	}
+	// BL_G cannot enforce grouping constraints; drop them (as the paper
+	// notes) so the comparison stays on A/M/N which have none anyway.
+	set2 := constraints.NewSet()
+	for _, c := range set.Class {
+		set2.Add(c)
+	}
+	for _, c := range set.Instance {
+		set2.Add(c)
+	}
+	start := time.Now()
+	res, err := baselines.BLG(log, set2, instances.SplitOnRepeat)
+	elapsed := time.Since(start)
+	if err != nil {
+		return Measures{Applicable: true, Seconds: elapsed.Seconds()}
+	}
+	return evaluate(log, res, elapsed)
+}

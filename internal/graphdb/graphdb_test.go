@@ -1,0 +1,199 @@
+package graphdb
+
+import (
+	"sort"
+	"testing"
+)
+
+// diamond builds a→b→d and a→c→d with org properties.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	a := g.AddNode("Class", map[string]string{"name": "a", "org": "X"})
+	b := g.AddNode("Class", map[string]string{"name": "b", "org": "X"})
+	c := g.AddNode("Class", map[string]string{"name": "c", "org": "Y"})
+	d := g.AddNode("Class", map[string]string{"name": "d", "org": "Y"})
+	for _, e := range [][2]int{{a, b}, {a, c}, {b, d}, {c, d}} {
+		if err := g.AddEdge(e[0], e[1], "DF", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func pathStrings(g *Graph, r *Result) []string {
+	var out []string
+	for _, p := range r.Paths {
+		s := ""
+		for i, id := range p {
+			if i > 0 {
+				s += ","
+			}
+			s += g.Node(id).Props["name"]
+		}
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestSimplePathEnumeration(t *testing.T) {
+	g := diamond(t)
+	r, err := g.Query("MATCH p = (a:Class)-[:DF*1..1]->(b:Class) RETURN p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pathStrings(g, r)
+	want := []string{"a,b", "a,c", "b,d", "c,d"}
+	if len(got) != len(want) {
+		t.Fatalf("paths %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("paths %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHopRangeIncludesSingletons(t *testing.T) {
+	g := diamond(t)
+	r, err := g.Query("MATCH p = (a:Class)-[:DF*0..2]->(b:Class) RETURN p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 singletons + 4 length-2 + paths a,b,d and a,c,d.
+	if len(r.Paths) != 10 {
+		t.Fatalf("got %d paths: %v", len(r.Paths), pathStrings(g, r))
+	}
+}
+
+func TestAllSameProperty(t *testing.T) {
+	g := diamond(t)
+	r, err := g.Query("MATCH p = (a:Class)-[:DF*1..2]->(b:Class) WHERE allsame(p.org) RETURN p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pathStrings(g, r)
+	want := []string{"a,b", "c,d"} // a,c and b,d mix orgs; longer paths too
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("paths %v, want %v", got, want)
+	}
+}
+
+func TestDistinctThreshold(t *testing.T) {
+	g := diamond(t)
+	r, err := g.Query("MATCH p = (a:Class)-[:DF*2..2]->(b:Class) WHERE distinct(p.org) <= 2 RETURN p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Paths) != 2 { // a,b,d and a,c,d
+		t.Fatalf("got %v", pathStrings(g, r))
+	}
+}
+
+func TestContainsAndNot(t *testing.T) {
+	g := diamond(t)
+	r, err := g.Query("MATCH p = (a:Class)-[:DF*1..2]->(b:Class) WHERE NOT (contains(p, 'a') AND contains(p, 'd')) RETURN p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range pathStrings(g, r) {
+		if s == "a,b,d" || s == "a,c,d" {
+			t.Fatalf("cannot-link path %q not filtered", s)
+		}
+	}
+}
+
+func TestOrCondition(t *testing.T) {
+	g := diamond(t)
+	r, err := g.Query("MATCH p = (a:Class)-[:DF*1..1]->(b:Class) WHERE contains(p, 'b') OR contains(p, 'c') RETURN p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Paths) != 4 {
+		t.Fatalf("got %v", pathStrings(g, r))
+	}
+}
+
+func TestLengthPredicate(t *testing.T) {
+	g := diamond(t)
+	r, err := g.Query("MATCH p = (a:Class)-[:DF*0..2]->(b:Class) WHERE length(p) >= 3 RETURN p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Paths) != 2 {
+		t.Fatalf("got %v", pathStrings(g, r))
+	}
+}
+
+func TestSimplePathsNoCycles(t *testing.T) {
+	g := New()
+	a := g.AddNode("Class", map[string]string{"name": "a"})
+	b := g.AddNode("Class", map[string]string{"name": "b"})
+	_ = g.AddEdge(a, b, "DF", 1)
+	_ = g.AddEdge(b, a, "DF", 1)
+	r, err := g.Query("MATCH p = (x:Class)-[:DF*1..5]->(y:Class) RETURN p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range r.Paths {
+		seen := map[int]bool{}
+		for _, id := range p {
+			if seen[id] {
+				t.Fatalf("path revisits node: %v", p)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestEdgeTypeFilter(t *testing.T) {
+	g := New()
+	a := g.AddNode("Class", map[string]string{"name": "a"})
+	b := g.AddNode("Class", map[string]string{"name": "b"})
+	_ = g.AddEdge(a, b, "OTHER", 1)
+	r, err := g.Query("MATCH p = (x:Class)-[:DF*1..1]->(y:Class) RETURN p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Paths) != 0 {
+		t.Fatal("edge type filter ignored")
+	}
+}
+
+func TestLabelFilter(t *testing.T) {
+	g := New()
+	a := g.AddNode("Class", map[string]string{"name": "a"})
+	o := g.AddNode("Other", map[string]string{"name": "o"})
+	_ = g.AddEdge(a, o, "DF", 1)
+	r, err := g.Query("MATCH p = (x:Class)-[:DF*1..1]->(y:Class) RETURN p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Paths) != 0 {
+		t.Fatal("destination label filter ignored")
+	}
+}
+
+func TestQuerySyntaxErrors(t *testing.T) {
+	g := diamond(t)
+	bad := []string{
+		"",
+		"MATCH (a)-[:DF*1..2]->(b)",              // missing RETURN
+		"MATCH p = (a)-[:DF*3..1]->(b) RETURN p", // inverted range
+		"MATCH p = (a)-[:DF*1..2]->(b) WHERE bogus(p) RETURN p",  // unknown predicate
+		"MATCH p = (a)-[:DF*1..2]->(b) RETURN p trailing tokens", // trailing
+	}
+	for _, q := range bad {
+		if _, err := g.Query(q); err == nil {
+			t.Errorf("Query(%q) should fail", q)
+		}
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New()
+	if err := g.AddEdge(0, 1, "DF", 1); err == nil {
+		t.Fatal("expected range error")
+	}
+}

@@ -1,0 +1,432 @@
+package graphdb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// queryAST is a parsed query.
+type queryAST struct {
+	srcLabel, dstLabel string
+	edgeType           string
+	minHops, maxHops   int
+	where              cond
+}
+
+// cond is a WHERE condition over a path.
+type cond interface {
+	eval(g *Graph, path []int) bool
+}
+
+type andCond struct{ l, r cond }
+
+func (c andCond) eval(g *Graph, p []int) bool { return c.l.eval(g, p) && c.r.eval(g, p) }
+
+type orCond struct{ l, r cond }
+
+func (c orCond) eval(g *Graph, p []int) bool { return c.l.eval(g, p) || c.r.eval(g, p) }
+
+type notCond struct{ inner cond }
+
+func (c notCond) eval(g *Graph, p []int) bool { return !c.inner.eval(g, p) }
+
+// distinctCond: distinct(p.prop) op n — number of distinct property values
+// along the path. Nodes lacking the property contribute nothing.
+type distinctCond struct {
+	prop string
+	op   string
+	n    int
+}
+
+func (c distinctCond) eval(g *Graph, p []int) bool {
+	seen := make(map[string]struct{})
+	for _, id := range p {
+		if v, ok := g.nodes[id].Props[c.prop]; ok {
+			seen[v] = struct{}{}
+		}
+	}
+	return cmpInt(len(seen), c.op, c.n)
+}
+
+// allSameCond: allsame(p.prop) — at most one distinct value along the path.
+type allSameCond struct{ prop string }
+
+func (c allSameCond) eval(g *Graph, p []int) bool {
+	return distinctCond{prop: c.prop, op: "<=", n: 1}.eval(g, p)
+}
+
+// containsCond: contains(p, 'name') — some node's "name" property equals
+// the literal.
+type containsCond struct{ name string }
+
+func (c containsCond) eval(g *Graph, p []int) bool {
+	for _, id := range p {
+		if g.nodes[id].Props["name"] == c.name {
+			return true
+		}
+	}
+	return false
+}
+
+// lengthCond: length(p) op n — number of nodes on the path.
+type lengthCond struct {
+	op string
+	n  int
+}
+
+func (c lengthCond) eval(_ *Graph, p []int) bool { return cmpInt(len(p), c.op, c.n) }
+
+func cmpInt(v int, op string, n int) bool {
+	switch op {
+	case "<=":
+		return v <= n
+	case ">=":
+		return v >= n
+	case "<":
+		return v < n
+	case ">":
+		return v > n
+	case "=", "==":
+		return v == n
+	}
+	return false
+}
+
+// --- Lexer -----------------------------------------------------------------
+
+type token struct {
+	kind string // ident, num, str, sym
+	text string
+}
+
+func lex(s string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(s) {
+		c := rune(s[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(s) && (unicode.IsLetter(rune(s[j])) || unicode.IsDigit(rune(s[j])) || s[j] == '_') {
+				j++
+			}
+			out = append(out, token{"ident", s[i:j]})
+			i = j
+		case unicode.IsDigit(c):
+			j := i
+			for j < len(s) && unicode.IsDigit(rune(s[j])) {
+				j++
+			}
+			out = append(out, token{"num", s[i:j]})
+			i = j
+		case c == '\'':
+			j := i + 1
+			for j < len(s) && s[j] != '\'' {
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("graphdb: unterminated string at %d", i)
+			}
+			out = append(out, token{"str", s[i+1 : j]})
+			i = j + 1
+		default:
+			// Multi-char symbols first.
+			for _, sym := range []string{"<=", ">=", "==", "->", ".."} {
+				if strings.HasPrefix(s[i:], sym) {
+					out = append(out, token{"sym", sym})
+					i += len(sym)
+					goto next
+				}
+			}
+			out = append(out, token{"sym", string(c)})
+			i++
+		next:
+		}
+	}
+	return out, nil
+}
+
+// --- Parser ----------------------------------------------------------------
+
+type qparser struct {
+	toks []token
+	pos  int
+}
+
+func (p *qparser) peek() token {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return token{}
+}
+
+func (p *qparser) next() token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *qparser) expectSym(s string) error {
+	t := p.next()
+	if t.kind != "sym" || t.text != s {
+		return fmt.Errorf("graphdb: expected %q, got %q", s, t.text)
+	}
+	return nil
+}
+
+func (p *qparser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != "ident" || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("graphdb: expected %s, got %q", kw, t.text)
+	}
+	return nil
+}
+
+// parseQuery parses the full MATCH/WHERE/RETURN form.
+func parseQuery(s string) (*queryAST, error) {
+	toks, err := lex(s)
+	if err != nil {
+		return nil, err
+	}
+	p := &qparser{toks: toks}
+	q := &queryAST{minHops: 1, maxHops: 1}
+	if err := p.expectKeyword("MATCH"); err != nil {
+		return nil, err
+	}
+	// Optional "p =" binding.
+	if p.peek().kind == "ident" && p.pos+1 < len(p.toks) && p.toks[p.pos+1].text == "=" {
+		p.next()
+		p.next()
+	}
+	// Source node: (a[:Label])
+	if q.srcLabel, err = p.parseNode(); err != nil {
+		return nil, err
+	}
+	// Edge: -[:TYPE*min..max]->
+	if err := p.parseEdge(q); err != nil {
+		return nil, err
+	}
+	// Destination node.
+	if q.dstLabel, err = p.parseNode(); err != nil {
+		return nil, err
+	}
+	// Optional WHERE.
+	if t := p.peek(); t.kind == "ident" && strings.EqualFold(t.text, "WHERE") {
+		p.next()
+		q.where, err = p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("RETURN"); err != nil {
+		return nil, err
+	}
+	p.next() // return target (p / nodes) — single token, unchecked
+	if p.pos < len(p.toks) {
+		return nil, fmt.Errorf("graphdb: trailing tokens after RETURN")
+	}
+	return q, nil
+}
+
+func (p *qparser) parseNode() (string, error) {
+	if err := p.expectSym("("); err != nil {
+		return "", err
+	}
+	label := ""
+	if p.peek().kind == "ident" {
+		p.next() // variable name, unused
+	}
+	if p.peek().text == ":" {
+		p.next()
+		t := p.next()
+		if t.kind != "ident" {
+			return "", fmt.Errorf("graphdb: expected label, got %q", t.text)
+		}
+		label = t.text
+	}
+	return label, p.expectSym(")")
+}
+
+func (p *qparser) parseEdge(q *queryAST) error {
+	if err := p.expectSym("-"); err != nil {
+		return err
+	}
+	if err := p.expectSym("["); err != nil {
+		return err
+	}
+	if p.peek().text == ":" {
+		p.next()
+		t := p.next()
+		if t.kind != "ident" {
+			return fmt.Errorf("graphdb: expected edge type, got %q", t.text)
+		}
+		q.edgeType = t.text
+	}
+	if p.peek().text == "*" {
+		p.next()
+		lo := p.next()
+		if lo.kind != "num" {
+			return fmt.Errorf("graphdb: expected hop lower bound, got %q", lo.text)
+		}
+		q.minHops, _ = strconv.Atoi(lo.text)
+		if err := p.expectSym(".."); err != nil {
+			return err
+		}
+		hi := p.next()
+		if hi.kind != "num" {
+			return fmt.Errorf("graphdb: expected hop upper bound, got %q", hi.text)
+		}
+		q.maxHops, _ = strconv.Atoi(hi.text)
+		if q.minHops > q.maxHops {
+			return fmt.Errorf("graphdb: hop range %d..%d inverted", q.minHops, q.maxHops)
+		}
+	}
+	if err := p.expectSym("]"); err != nil {
+		return err
+	}
+	return p.expectSym("->")
+}
+
+func (p *qparser) parseOr() (cond, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == "ident" && strings.EqualFold(t.text, "OR") {
+			p.next()
+			right, err := p.parseAnd()
+			if err != nil {
+				return nil, err
+			}
+			left = orCond{left, right}
+		} else {
+			return left, nil
+		}
+	}
+}
+
+func (p *qparser) parseAnd() (cond, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == "ident" && strings.EqualFold(t.text, "AND") {
+			p.next()
+			right, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = andCond{left, right}
+		} else {
+			return left, nil
+		}
+	}
+}
+
+func (p *qparser) parseTerm() (cond, error) {
+	t := p.peek()
+	switch {
+	case t.kind == "sym" && t.text == "(":
+		p.next()
+		c, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		return c, p.expectSym(")")
+	case t.kind == "ident" && strings.EqualFold(t.text, "NOT"):
+		p.next()
+		inner, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		return notCond{inner}, nil
+	case t.kind == "ident":
+		return p.parsePredicate()
+	}
+	return nil, fmt.Errorf("graphdb: unexpected token %q in condition", t.text)
+}
+
+func (p *qparser) parsePredicate() (cond, error) {
+	fn := p.next().text
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	switch strings.ToLower(fn) {
+	case "allsame":
+		prop, err := p.parsePathProp()
+		if err != nil {
+			return nil, err
+		}
+		return allSameCond{prop}, p.expectSym(")")
+	case "distinct":
+		prop, err := p.parsePathProp()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		op, n, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		return distinctCond{prop, op, n}, nil
+	case "contains":
+		p.next() // path variable
+		if err := p.expectSym(","); err != nil {
+			return nil, err
+		}
+		lit := p.next()
+		if lit.kind != "str" {
+			return nil, fmt.Errorf("graphdb: contains expects a quoted name, got %q", lit.text)
+		}
+		return containsCond{lit.text}, p.expectSym(")")
+	case "length":
+		p.next() // path variable
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		op, n, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		return lengthCond{op, n}, nil
+	}
+	return nil, fmt.Errorf("graphdb: unknown predicate %q", fn)
+}
+
+// parsePathProp parses "p.prop" and returns the property name.
+func (p *qparser) parsePathProp() (string, error) {
+	if t := p.next(); t.kind != "ident" {
+		return "", fmt.Errorf("graphdb: expected path variable, got %q", t.text)
+	}
+	if err := p.expectSym("."); err != nil {
+		return "", err
+	}
+	t := p.next()
+	if t.kind != "ident" {
+		return "", fmt.Errorf("graphdb: expected property name, got %q", t.text)
+	}
+	return t.text, nil
+}
+
+func (p *qparser) parseCmp() (string, int, error) {
+	op := p.next()
+	if op.kind != "sym" {
+		return "", 0, fmt.Errorf("graphdb: expected comparison, got %q", op.text)
+	}
+	num := p.next()
+	if num.kind != "num" {
+		return "", 0, fmt.Errorf("graphdb: expected number, got %q", num.text)
+	}
+	n, err := strconv.Atoi(num.text)
+	return op.text, n, err
+}

@@ -1,0 +1,156 @@
+package instances
+
+import (
+	"testing"
+
+	"gecco/internal/bitset"
+	"gecco/internal/eventlog"
+	"gecco/internal/procgen"
+)
+
+func indexed(t *testing.T) *eventlog.Index {
+	t.Helper()
+	return eventlog.NewIndex(procgen.RunningExampleTable1())
+}
+
+func group(x *eventlog.Index, names ...string) bitset.Set {
+	g, unknown := x.GroupFromNames(names)
+	if len(unknown) > 0 {
+		panic("unknown classes in test group")
+	}
+	return g
+}
+
+// §IV-A: inst(σ1, g_clrk1) = {⟨rcp, ckc⟩}.
+func TestSingleInstancePerTrace(t *testing.T) {
+	x := indexed(t)
+	g := group(x, procgen.RCP, procgen.CKC, procgen.CKT)
+	insts := OfTrace(x, 0, g, SplitOnRepeat)
+	if len(insts) != 1 {
+		t.Fatalf("got %d instances, want 1", len(insts))
+	}
+	if got := insts[0].Positions; len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("positions %v, want [0 1]", got)
+	}
+}
+
+// §IV-A: inst(σ4, g_clrk1) = {⟨rcp, ckc⟩, ⟨rcp, ckt⟩} via repeat splitting.
+func TestSplitOnRepeatSigma4(t *testing.T) {
+	x := indexed(t)
+	g := group(x, procgen.RCP, procgen.CKC, procgen.CKT)
+	insts := OfTrace(x, 3, g, SplitOnRepeat)
+	if len(insts) != 2 {
+		t.Fatalf("got %d instances, want 2", len(insts))
+	}
+	first, second := insts[0], insts[1]
+	if first.Positions[0] != 0 || first.Positions[1] != 1 {
+		t.Errorf("first instance positions %v, want [0 1]", first.Positions)
+	}
+	if second.Positions[0] != 3 || second.Positions[1] != 4 {
+		t.Errorf("second instance positions %v, want [3 4]", second.Positions)
+	}
+}
+
+func TestWholeTracePolicy(t *testing.T) {
+	x := indexed(t)
+	g := group(x, procgen.RCP, procgen.CKC, procgen.CKT)
+	insts := OfTrace(x, 3, g, WholeTrace)
+	if len(insts) != 1 {
+		t.Fatalf("got %d instances, want 1", len(insts))
+	}
+	if len(insts[0].Positions) != 4 {
+		t.Fatalf("got %d events, want 4", len(insts[0].Positions))
+	}
+}
+
+func TestNoInstanceForAbsentGroup(t *testing.T) {
+	x := indexed(t)
+	g := group(x, procgen.REJ)
+	if insts := OfTrace(x, 0, g, SplitOnRepeat); len(insts) != 0 {
+		t.Fatalf("σ1 has no rej, got %d instances", len(insts))
+	}
+}
+
+// Paper example: in ⟨a,b,c,d,e⟩, grouping a and e yields 3 interruptions.
+func TestInterrupts(t *testing.T) {
+	log := &eventlog.Log{Traces: []eventlog.Trace{{ID: "t", Events: []eventlog.Event{
+		{Class: "a"}, {Class: "b"}, {Class: "c"}, {Class: "d"}, {Class: "e"},
+	}}}}
+	x := eventlog.NewIndex(log)
+	g := group(x, "a", "e")
+	insts := OfTrace(x, 0, g, SplitOnRepeat)
+	if len(insts) != 1 {
+		t.Fatalf("got %d instances", len(insts))
+	}
+	if got := Interrupts(&insts[0]); got != 3 {
+		t.Fatalf("Interrupts = %d, want 3", got)
+	}
+}
+
+func TestMissing(t *testing.T) {
+	x := indexed(t)
+	g := group(x, procgen.RCP, procgen.CKC, procgen.CKT)
+	insts := OfTrace(x, 0, g, SplitOnRepeat) // ⟨rcp, ckc⟩: ckt missing
+	if got := Missing(x, &insts[0], g); got != 1 {
+		t.Fatalf("Missing = %d, want 1", got)
+	}
+}
+
+func TestOfLogCountsAllInstances(t *testing.T) {
+	x := indexed(t)
+	g := group(x, procgen.RCP, procgen.CKC, procgen.CKT)
+	insts := OfLog(x, g, SplitOnRepeat)
+	// σ1, σ2, σ3 contribute one instance each; σ4 two.
+	if len(insts) != 5 {
+		t.Fatalf("got %d instances, want 5", len(insts))
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	x := indexed(t)
+	g := group(x, procgen.RCP, procgen.CKC, procgen.CKT)
+	insts := OfTrace(x, 3, g, WholeTrace)
+	counts := ClassCounts(x, &insts[0])
+	if counts[x.ClassID[procgen.RCP]] != 2 {
+		t.Errorf("rcp count = %d, want 2", counts[x.ClassID[procgen.RCP]])
+	}
+	if counts[x.ClassID[procgen.CKC]] != 1 {
+		t.Errorf("ckc count = %d, want 1", counts[x.ClassID[procgen.CKC]])
+	}
+}
+
+// Invariant: instances partition the projected positions, in order, and
+// each instance is class-unique under SplitOnRepeat.
+func TestSplitInvariantsOnSimulatedLog(t *testing.T) {
+	log := procgen.RunningExample(200, 7)
+	x := eventlog.NewIndex(log)
+	g := group(x, procgen.RCP, procgen.CKC, procgen.CKT, procgen.PRIO)
+	for tr := range x.Seqs {
+		insts := OfTrace(x, tr, g, SplitOnRepeat)
+		var all []int
+		for i := range insts {
+			seen := map[int]bool{}
+			for _, pos := range insts[i].Positions {
+				c := x.Seqs[tr][pos]
+				if seen[c] {
+					t.Fatalf("trace %d: class %d repeats within instance", tr, c)
+				}
+				seen[c] = true
+				all = append(all, pos)
+			}
+		}
+		// Verify the concatenation equals the projection.
+		want := 0
+		for pos, c := range x.Seqs[tr] {
+			if g.Contains(c) {
+				if want >= len(all) || all[want] != pos {
+					t.Fatalf("trace %d: projected position %d missing from instances", tr, pos)
+				}
+				want++
+			}
+		}
+		if want != len(all) {
+			t.Fatalf("trace %d: instance positions exceed projection", tr)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package linalg provides the dense linear algebra needed by the spectral
+// graph-partitioning baseline (BL_P, §VI-A): matrices, a Jacobi eigensolver
+// for symmetric matrices, and k-means clustering with deterministic
+// k-means++ seeding. It replaces the paper's use of SciPy.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// IsSymmetric reports whether the matrix equals its transpose within tol.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Mul returns m × other.
+func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
+	if m.Cols != other.Rows {
+		return nil, fmt.Errorf("linalg: shape mismatch (%dx%d)×(%dx%d)", m.Rows, m.Cols, other.Rows, other.Cols)
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < other.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * other.At(k, j)
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns m × v.
+func (m *Matrix) MulVec(v []float64) ([]float64, error) {
+	if m.Cols != len(v) {
+		return nil, fmt.Errorf("linalg: shape mismatch (%dx%d)×(%d)", m.Rows, m.Cols, len(v))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for j := 0; j < m.Cols; j++ {
+			s += m.At(i, j) * v[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// EigenResult holds an eigendecomposition, eigenvalues ascending.
+type EigenResult struct {
+	Values  []float64
+	Vectors *Matrix // column j is the eigenvector for Values[j]
+}
+
+// EigenSym computes all eigenvalues and eigenvectors of a symmetric matrix
+// with the cyclic Jacobi rotation method. It returns an error for
+// non-square or non-symmetric input.
+func EigenSym(m *Matrix) (*EigenResult, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("linalg: eigen of non-square %dx%d", m.Rows, m.Cols)
+	}
+	if !m.IsSymmetric(1e-9) {
+		return nil, fmt.Errorf("linalg: eigen of non-symmetric matrix")
+	}
+	n := m.Rows
+	a := m.Clone()
+	v := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a.At(i, j) * a.At(i, j)
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.At(p, q)
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app, aqq := a.At(p, p), a.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Rotate rows/columns p and q of a.
+				for k := 0; k < n; k++ {
+					akp, akq := a.At(k, p), a.At(k, q)
+					a.Set(k, p, c*akp-s*akq)
+					a.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := a.At(p, k), a.At(q, k)
+					a.Set(p, k, c*apk-s*aqk)
+					a.Set(q, k, s*apk+c*aqk)
+				}
+				// Accumulate rotations into v.
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	// Extract and sort eigenpairs ascending.
+	type pair struct {
+		val float64
+		col int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{a.At(i, i), i}
+	}
+	for i := 1; i < n; i++ { // insertion sort; n is small
+		for j := i; j > 0 && pairs[j].val < pairs[j-1].val; j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+	res := &EigenResult{Values: make([]float64, n), Vectors: NewMatrix(n, n)}
+	for j, p := range pairs {
+		res.Values[j] = p.val
+		for i := 0; i < n; i++ {
+			res.Vectors.Set(i, j, v.At(i, p.col))
+		}
+	}
+	return res, nil
+}
+
+// KMeans clusters the rows of points into k clusters and returns a cluster
+// index per row. Seeding is k-means++ with the given deterministic seed.
+func KMeans(points *Matrix, k int, seed int64) []int {
+	n, d := points.Rows, points.Cols
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i % max(k, 1)
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	row := func(i int) []float64 { return points.Data[i*d : (i+1)*d] }
+	dist2 := func(a, b []float64) float64 {
+		s := 0.0
+		for i := range a {
+			diff := a[i] - b[i]
+			s += diff * diff
+		}
+		return s
+	}
+	// k-means++ seeding.
+	centers := make([][]float64, 0, k)
+	centers = append(centers, append([]float64(nil), row(rng.Intn(n))...))
+	minD := make([]float64, n)
+	for len(centers) < k {
+		total := 0.0
+		for i := 0; i < n; i++ {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if d2 := dist2(row(i), c); d2 < best {
+					best = d2
+				}
+			}
+			minD[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All points coincide with centers; duplicate any point.
+			centers = append(centers, append([]float64(nil), row(rng.Intn(n))...))
+			continue
+		}
+		r := rng.Float64() * total
+		idx := 0
+		for i := 0; i < n; i++ {
+			r -= minD[i]
+			if r <= 0 {
+				idx = i
+				break
+			}
+		}
+		centers = append(centers, append([]float64(nil), row(idx)...))
+	}
+	assign := make([]int, n)
+	for iter := 0; iter < 100; iter++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for ci, c := range centers {
+				if d2 := dist2(row(i), c); d2 < bestD {
+					bestD = d2
+					best = ci
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centers; empty clusters grab the farthest point.
+		counts := make([]int, k)
+		for ci := range centers {
+			for j := range centers[ci] {
+				centers[ci][j] = 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			counts[assign[i]]++
+			for j, v := range row(i) {
+				centers[assign[i]][j] += v
+			}
+		}
+		for ci := range centers {
+			if counts[ci] == 0 {
+				copy(centers[ci], row(rng.Intn(n)))
+				continue
+			}
+			for j := range centers[ci] {
+				centers[ci][j] /= float64(counts[ci])
+			}
+		}
+	}
+	return assign
+}

@@ -1,0 +1,171 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMul(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(3, 2)
+	// a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+	vals := []float64{1, 2, 3, 4, 5, 6}
+	copy(a.Data, vals)
+	copy(b.Data, []float64{7, 8, 9, 10, 11, 12})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if math.Abs(c.Data[i]-w) > 1e-12 {
+			t.Fatalf("c = %v, want %v", c.Data, want)
+		}
+	}
+	if _, err := b.Mul(b); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{1, 2, 3, 4})
+	v, err := a.MulVec([]float64{5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 17 || v[1] != 39 {
+		t.Fatalf("v = %v", v)
+	}
+}
+
+func TestEigenSymKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	m := NewMatrix(2, 2)
+	copy(m.Data, []float64{2, 1, 1, 2})
+	e, err := EigenSym(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Values[0]-1) > 1e-9 || math.Abs(e.Values[1]-3) > 1e-9 {
+		t.Fatalf("values = %v, want [1 3]", e.Values)
+	}
+}
+
+func TestEigenRejectsNonSymmetric(t *testing.T) {
+	m := NewMatrix(2, 2)
+	copy(m.Data, []float64{1, 2, 3, 4})
+	if _, err := EigenSym(m); err == nil {
+		t.Fatal("expected error for non-symmetric input")
+	}
+}
+
+// Property: A·v = λ·v for every eigenpair of random symmetric matrices, and
+// eigenvalues are ascending.
+func TestEigenResidualRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(8)
+		m := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				m.Set(i, j, v)
+				m.Set(j, i, v)
+			}
+		}
+		e, err := EigenSym(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < n; j++ {
+			if j > 0 && e.Values[j] < e.Values[j-1]-1e-9 {
+				t.Fatalf("eigenvalues not ascending: %v", e.Values)
+			}
+			vec := make([]float64, n)
+			for i := 0; i < n; i++ {
+				vec[i] = e.Vectors.At(i, j)
+			}
+			av, _ := m.MulVec(vec)
+			for i := 0; i < n; i++ {
+				if math.Abs(av[i]-e.Values[j]*vec[i]) > 1e-6 {
+					t.Fatalf("trial %d: residual %g at (%d,%d)", trial, av[i]-e.Values[j]*vec[i], i, j)
+				}
+			}
+		}
+		// Trace preservation: sum of eigenvalues equals matrix trace.
+		trace, sum := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			trace += m.At(i, i)
+			sum += e.Values[i]
+		}
+		if math.Abs(trace-sum) > 1e-8 {
+			t.Fatalf("trace %f != eigenvalue sum %f", trace, sum)
+		}
+	}
+}
+
+func TestKMeansSeparatesObviousClusters(t *testing.T) {
+	// Two tight clusters far apart.
+	pts := NewMatrix(6, 1)
+	copy(pts.Data, []float64{0, 0.1, 0.2, 10, 10.1, 10.2})
+	assign := KMeans(pts, 2, 42)
+	if assign[0] != assign[1] || assign[1] != assign[2] {
+		t.Fatalf("first cluster split: %v", assign)
+	}
+	if assign[3] != assign[4] || assign[4] != assign[5] {
+		t.Fatalf("second cluster split: %v", assign)
+	}
+	if assign[0] == assign[3] {
+		t.Fatalf("clusters merged: %v", assign)
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := NewMatrix(20, 2)
+	for i := range pts.Data {
+		pts.Data[i] = rng.Float64()
+	}
+	a := KMeans(pts, 4, 7)
+	b := KMeans(pts, 4, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+}
+
+// Property: every requested cluster count is respected (assignments within
+// range) and all points are assigned.
+func TestQuickKMeansAssignmentsInRange(t *testing.T) {
+	f := func(raw []float64, kRaw uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		n := len(raw) / 2
+		pts := NewMatrix(n, 2)
+		copy(pts.Data, raw[:n*2])
+		for i := range pts.Data {
+			if math.IsNaN(pts.Data[i]) || math.IsInf(pts.Data[i], 0) {
+				return true
+			}
+		}
+		k := 1 + int(kRaw)%3
+		assign := KMeans(pts, k, 11)
+		if len(assign) != n {
+			return false
+		}
+		for _, a := range assign {
+			if a < 0 || a >= max(k, n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,196 @@
+// Package logfilter provides the standard event-log preprocessing
+// operations applied before abstraction and discovery: variant-frequency
+// filtering (the trace-level analogue of the paper's 80/20 DFG views),
+// time-window and attribute slicing, class projection, and deterministic
+// sampling. All functions return new logs; inputs are never mutated.
+package logfilter
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"gecco/internal/eventlog"
+)
+
+// TopVariants keeps the traces belonging to the most frequent variants
+// whose cumulative share of traces reaches fraction (e.g. 0.8 keeps the
+// variants covering 80 % of traces). Ties are broken by variant string for
+// determinism. fraction >= 1 returns a copy of the whole log.
+func TopVariants(log *eventlog.Log, fraction float64) *eventlog.Log {
+	type vc struct {
+		variant string
+		count   int
+	}
+	counts := make(map[string]int)
+	for i := range log.Traces {
+		counts[log.Traces[i].Variant()]++
+	}
+	ranked := make([]vc, 0, len(counts))
+	for v, c := range counts {
+		ranked = append(ranked, vc{v, c})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].count != ranked[j].count {
+			return ranked[i].count > ranked[j].count
+		}
+		return ranked[i].variant < ranked[j].variant
+	})
+	keep := make(map[string]bool, len(ranked))
+	cum := 0
+	for _, r := range ranked {
+		if float64(cum) >= fraction*float64(len(log.Traces)) {
+			break
+		}
+		keep[r.variant] = true
+		cum += r.count
+	}
+	out := &eventlog.Log{Name: log.Name}
+	for i := range log.Traces {
+		if keep[log.Traces[i].Variant()] {
+			out.Traces = append(out.Traces, cloneTrace(&log.Traces[i]))
+		}
+	}
+	return out
+}
+
+// MinVariantCount keeps traces whose variant occurs at least n times.
+func MinVariantCount(log *eventlog.Log, n int) *eventlog.Log {
+	counts := make(map[string]int)
+	for i := range log.Traces {
+		counts[log.Traces[i].Variant()]++
+	}
+	out := &eventlog.Log{Name: log.Name}
+	for i := range log.Traces {
+		if counts[log.Traces[i].Variant()] >= n {
+			out.Traces = append(out.Traces, cloneTrace(&log.Traces[i]))
+		}
+	}
+	return out
+}
+
+// TimeWindow keeps the traces whose first event falls in [from, to).
+// Traces without timestamps are dropped.
+func TimeWindow(log *eventlog.Log, from, to time.Time) *eventlog.Log {
+	out := &eventlog.Log{Name: log.Name}
+	for i := range log.Traces {
+		tr := &log.Traces[i]
+		if len(tr.Events) == 0 {
+			continue
+		}
+		ts, ok := tr.Events[0].Timestamp()
+		if !ok || ts.Before(from) || !ts.Before(to) {
+			continue
+		}
+		out.Traces = append(out.Traces, cloneTrace(tr))
+	}
+	return out
+}
+
+// WhereTrace keeps traces for which pred returns true.
+func WhereTrace(log *eventlog.Log, pred func(*eventlog.Trace) bool) *eventlog.Log {
+	out := &eventlog.Log{Name: log.Name}
+	for i := range log.Traces {
+		if pred(&log.Traces[i]) {
+			out.Traces = append(out.Traces, cloneTrace(&log.Traces[i]))
+		}
+	}
+	return out
+}
+
+// HasAttrValue returns a trace predicate matching traces containing at
+// least one event whose attribute equals the given (string) value.
+func HasAttrValue(attr, value string) func(*eventlog.Trace) bool {
+	return func(tr *eventlog.Trace) bool {
+		for i := range tr.Events {
+			if v, ok := tr.Events[i].Attrs[attr]; ok && v.AsString() == value {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// ProjectClasses keeps only the events whose class is in the given set;
+// traces that become empty are dropped.
+func ProjectClasses(log *eventlog.Log, classes []string) *eventlog.Log {
+	keep := make(map[string]bool, len(classes))
+	for _, c := range classes {
+		keep[c] = true
+	}
+	out := &eventlog.Log{Name: log.Name}
+	for i := range log.Traces {
+		src := &log.Traces[i]
+		tr := eventlog.Trace{ID: src.ID}
+		for j := range src.Events {
+			if keep[src.Events[j].Class] {
+				tr.Events = append(tr.Events, cloneEvent(&src.Events[j]))
+			}
+		}
+		if len(tr.Events) > 0 {
+			out.Traces = append(out.Traces, tr)
+		}
+	}
+	return out
+}
+
+// DropClasses removes events of the given classes (the complement of
+// ProjectClasses); traces that become empty are dropped.
+func DropClasses(log *eventlog.Log, classes []string) *eventlog.Log {
+	drop := make(map[string]bool, len(classes))
+	for _, c := range classes {
+		drop[c] = true
+	}
+	all := log.Classes()
+	var keep []string
+	for _, c := range all {
+		if !drop[c] {
+			keep = append(keep, c)
+		}
+	}
+	return ProjectClasses(log, keep)
+}
+
+// Sample keeps each trace with probability p, deterministically per seed.
+// The relative trace order is preserved.
+func Sample(log *eventlog.Log, p float64, seed int64) *eventlog.Log {
+	rng := rand.New(rand.NewSource(seed))
+	out := &eventlog.Log{Name: log.Name}
+	for i := range log.Traces {
+		if rng.Float64() < p {
+			out.Traces = append(out.Traces, cloneTrace(&log.Traces[i]))
+		}
+	}
+	return out
+}
+
+// Head keeps the first n traces.
+func Head(log *eventlog.Log, n int) *eventlog.Log {
+	if n > len(log.Traces) {
+		n = len(log.Traces)
+	}
+	out := &eventlog.Log{Name: log.Name}
+	for i := 0; i < n; i++ {
+		out.Traces = append(out.Traces, cloneTrace(&log.Traces[i]))
+	}
+	return out
+}
+
+func cloneTrace(tr *eventlog.Trace) eventlog.Trace {
+	out := eventlog.Trace{ID: tr.ID, Events: make([]eventlog.Event, len(tr.Events))}
+	for i := range tr.Events {
+		out.Events[i] = cloneEvent(&tr.Events[i])
+	}
+	return out
+}
+
+func cloneEvent(e *eventlog.Event) eventlog.Event {
+	out := eventlog.Event{Class: e.Class}
+	if e.Attrs != nil {
+		out.Attrs = make(map[string]eventlog.Value, len(e.Attrs))
+		for k, v := range e.Attrs {
+			out.Attrs[k] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package logfilter
+
+import (
+	"testing"
+	"time"
+
+	"gecco/internal/eventlog"
+	"gecco/internal/procgen"
+)
+
+func mkLog(seqs ...[]string) *eventlog.Log {
+	log := &eventlog.Log{Name: "t"}
+	for i, seq := range seqs {
+		tr := eventlog.Trace{ID: string(rune('a' + i))}
+		for _, c := range seq {
+			tr.Events = append(tr.Events, eventlog.Event{Class: c})
+		}
+		log.Traces = append(log.Traces, tr)
+	}
+	return log
+}
+
+func TestTopVariants(t *testing.T) {
+	log := mkLog(
+		[]string{"a", "b"}, []string{"a", "b"}, []string{"a", "b"},
+		[]string{"a", "c"},
+	)
+	out := TopVariants(log, 0.5)
+	if len(out.Traces) != 3 {
+		t.Fatalf("kept %d traces, want the 3 of the dominant variant", len(out.Traces))
+	}
+	all := TopVariants(log, 1)
+	if len(all.Traces) != 4 {
+		t.Fatalf("fraction 1 should keep everything, got %d", len(all.Traces))
+	}
+	// Input untouched.
+	if len(log.Traces) != 4 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestMinVariantCount(t *testing.T) {
+	log := mkLog([]string{"a"}, []string{"a"}, []string{"b"})
+	out := MinVariantCount(log, 2)
+	if len(out.Traces) != 2 {
+		t.Fatalf("kept %d, want 2", len(out.Traces))
+	}
+}
+
+func TestTimeWindow(t *testing.T) {
+	base := time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+	log := &eventlog.Log{}
+	for d := 0; d < 5; d++ {
+		ev := eventlog.Event{Class: "a"}
+		ev.SetAttr(eventlog.AttrTimestamp, eventlog.Time(base.AddDate(0, 0, d)))
+		log.Traces = append(log.Traces, eventlog.Trace{ID: "t", Events: []eventlog.Event{ev}})
+	}
+	out := TimeWindow(log, base.AddDate(0, 0, 1), base.AddDate(0, 0, 4))
+	if len(out.Traces) != 3 {
+		t.Fatalf("kept %d, want 3 (days 1,2,3)", len(out.Traces))
+	}
+	// Traces without timestamps are dropped.
+	noTS := mkLog([]string{"a"})
+	if got := TimeWindow(noTS, base, base.AddDate(1, 0, 0)); len(got.Traces) != 0 {
+		t.Fatal("timestamp-less trace kept")
+	}
+}
+
+func TestWhereTraceAndHasAttrValue(t *testing.T) {
+	log := procgen.RunningExampleTable1()
+	rejected := WhereTrace(log, HasAttrValue(eventlog.AttrRole, "manager"))
+	if len(rejected.Traces) != 4 {
+		t.Fatalf("every Table I trace has a manager event, got %d", len(rejected.Traces))
+	}
+	none := WhereTrace(log, HasAttrValue(eventlog.AttrRole, "cfo"))
+	if len(none.Traces) != 0 {
+		t.Fatal("nonexistent attribute value matched")
+	}
+}
+
+func TestProjectAndDropClasses(t *testing.T) {
+	log := mkLog([]string{"a", "b", "c"}, []string{"b"})
+	proj := ProjectClasses(log, []string{"a", "c"})
+	if len(proj.Traces) != 1 || proj.Traces[0].Variant() != "a,c" {
+		t.Fatalf("projection = %+v", proj.Traces)
+	}
+	drop := DropClasses(log, []string{"b"})
+	if len(drop.Traces) != 1 || drop.Traces[0].Variant() != "a,c" {
+		t.Fatalf("drop = %+v", drop.Traces)
+	}
+	// Complementarity: dropping nothing preserves all traces.
+	if got := DropClasses(log, nil); len(got.Traces) != 2 {
+		t.Fatal("no-op drop lost traces")
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	log := procgen.RunningExample(200, 3)
+	a := Sample(log, 0.5, 42)
+	b := Sample(log, 0.5, 42)
+	if len(a.Traces) != len(b.Traces) {
+		t.Fatal("same seed produced different samples")
+	}
+	if len(a.Traces) == 0 || len(a.Traces) == len(log.Traces) {
+		t.Fatalf("sample size %d implausible", len(a.Traces))
+	}
+	for i := range a.Traces {
+		if a.Traces[i].ID != b.Traces[i].ID {
+			t.Fatal("sample order differs")
+		}
+	}
+}
+
+func TestHead(t *testing.T) {
+	log := mkLog([]string{"a"}, []string{"b"}, []string{"c"})
+	if got := Head(log, 2); len(got.Traces) != 2 || got.Traces[1].Variant() != "b" {
+		t.Fatalf("head = %+v", got.Traces)
+	}
+	if got := Head(log, 99); len(got.Traces) != 3 {
+		t.Fatal("over-long head should clamp")
+	}
+}
+
+// Filters return deep copies: mutating the output must not affect input.
+func TestDeepCopySemantics(t *testing.T) {
+	log := procgen.RunningExampleTable1()
+	out := TopVariants(log, 1)
+	out.Traces[0].Events[0].Class = "MUTATED"
+	out.Traces[0].Events[0].SetAttr("k", eventlog.Int(1))
+	if log.Traces[0].Events[0].Class == "MUTATED" {
+		t.Fatal("filter shares event slices with input")
+	}
+	if _, ok := log.Traces[0].Events[0].Attrs["k"]; ok {
+		t.Fatal("filter shares attribute maps with input")
+	}
+}
+
+// Preprocessing composes with abstraction: filtering to the dominant
+// variants keeps the pipeline runnable end to end.
+func TestComposesWithIndex(t *testing.T) {
+	log := procgen.RunningExample(300, 7)
+	filtered := TopVariants(log, 0.8)
+	x := eventlog.NewIndex(filtered)
+	if x.NumClasses() == 0 || x.NumTraces() == 0 {
+		t.Fatal("filtered log unusable")
+	}
+	if x.NumTraces() >= len(log.Traces) {
+		t.Fatal("filter kept every trace of a noisy simulation")
+	}
+}

@@ -1,0 +1,156 @@
+// Package metrics implements the evaluation measures of §VI-A: size
+// reduction, control-flow complexity reduction (via internal/discovery),
+// and the silhouette coefficient of a grouping under an average positional
+// distance between event classes (the fuzzy-miner-style proximity the paper
+// references).
+package metrics
+
+import (
+	"math"
+
+	"gecco/internal/bitset"
+	"gecco/internal/discovery"
+	"gecco/internal/eventlog"
+)
+
+// SizeReduction is 1 - |G|/|C_L|: the fraction of event classes eliminated
+// by abstraction (0 = none, →1 = strong abstraction).
+func SizeReduction(numGroups, numClasses int) float64 {
+	if numClasses == 0 {
+		return 0
+	}
+	return 1 - float64(numGroups)/float64(numClasses)
+}
+
+// ComplexityReduction discovers models from both logs and returns
+// 1 - CFC(abstracted)/CFC(original). Non-positive original complexity
+// yields 0.
+func ComplexityReduction(original, abstracted *eventlog.Log, opts discovery.Options) float64 {
+	origCFC := discovery.Discover(eventlog.NewIndex(original), opts).CFC()
+	if origCFC <= 0 {
+		return 0
+	}
+	absCFC := discovery.Discover(eventlog.NewIndex(abstracted), opts).CFC()
+	red := 1 - absCFC/origCFC
+	if red < 0 {
+		return red // abstraction can, in principle, increase complexity
+	}
+	return red
+}
+
+// PositionalDistances returns the pairwise distance matrix between event
+// classes: the average normalised gap between their occurrences within
+// traces where both appear (first occurrences, gap normalised by trace
+// length). Classes never co-occurring get the maximum distance 1.
+func PositionalDistances(x *eventlog.Index) [][]float64 {
+	n := x.NumClasses()
+	sum := make([][]float64, n)
+	cnt := make([][]int, n)
+	for i := range sum {
+		sum[i] = make([]float64, n)
+		cnt[i] = make([]int, n)
+	}
+	firstPos := make([]int, n)
+	for _, seq := range x.Seqs {
+		if len(seq) < 2 {
+			continue
+		}
+		for i := range firstPos {
+			firstPos[i] = -1
+		}
+		for pos, c := range seq {
+			if firstPos[c] < 0 {
+				firstPos[c] = pos
+			}
+		}
+		norm := float64(len(seq) - 1)
+		for a := 0; a < n; a++ {
+			if firstPos[a] < 0 {
+				continue
+			}
+			for b := a + 1; b < n; b++ {
+				if firstPos[b] < 0 {
+					continue
+				}
+				d := math.Abs(float64(firstPos[a]-firstPos[b])) / norm
+				sum[a][b] += d
+				cnt[a][b]++
+			}
+		}
+	}
+	out := make([][]float64, n)
+	for a := range out {
+		out[a] = make([]float64, n)
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			d := 1.0
+			if cnt[a][b] > 0 {
+				d = sum[a][b] / float64(cnt[a][b])
+			}
+			out[a][b], out[b][a] = d, d
+		}
+	}
+	return out
+}
+
+// Silhouette computes the silhouette coefficient of the grouping under the
+// positional distance. Classes in singleton groups score 0 (the usual
+// convention); the coefficient is the mean over all classes. A grouping
+// with a single group scores 0.
+func Silhouette(x *eventlog.Index, groups []bitset.Set) float64 {
+	n := x.NumClasses()
+	if n == 0 || len(groups) < 2 {
+		return 0
+	}
+	d := PositionalDistances(x)
+	clusterOf := make([]int, n)
+	for ci, g := range groups {
+		g.ForEach(func(c int) bool {
+			clusterOf[c] = ci
+			return true
+		})
+	}
+	sizes := make([]int, len(groups))
+	for gi, g := range groups {
+		sizes[gi] = g.Len()
+	}
+	total := 0.0
+	for c := 0; c < n; c++ {
+		own := clusterOf[c]
+		if sizes[own] <= 1 {
+			continue // s = 0
+		}
+		// a(c): mean distance to own cluster members.
+		aSum := 0.0
+		groups[own].ForEach(func(o int) bool {
+			if o != c {
+				aSum += d[c][o]
+			}
+			return true
+		})
+		a := aSum / float64(sizes[own]-1)
+		// b(c): min over other clusters of mean distance.
+		b := math.Inf(1)
+		for gi, g := range groups {
+			if gi == own || sizes[gi] == 0 {
+				continue
+			}
+			s := 0.0
+			g.ForEach(func(o int) bool {
+				s += d[c][o]
+				return true
+			})
+			if m := s / float64(sizes[gi]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		if mx := math.Max(a, b); mx > 0 {
+			total += (b - a) / mx
+		}
+	}
+	return total / float64(n)
+}

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"gecco/internal/bitset"
+	"gecco/internal/discovery"
+	"gecco/internal/eventlog"
+	"gecco/internal/procgen"
+)
+
+func TestSizeReduction(t *testing.T) {
+	if got := SizeReduction(4, 8); got != 0.5 {
+		t.Fatalf("SizeReduction(4,8) = %f", got)
+	}
+	if got := SizeReduction(8, 8); got != 0 {
+		t.Fatalf("no abstraction should be 0, got %f", got)
+	}
+	if got := SizeReduction(1, 0); got != 0 {
+		t.Fatalf("empty universe should be 0, got %f", got)
+	}
+}
+
+func TestPositionalDistances(t *testing.T) {
+	log := &eventlog.Log{Traces: []eventlog.Trace{{ID: "1", Events: []eventlog.Event{
+		{Class: "a"}, {Class: "b"}, {Class: "c"},
+	}}}}
+	x := eventlog.NewIndex(log)
+	d := PositionalDistances(x)
+	ia, ib, ic := x.ClassID["a"], x.ClassID["b"], x.ClassID["c"]
+	if math.Abs(d[ia][ib]-0.5) > 1e-12 {
+		t.Errorf("d(a,b) = %f, want 0.5", d[ia][ib])
+	}
+	if math.Abs(d[ia][ic]-1.0) > 1e-12 {
+		t.Errorf("d(a,c) = %f, want 1.0", d[ia][ic])
+	}
+	// Symmetry and zero diagonal.
+	if d[ib][ia] != d[ia][ib] || d[ia][ia] != 0 {
+		t.Error("distance matrix not symmetric or diagonal nonzero")
+	}
+}
+
+func TestNeverCoOccurringMaxDistance(t *testing.T) {
+	log := &eventlog.Log{Traces: []eventlog.Trace{
+		{ID: "1", Events: []eventlog.Event{{Class: "a"}, {Class: "b"}}},
+		{ID: "2", Events: []eventlog.Event{{Class: "c"}, {Class: "d"}}},
+	}}
+	x := eventlog.NewIndex(log)
+	d := PositionalDistances(x)
+	if d[x.ClassID["a"]][x.ClassID["c"]] != 1 {
+		t.Fatal("never co-occurring classes should be at max distance")
+	}
+}
+
+func TestSilhouettePrefersCohesiveGrouping(t *testing.T) {
+	x := eventlog.NewIndex(procgen.RunningExampleTable1())
+	mk := func(names ...string) bitset.Set {
+		g, _ := x.GroupFromNames(names)
+		return g
+	}
+	good := []bitset.Set{
+		mk("rcp", "ckc", "ckt"),
+		mk("acc", "rej"),
+		mk("prio", "inf", "arv"),
+	}
+	bad := []bitset.Set{
+		mk("rcp", "arv"), // opposite ends of the process
+		mk("ckc", "inf"),
+		mk("ckt", "prio"),
+		mk("acc", "rej"),
+	}
+	sg := Silhouette(x, good)
+	sb := Silhouette(x, bad)
+	if sg <= sb {
+		t.Fatalf("cohesive grouping %f should beat scattered %f", sg, sb)
+	}
+	if sg <= 0 {
+		t.Fatalf("cohesive grouping should have positive silhouette, got %f", sg)
+	}
+}
+
+func TestSilhouetteSingleGroupIsZero(t *testing.T) {
+	x := eventlog.NewIndex(procgen.RunningExampleTable1())
+	all := bitset.New(x.NumClasses())
+	for i := 0; i < x.NumClasses(); i++ {
+		all.Add(i)
+	}
+	if s := Silhouette(x, []bitset.Set{all}); s != 0 {
+		t.Fatalf("single-group silhouette = %f, want 0", s)
+	}
+}
+
+func TestSilhouetteAllSingletonsIsZero(t *testing.T) {
+	x := eventlog.NewIndex(procgen.RunningExampleTable1())
+	var groups []bitset.Set
+	for i := 0; i < x.NumClasses(); i++ {
+		g := bitset.New(x.NumClasses())
+		g.Add(i)
+		groups = append(groups, g)
+	}
+	if s := Silhouette(x, groups); s != 0 {
+		t.Fatalf("all-singleton silhouette = %f, want 0", s)
+	}
+}
+
+func TestSilhouetteBounds(t *testing.T) {
+	log := procgen.RunningExample(200, 37)
+	x := eventlog.NewIndex(log)
+	mk := func(names ...string) bitset.Set {
+		g, _ := x.GroupFromNames(names)
+		return g
+	}
+	groups := []bitset.Set{
+		mk("rcp", "ckc"), mk("ckt", "acc"), mk("rej", "prio"), mk("inf", "arv"),
+	}
+	s := Silhouette(x, groups)
+	if s < -1 || s > 1 {
+		t.Fatalf("silhouette %f outside [-1, 1]", s)
+	}
+}
+
+func TestComplexityReduction(t *testing.T) {
+	orig := procgen.RunningExample(300, 41)
+	// Abstract to a trivial single-activity log: complexity collapses.
+	flat := &eventlog.Log{}
+	for _, tr := range orig.Traces {
+		flat.Traces = append(flat.Traces, eventlog.Trace{
+			ID:     tr.ID,
+			Events: []eventlog.Event{{Class: "X"}},
+		})
+	}
+	red := ComplexityReduction(orig, flat, discovery.Options{})
+	if red <= 0.5 {
+		t.Fatalf("flattening should reduce complexity strongly, got %f", red)
+	}
+	if same := ComplexityReduction(orig, orig, discovery.Options{}); same != 0 {
+		t.Fatalf("self-comparison should be 0, got %f", same)
+	}
+}

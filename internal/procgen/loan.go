@@ -1,0 +1,79 @@
+package procgen
+
+import "gecco/internal/eventlog"
+
+// Loan-application event classes, matching the 24 classes of the BPI-2017
+// log used in the §VI-D case study (Figure 1). The prefix encodes the
+// origin system: application handling (A), offers (O), workflow (W).
+var loanClasses = []string{
+	"A_Create Application", "A_Submitted", "A_Concept", "A_Accepted",
+	"A_Complete", "A_Validating", "A_Incomplete", "A_Pending",
+	"A_Denied", "A_Cancelled",
+	"O_Create Offer", "O_Created", "O_Sent (mail and online)",
+	"O_Sent (online only)", "O_Returned", "O_Accepted", "O_Refused",
+	"O_Cancelled",
+	"W_Complete application", "W_Validate application", "W_Handle leads",
+	"W_Call incomplete files", "W_Call after offers",
+	"W_Assess potential fraud",
+}
+
+// LoanModel is a process tree shaped like the loan-application process: an
+// application-handling phase, an offer phase with possible returns, a
+// validation loop with incomplete-file callbacks, and a final decision,
+// with workflow steps interleaved in parallel. It intentionally yields an
+// intertwined DFG (the "spaghetti" of Figure 1).
+func LoanModel() *Model {
+	specs := make(map[string]ClassSpec)
+	for i, cl := range loanClasses {
+		org := cl[:1] // A, O, or W
+		role := "backoffice"
+		if org == "W" {
+			role = "caseworker"
+		}
+		specs[cl] = ClassSpec{
+			Role:     role,
+			Org:      org,
+			DurMean:  float64(120 + 60*(i%5)),
+			CostMean: float64(10 + 5*(i%7)),
+		}
+	}
+	apply := S(
+		Leaf("A_Create Application"),
+		XW([]float64{0.65, 0.35}, Leaf("A_Submitted"), Tau()),
+		XW([]float64{0.12, 0.88}, Leaf("W_Handle leads"), Tau()),
+		Leaf("A_Concept"),
+		Leaf("A_Accepted"),
+	)
+	offer := S(
+		L(0.25,
+			S(Leaf("O_Create Offer"), Leaf("O_Created"),
+				XW([]float64{0.85, 0.15}, Leaf("O_Sent (mail and online)"), Leaf("O_Sent (online only)"))),
+			Leaf("O_Cancelled")),
+		Leaf("A_Complete"),
+	)
+	validate := L(0.35,
+		S(Leaf("A_Validating"),
+			XW([]float64{0.5, 0.3, 0.2},
+				Leaf("O_Returned"),
+				S(Leaf("A_Incomplete"), Leaf("W_Call incomplete files")),
+				Tau())),
+		Tau())
+	decide := XW([]float64{0.55, 0.12, 0.33},
+		S(Leaf("O_Accepted"), Leaf("A_Pending")),
+		S(Leaf("O_Refused"), Leaf("A_Denied")),
+		S(Leaf("O_Cancelled"), Leaf("A_Cancelled")),
+	)
+	workflow := S(
+		Leaf("W_Complete application"),
+		Leaf("W_Validate application"),
+		XW([]float64{0.1, 0.9}, Leaf("W_Call after offers"), Tau()),
+		XW([]float64{0.05, 0.95}, Leaf("W_Assess potential fraud"), Tau()),
+	)
+	root := S(apply, P(S(offer, validate, decide), workflow))
+	return &Model{Name: "loan-application", Root: root, Specs: specs}
+}
+
+// LoanLog simulates the loan-application case-study log.
+func LoanLog(n int, seed int64) *eventlog.Log {
+	return LoanModel().Simulate(n, seed)
+}

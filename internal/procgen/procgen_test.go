@@ -1,0 +1,232 @@
+package procgen
+
+import (
+	"math"
+	"testing"
+
+	"gecco/internal/eventlog"
+)
+
+func TestTable1Exact(t *testing.T) {
+	log := RunningExampleTable1()
+	if len(log.Traces) != 4 {
+		t.Fatalf("traces = %d, want 4", len(log.Traces))
+	}
+	wantVariants := []string{
+		"rcp,ckc,acc,prio,inf,arv",
+		"rcp,ckt,rej,prio,arv,inf",
+		"rcp,ckc,acc,inf,arv",
+		"rcp,ckc,rej,rcp,ckt,acc,prio,arv,inf",
+	}
+	for i, w := range wantVariants {
+		if got := log.Traces[i].Variant(); got != w {
+			t.Errorf("σ%d = %q, want %q", i+1, got, w)
+		}
+	}
+	// Role attributes: blue/underlined events are the clerk's.
+	for _, tr := range log.Traces {
+		for _, ev := range tr.Events {
+			role := ev.Attrs[eventlog.AttrRole].Str
+			switch ev.Class {
+			case ACC, REJ:
+				if role != "manager" {
+					t.Errorf("%s role = %q, want manager", ev.Class, role)
+				}
+			default:
+				if role != "clerk" {
+					t.Errorf("%s role = %q, want clerk", ev.Class, role)
+				}
+			}
+		}
+	}
+}
+
+func TestRunningExampleModelStats(t *testing.T) {
+	log := RunningExample(500, 1)
+	st := log.ComputeStats()
+	if st.NumClasses != 8 {
+		t.Fatalf("classes = %d, want 8", st.NumClasses)
+	}
+	if st.AvgTraceLen < 4.5 || st.AvgTraceLen > 9 {
+		t.Fatalf("avg len = %f, outside plausible range", st.AvgTraceLen)
+	}
+	// Determinism: same seed, same log.
+	again := RunningExample(500, 1)
+	for i := range log.Traces {
+		if log.Traces[i].Variant() != again.Traces[i].Variant() {
+			t.Fatal("simulation not deterministic")
+		}
+	}
+}
+
+func TestExpectedLen(t *testing.T) {
+	// Seq of 3 leaves: 3. Xor of 2 leaves: 1. Loop p=0.5 around one leaf:
+	// 1 + (0.5/0.5)*1 = 2.
+	m := &Model{Root: S(Leaf("a"), Leaf("b"), Leaf("c"))}
+	if e := m.ExpectedLen(); e != 3 {
+		t.Fatalf("seq expected len %f", e)
+	}
+	m = &Model{Root: X(Leaf("a"), Leaf("b"))}
+	if e := m.ExpectedLen(); e != 1 {
+		t.Fatalf("xor expected len %f", e)
+	}
+	m = &Model{Root: L(0.5, Leaf("a"), Tau())}
+	if e := m.ExpectedLen(); math.Abs(e-2) > 1e-12 {
+		t.Fatalf("loop expected len %f, want 2", e)
+	}
+}
+
+func TestSimulatedLenTracksExpectation(t *testing.T) {
+	m := RunningExampleModel()
+	want := m.ExpectedLen()
+	log := m.Simulate(3000, 5)
+	got := log.AvgTraceLen()
+	if math.Abs(got-want)/want > 0.15 {
+		t.Fatalf("simulated avg len %f deviates from expected %f", got, want)
+	}
+}
+
+func TestLoanLogShape(t *testing.T) {
+	log := LoanLog(300, 2)
+	st := log.ComputeStats()
+	if st.NumClasses != 24 {
+		t.Fatalf("classes = %d, want 24 (as in the BPI-2017 case study)", st.NumClasses)
+	}
+	// Every event carries an origin system A/O/W matching its class prefix.
+	for _, tr := range log.Traces {
+		for _, ev := range tr.Events {
+			org := ev.Attrs[eventlog.AttrOrg].Str
+			if org != ev.Class[:1] {
+				t.Fatalf("class %q has org %q", ev.Class, org)
+			}
+		}
+	}
+	if st.NumVariants < 20 {
+		t.Fatalf("variants = %d; loan process should be highly variable", st.NumVariants)
+	}
+}
+
+func TestCollectionMatchesTable3ClassCounts(t *testing.T) {
+	specs := CollectionSpecs()
+	if len(specs) != 13 {
+		t.Fatalf("specs = %d, want 13", len(specs))
+	}
+	wantClasses := []int{11, 40, 39, 24, 39, 24, 8, 51, 4, 27, 16, 70, 29}
+	hasAttr := 0
+	for i, spec := range specs {
+		if spec.Classes != wantClasses[i] {
+			t.Errorf("spec %d classes = %d, want %d", i, spec.Classes, wantClasses[i])
+		}
+		if spec.HasClassAttr {
+			hasAttr++
+		}
+	}
+	if hasAttr != 4 {
+		t.Fatalf("class-attribute logs = %d, want 4 (paper footnote)", hasAttr)
+	}
+}
+
+func TestCollectionLogsGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("collection generation in short mode")
+	}
+	specs := CollectionSpecs()
+	for _, spec := range specs[:6] { // first half keeps the test fast
+		log := BuildLog(spec)
+		st := log.ComputeStats()
+		if st.NumClasses != spec.Classes {
+			t.Errorf("%s: classes = %d, want %d", spec.Ref, st.NumClasses, spec.Classes)
+		}
+		if st.NumTraces != spec.Traces {
+			t.Errorf("%s: traces = %d, want %d", spec.Ref, st.NumTraces, spec.Traces)
+		}
+		// Average length within a factor 2.5 of the paper's (tree search is
+		// approximate).
+		ratio := st.AvgTraceLen / spec.PaperAvgLen
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("%s: avg len %f vs paper %f (ratio %f)", spec.Ref, st.AvgTraceLen, spec.PaperAvgLen, ratio)
+		}
+		// Attribute presence.
+		ev := &log.Traces[0].Events[0]
+		if _, ok := ev.Attrs[eventlog.AttrDuration]; !ok {
+			t.Errorf("%s: missing duration attribute", spec.Ref)
+		}
+		if _, ok := ev.Attrs[eventlog.AttrRole]; !ok {
+			t.Errorf("%s: missing role attribute", spec.Ref)
+		}
+		_, hasOrg := ev.Attrs[eventlog.AttrOrg]
+		if hasOrg != spec.HasClassAttr {
+			t.Errorf("%s: org presence %v, want %v", spec.Ref, hasOrg, spec.HasClassAttr)
+		}
+	}
+}
+
+func TestSingleVariantLog(t *testing.T) {
+	var spec CollectionSpec
+	for _, s := range CollectionSpecs() {
+		if s.PaperVariants == 1 {
+			spec = s
+			break
+		}
+	}
+	log := BuildLog(spec)
+	st := log.ComputeStats()
+	if st.NumVariants != 1 {
+		t.Fatalf("variants = %d, want 1", st.NumVariants)
+	}
+	if st.NumClasses != 8 || math.Abs(st.AvgTraceLen-15) > 1e-9 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAndInterleavingPreservesBranchOrder(t *testing.T) {
+	m := &Model{Root: P(S(Leaf("a1"), Leaf("a2")), S(Leaf("b1"), Leaf("b2")))}
+	m.Specs = map[string]ClassSpec{}
+	log := m.Simulate(200, 9)
+	for _, tr := range log.Traces {
+		pos := map[string]int{}
+		for i, ev := range tr.Events {
+			pos[ev.Class] = i
+		}
+		if pos["a1"] > pos["a2"] || pos["b1"] > pos["b2"] {
+			t.Fatalf("branch-internal order violated: %s", tr.Variant())
+		}
+	}
+}
+
+func TestLoopCap(t *testing.T) {
+	m := &Model{Root: L(1.0, Leaf("a"), Tau()), Specs: map[string]ClassSpec{}}
+	m.Root.MaxIters = 3
+	log := m.Simulate(10, 4)
+	for _, tr := range log.Traces {
+		if len(tr.Events) > 4 { // body + 3 repeats
+			t.Fatalf("loop cap exceeded: %d events", len(tr.Events))
+		}
+	}
+}
+
+// Reproducibility: the collection is identical across calls.
+func TestCollectionDeterministic(t *testing.T) {
+	spec := CollectionSpecs()[0]
+	a := BuildLog(spec)
+	b := BuildLog(spec)
+	if len(a.Traces) != len(b.Traces) {
+		t.Fatal("trace counts differ")
+	}
+	for i := range a.Traces {
+		if a.Traces[i].Variant() != b.Traces[i].Variant() {
+			t.Fatalf("trace %d differs across builds", i)
+		}
+	}
+}
+
+// Noise injection preserves the class universe and event multiset-modulo-
+// duplication (no class ever disappears).
+func TestNoisePreservesClasses(t *testing.T) {
+	for _, spec := range CollectionSpecs()[:4] {
+		log := BuildLog(spec)
+		if got := len(log.Classes()); got != spec.Classes {
+			t.Fatalf("%s: classes = %d, want %d", spec.Ref, got, spec.Classes)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package procmodel
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+)
+
+// PNML serialisation: the model is converted into a Petri net in the
+// standard translation — tasks and AND gateways become transitions, XOR
+// gateways become places, and sequence flows become arcs with interstitial
+// places/transitions as needed to keep the net bipartite. The start event
+// maps to an initially marked place, the end event to a sink place.
+
+type pnml struct {
+	XMLName xml.Name `xml:"pnml"`
+	Net     pnmlNet  `xml:"net"`
+}
+
+type pnmlNet struct {
+	ID          string           `xml:"id,attr"`
+	Type        string           `xml:"type,attr"`
+	Places      []pnmlPlace      `xml:"place"`
+	Transitions []pnmlTransition `xml:"transition"`
+	Arcs        []pnmlArc        `xml:"arc"`
+}
+
+type pnmlPlace struct {
+	ID      string    `xml:"id,attr"`
+	Name    *pnmlName `xml:"name,omitempty"`
+	Marking int       `xml:"initialMarking>text,omitempty"`
+}
+
+type pnmlTransition struct {
+	ID   string    `xml:"id,attr"`
+	Name *pnmlName `xml:"name,omitempty"`
+}
+
+type pnmlName struct {
+	Text string `xml:"text"`
+}
+
+type pnmlArc struct {
+	ID     string `xml:"id,attr"`
+	Source string `xml:"source,attr"`
+	Target string `xml:"target,attr"`
+}
+
+// petri is the intermediate Petri-net structure.
+type petri struct {
+	places      map[string]int // id -> initial marking
+	placeNames  map[string]string
+	transitions map[string]string // id -> label
+	arcs        [][2]string
+}
+
+// toPetri performs the node-wise translation.
+func (m *Model) toPetri() *petri {
+	p := &petri{
+		places:      map[string]int{},
+		placeNames:  map[string]string{},
+		transitions: map[string]string{},
+	}
+	// Node mapping: each model node becomes either a place or a
+	// transition; flows then connect them with interstitial elements
+	// preserving bipartiteness.
+	isPlace := func(n *Node) bool {
+		return n.Kind == StartEvent || n.Kind == EndEvent || n.Kind == XorGateway
+	}
+	byID := make(map[string]*Node, len(m.Nodes))
+	for i := range m.Nodes {
+		n := &m.Nodes[i]
+		byID[n.ID] = n
+		if isPlace(n) {
+			marking := 0
+			if n.Kind == StartEvent {
+				marking = 1
+			}
+			p.places["p_"+n.ID] = marking
+			p.placeNames["p_"+n.ID] = n.Label
+		} else {
+			p.transitions["t_"+n.ID] = n.Label
+		}
+	}
+	pid := func(n *Node) string { return "p_" + n.ID }
+	tid := func(n *Node) string { return "t_" + n.ID }
+	inter := 0
+	for _, f := range m.Flows {
+		from, to := byID[f.From], byID[f.To]
+		switch {
+		case isPlace(from) && !isPlace(to): // place -> transition
+			p.arcs = append(p.arcs, [2]string{pid(from), tid(to)})
+		case !isPlace(from) && isPlace(to): // transition -> place
+			p.arcs = append(p.arcs, [2]string{tid(from), pid(to)})
+		case !isPlace(from) && !isPlace(to): // transition -> transition: add a place
+			inter++
+			ip := fmt.Sprintf("p_inter_%d", inter)
+			p.places[ip] = 0
+			p.arcs = append(p.arcs, [2]string{tid(from), ip}, [2]string{ip, tid(to)})
+		default: // place -> place: add a silent transition
+			inter++
+			it := fmt.Sprintf("t_tau_%d", inter)
+			p.transitions[it] = ""
+			p.arcs = append(p.arcs, [2]string{pid(from), it}, [2]string{it, pid(to)})
+		}
+	}
+	return p
+}
+
+// WritePNML serialises the model as a PNML place/transition net.
+func (m *Model) WritePNML(w io.Writer) error {
+	pn := m.toPetri()
+	net := pnmlNet{ID: "net_" + sanitizeID(m.Name), Type: "http://www.pnml.org/version-2009/grammar/ptnet"}
+	for id, marking := range pn.places {
+		pl := pnmlPlace{ID: id, Marking: marking}
+		if name := pn.placeNames[id]; name != "" {
+			pl.Name = &pnmlName{Text: name}
+		}
+		net.Places = append(net.Places, pl)
+	}
+	for id, label := range pn.transitions {
+		tr := pnmlTransition{ID: id}
+		if label != "" {
+			tr.Name = &pnmlName{Text: label}
+		}
+		net.Transitions = append(net.Transitions, tr)
+	}
+	// Deterministic output order.
+	sortPlaces(net.Places)
+	sortTransitions(net.Transitions)
+	for i, a := range pn.arcs {
+		net.Arcs = append(net.Arcs, pnmlArc{ID: fmt.Sprintf("arc_%d", i+1), Source: a[0], Target: a[1]})
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(pnml{Net: net}); err != nil {
+		return fmt.Errorf("procmodel: pnml encode: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+func sortPlaces(ps []pnmlPlace) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].ID < ps[j-1].ID; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+func sortTransitions(ts []pnmlTransition) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].ID < ts[j-1].ID; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}

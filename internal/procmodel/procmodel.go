@@ -1,0 +1,247 @@
+// Package procmodel turns the gateway-annotated DFGs of internal/discovery
+// into explicit process models and serialises them as BPMN 2.0 XML or PNML
+// Petri nets — the output formats of the discovery tooling around the paper
+// (Split Miner emits BPMN). The conversion makes the implicit gateway
+// structure explicit: XOR/AND splits and joins become gateway nodes, and a
+// unique start and end event are synthesised from the log's start/end
+// classes.
+package procmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"gecco/internal/discovery"
+)
+
+// NodeKind enumerates model node types.
+type NodeKind int
+
+const (
+	StartEvent NodeKind = iota
+	EndEvent
+	Task
+	XorGateway
+	AndGateway
+)
+
+func (k NodeKind) String() string {
+	return [...]string{"startEvent", "endEvent", "task", "exclusiveGateway", "parallelGateway"}[k]
+}
+
+// Node is a model element.
+type Node struct {
+	ID    string
+	Kind  NodeKind
+	Label string // task name; empty for gateways/events
+}
+
+// Flow is a directed sequence flow between two node IDs.
+type Flow struct {
+	ID   string
+	From string
+	To   string
+}
+
+// Model is a flat process model: nodes plus sequence flows.
+type Model struct {
+	Name  string
+	Nodes []Node
+	Flows []Flow
+}
+
+// FromDiscovery converts a discovered model into an explicit process model.
+// Splits with multiple XOR branch-groups get an exclusive gateway; branch
+// groups of size > 1 get a nested parallel gateway; joins mirror splits.
+func FromDiscovery(name string, d *discovery.Model) *Model {
+	m := &Model{Name: name}
+	flowID := 0
+	addFlow := func(from, to string) {
+		flowID++
+		m.Flows = append(m.Flows, Flow{ID: fmt.Sprintf("flow_%d", flowID), From: from, To: to})
+	}
+	taskID := func(v int) string { return fmt.Sprintf("task_%d", v) }
+
+	for v := 0; v < d.Graph.N; v++ {
+		m.Nodes = append(m.Nodes, Node{ID: taskID(v), Kind: Task, Label: d.Labels[v]})
+	}
+	// Start and end events.
+	m.Nodes = append(m.Nodes, Node{ID: "start", Kind: StartEvent}, Node{ID: "end", Kind: EndEvent})
+	connectBoundary(m, d.StartClasses, "start", taskID, addFlow, true)
+	connectBoundary(m, d.EndClasses, "end", taskID, addFlow, false)
+
+	// Split gateways: source side of each task's outgoing edges.
+	for v := 0; v < d.Graph.N; v++ {
+		groups := d.Splits[v]
+		if len(groups) == 0 {
+			continue
+		}
+		srcOut := taskID(v)
+		if len(groups) > 1 {
+			gw := fmt.Sprintf("xor_split_%d", v)
+			m.Nodes = append(m.Nodes, Node{ID: gw, Kind: XorGateway})
+			addFlow(srcOut, gw)
+			srcOut = gw
+		}
+		for gi, group := range groups {
+			src := srcOut
+			if len(group) > 1 {
+				gw := fmt.Sprintf("and_split_%d_%d", v, gi)
+				m.Nodes = append(m.Nodes, Node{ID: gw, Kind: AndGateway})
+				addFlow(src, gw)
+				src = gw
+			}
+			for _, w := range group {
+				addFlow(src, joinEntry(m, d, w, taskID, addFlow))
+			}
+		}
+	}
+	return m
+}
+
+// joinEntry returns the node id that inbound flows of task w should target,
+// synthesising the join gateway chain on first use.
+func joinEntry(m *Model, d *discovery.Model, w int, taskID func(int) string, addFlow func(string, string)) string {
+	groups := d.Joins[w]
+	needsXor := len(groups) > 1
+	needsAnd := false
+	for _, g := range groups {
+		if len(g) > 1 {
+			needsAnd = true
+		}
+	}
+	if !needsXor && !needsAnd {
+		return taskID(w)
+	}
+	// One shared entry gateway per task keeps the model flat: an XOR join
+	// when alternatives exist, else an AND join. (Nested join structure is
+	// approximated — sufficient for structural metrics and round trips.)
+	kind, prefix := XorGateway, "xor_join_"
+	if !needsXor {
+		kind, prefix = AndGateway, "and_join_"
+	}
+	id := fmt.Sprintf("%s%d", prefix, w)
+	for i := range m.Nodes {
+		if m.Nodes[i].ID == id {
+			return id
+		}
+	}
+	m.Nodes = append(m.Nodes, Node{ID: id, Kind: kind})
+	addFlow(id, taskID(w))
+	return id
+}
+
+func connectBoundary(m *Model, classes []int, eventID string, taskID func(int) string, addFlow func(string, string), isStart bool) {
+	if len(classes) == 0 {
+		return
+	}
+	src := eventID
+	if len(classes) > 1 {
+		gw := "xor_" + eventID
+		m.Nodes = append(m.Nodes, Node{ID: gw, Kind: XorGateway})
+		if isStart {
+			addFlow(eventID, gw)
+		} else {
+			addFlow(gw, eventID)
+		}
+		src = gw
+	}
+	for _, c := range classes {
+		if isStart {
+			addFlow(src, taskID(c))
+		} else {
+			addFlow(taskID(c), src)
+		}
+	}
+}
+
+// Validate checks structural sanity: unique node ids, flows referencing
+// existing nodes, exactly one start and one end event, and every task on a
+// path between them in the flow graph's weak sense (reachable from start,
+// co-reachable from end).
+func (m *Model) Validate() error {
+	ids := make(map[string]NodeKind, len(m.Nodes))
+	starts, ends := 0, 0
+	for _, n := range m.Nodes {
+		if _, dup := ids[n.ID]; dup {
+			return fmt.Errorf("procmodel: duplicate node id %q", n.ID)
+		}
+		ids[n.ID] = n.Kind
+		switch n.Kind {
+		case StartEvent:
+			starts++
+		case EndEvent:
+			ends++
+		}
+	}
+	if starts != 1 || ends != 1 {
+		return fmt.Errorf("procmodel: %d start and %d end events, want 1 and 1", starts, ends)
+	}
+	succ := make(map[string][]string)
+	pred := make(map[string][]string)
+	for _, f := range m.Flows {
+		if _, ok := ids[f.From]; !ok {
+			return fmt.Errorf("procmodel: flow %s from unknown node %q", f.ID, f.From)
+		}
+		if _, ok := ids[f.To]; !ok {
+			return fmt.Errorf("procmodel: flow %s to unknown node %q", f.ID, f.To)
+		}
+		succ[f.From] = append(succ[f.From], f.To)
+		pred[f.To] = append(pred[f.To], f.From)
+	}
+	reach := closure("start", succ)
+	coreach := closure("end", pred)
+	for _, n := range m.Nodes {
+		if n.Kind != Task {
+			continue
+		}
+		if !reach[n.ID] {
+			return fmt.Errorf("procmodel: task %q unreachable from start", n.ID)
+		}
+		if !coreach[n.ID] {
+			return fmt.Errorf("procmodel: task %q cannot reach end", n.ID)
+		}
+	}
+	return nil
+}
+
+func closure(from string, adj map[string][]string) map[string]bool {
+	seen := map[string]bool{from: true}
+	stack := []string{from}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return seen
+}
+
+// Tasks returns the task labels in sorted order.
+func (m *Model) Tasks() []string {
+	var out []string
+	for _, n := range m.Nodes {
+		if n.Kind == Task {
+			out = append(out, n.Label)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GatewayCount returns the number of gateway nodes by kind.
+func (m *Model) GatewayCount() (xor, and int) {
+	for _, n := range m.Nodes {
+		switch n.Kind {
+		case XorGateway:
+			xor++
+		case AndGateway:
+			and++
+		}
+	}
+	return xor, and
+}

@@ -1,0 +1,183 @@
+package procmodel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gecco/internal/discovery"
+	"gecco/internal/eventlog"
+	"gecco/internal/procgen"
+)
+
+func discovered(t *testing.T, seqs [][]string) *discovery.Model {
+	t.Helper()
+	log := &eventlog.Log{}
+	for _, seq := range seqs {
+		tr := eventlog.Trace{ID: "t"}
+		for _, c := range seq {
+			tr.Events = append(tr.Events, eventlog.Event{Class: c})
+		}
+		log.Traces = append(log.Traces, tr)
+	}
+	return discovery.Discover(eventlog.NewIndex(log), discovery.Options{})
+}
+
+func TestFromDiscoverySequence(t *testing.T) {
+	d := discovered(t, [][]string{{"a", "b", "c"}})
+	m := FromDiscovery("seq", d)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Tasks(); len(got) != 3 {
+		t.Fatalf("tasks = %v", got)
+	}
+	xor, and := m.GatewayCount()
+	if xor != 0 || and != 0 {
+		t.Fatalf("pure sequence should have no gateways, got xor=%d and=%d", xor, and)
+	}
+}
+
+func TestFromDiscoveryXor(t *testing.T) {
+	d := discovered(t, [][]string{{"a", "b", "d"}, {"a", "c", "d"}})
+	m := FromDiscovery("xor", d)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	xor, and := m.GatewayCount()
+	if xor < 2 { // split after a, join before d
+		t.Fatalf("expected xor split+join, got %d", xor)
+	}
+	if and != 0 {
+		t.Fatalf("no parallelism expected, got %d AND gateways", and)
+	}
+}
+
+func TestFromDiscoveryAnd(t *testing.T) {
+	d := discovered(t, [][]string{{"a", "b", "c", "d"}, {"a", "c", "b", "d"}})
+	m := FromDiscovery("and", d)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_, and := m.GatewayCount()
+	if and < 1 {
+		t.Fatal("expected a parallel gateway for concurrent b/c")
+	}
+}
+
+func TestValidateCatchesBrokenModels(t *testing.T) {
+	m := &Model{Name: "broken", Nodes: []Node{
+		{ID: "start", Kind: StartEvent},
+		{ID: "end", Kind: EndEvent},
+		{ID: "t1", Kind: Task, Label: "a"},
+	}}
+	// t1 is disconnected.
+	if err := m.Validate(); err == nil {
+		t.Fatal("disconnected task not detected")
+	}
+	m.Flows = []Flow{{ID: "f1", From: "start", To: "t1"}, {ID: "f2", From: "t1", To: "end"}}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate id.
+	m.Nodes = append(m.Nodes, Node{ID: "t1", Kind: Task})
+	if err := m.Validate(); err == nil {
+		t.Fatal("duplicate id not detected")
+	}
+	// Flow to unknown node.
+	m2 := &Model{Nodes: []Node{{ID: "start", Kind: StartEvent}, {ID: "end", Kind: EndEvent}},
+		Flows: []Flow{{ID: "f", From: "start", To: "ghost"}}}
+	if err := m2.Validate(); err == nil {
+		t.Fatal("dangling flow not detected")
+	}
+}
+
+func TestBPMNRoundTrip(t *testing.T) {
+	d := discovered(t, [][]string{
+		{"a", "b", "d"}, {"a", "c", "d"}, {"a", "b", "d"},
+	})
+	m := FromDiscovery("roundtrip", d)
+	var buf bytes.Buffer
+	if err := m.WriteBPMN(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "<definitions") || !strings.Contains(out, "exclusiveGateway") {
+		t.Fatalf("BPMN output malformed:\n%s", out)
+	}
+	back, err := ReadBPMN(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Nodes) != len(m.Nodes) || len(back.Flows) != len(m.Flows) {
+		t.Fatalf("round trip: %d/%d nodes, %d/%d flows",
+			len(back.Nodes), len(m.Nodes), len(back.Flows), len(m.Flows))
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(back.Tasks(), ",") != strings.Join(m.Tasks(), ",") {
+		t.Fatal("task labels changed in round trip")
+	}
+}
+
+func TestPNMLBipartiteAndMarked(t *testing.T) {
+	d := discovered(t, [][]string{{"a", "b", "d"}, {"a", "c", "d"}})
+	m := FromDiscovery("net", d)
+	pn := m.toPetri()
+	// Exactly one initially marked place (the start event).
+	marked := 0
+	for _, mk := range pn.places {
+		marked += mk
+	}
+	if marked != 1 {
+		t.Fatalf("initial marking = %d tokens, want 1", marked)
+	}
+	// Bipartite: every arc connects a place and a transition.
+	for _, a := range pn.arcs {
+		_, srcPlace := pn.places[a[0]]
+		_, dstPlace := pn.places[a[1]]
+		_, srcTrans := pn.transitions[a[0]]
+		_, dstTrans := pn.transitions[a[1]]
+		if srcPlace == dstPlace || srcTrans == dstTrans {
+			t.Fatalf("arc %v violates bipartiteness", a)
+		}
+	}
+}
+
+func TestPNMLSerialises(t *testing.T) {
+	d := discovered(t, [][]string{{"a", "b"}})
+	m := FromDiscovery("tiny", d)
+	var buf bytes.Buffer
+	if err := m.WritePNML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<pnml>", "<place", "<transition", "<arc", "initialMarking"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("PNML missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunningExampleModelExport(t *testing.T) {
+	log := procgen.RunningExample(300, 5)
+	d := discovery.Discover(eventlog.NewIndex(log), discovery.Options{})
+	m := FromDiscovery("running-example", d)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Tasks()) != 8 {
+		t.Fatalf("tasks = %v", m.Tasks())
+	}
+	var bpmn, pnmlBuf bytes.Buffer
+	if err := m.WriteBPMN(&bpmn); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WritePNML(&pnmlBuf); err != nil {
+		t.Fatal(err)
+	}
+	if bpmn.Len() == 0 || pnmlBuf.Len() == 0 {
+		t.Fatal("empty serialisation")
+	}
+}

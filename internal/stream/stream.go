@@ -1,0 +1,253 @@
+// Package stream implements the third future-work direction of §VIII:
+// lifting GECCO to online settings, where traces arrive one at a time and
+// the grouping is dynamically adapted to new arrivals.
+//
+// The Abstractor maintains a sliding window of recent traces. On every
+// arrival it updates the window incrementally; the grouping is recomputed
+// (a full GECCO run on the window) only when a drift signal fires — the
+// directly-follows relation of recent traces diverges from the relation
+// the current grouping was computed on — or after a configurable number of
+// arrivals. Between recomputations, arrivals are abstracted with the
+// current grouping at O(trace length) cost, so the expensive optimisation
+// runs amortised-rarely, which is what makes the approach online.
+package stream
+
+import (
+	"fmt"
+
+	"gecco/internal/abstraction"
+	"gecco/internal/constraints"
+	"gecco/internal/core"
+	"gecco/internal/eventlog"
+	"gecco/internal/instances"
+)
+
+// Config tunes the online abstractor.
+type Config struct {
+	// WindowSize is the number of recent traces kept (default 200).
+	WindowSize int
+	// RefreshEvery forces a regrouping after this many arrivals even
+	// without drift (default 100).
+	RefreshEvery int
+	// DriftThreshold is the Jaccard distance between the current DFG edge
+	// set and the grouping-time edge set above which a regrouping fires
+	// (default 0.25).
+	DriftThreshold float64
+	// Pipeline is the configuration for the underlying GECCO runs; its
+	// zero value uses DFG-based candidates, which suits repeated online
+	// recomputation.
+	Pipeline core.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.WindowSize == 0 {
+		c.WindowSize = 200
+	}
+	if c.RefreshEvery == 0 {
+		c.RefreshEvery = 100
+	}
+	if c.DriftThreshold == 0 {
+		c.DriftThreshold = 0.25
+	}
+	return c
+}
+
+// Abstractor consumes traces and emits their abstracted counterparts under
+// a grouping that adapts to the stream.
+type Abstractor struct {
+	cfg    Config
+	set    *constraints.Set
+	window []eventlog.Trace
+
+	grouping     abstraction.Grouping
+	groupingOK   bool
+	classToGroup map[string]int
+	basisEdges   map[[2]string]struct{}
+	sinceRefresh int
+
+	// Regroupings counts how often the grouping was recomputed.
+	Regroupings int
+	// Drifts counts regroupings triggered by the drift signal.
+	Drifts int
+}
+
+// New creates an online abstractor for the constraint set.
+func New(set *constraints.Set, cfg Config) *Abstractor {
+	cfg = cfg.withDefaults()
+	if cfg.Pipeline.Mode == core.Exhaustive {
+		cfg.Pipeline.Mode = core.DFGUnbounded
+	}
+	return &Abstractor{cfg: cfg, set: set}
+}
+
+// Grouping returns the current grouping's class lists, or nil before the
+// first successful regrouping.
+func (a *Abstractor) Grouping() [][]string {
+	if !a.groupingOK {
+		return nil
+	}
+	out := make([][]string, len(a.grouping.Groups))
+	byGroup := make(map[int][]string)
+	for c, g := range a.classToGroup {
+		byGroup[g] = append(byGroup[g], c)
+	}
+	for g, classes := range byGroup {
+		out[g] = classes
+	}
+	return out
+}
+
+// Push consumes one trace and returns its abstraction under the current
+// grouping. The first call (and every regrouping) runs the full pipeline
+// on the window; subsequent calls are O(|trace|).
+func (a *Abstractor) Push(tr eventlog.Trace) (eventlog.Trace, error) {
+	a.window = append(a.window, tr)
+	if len(a.window) > a.cfg.WindowSize {
+		a.window = a.window[len(a.window)-a.cfg.WindowSize:]
+	}
+	a.sinceRefresh++
+
+	if !a.groupingOK || a.sinceRefresh >= a.cfg.RefreshEvery || a.drifted() {
+		if err := a.regroup(); err != nil {
+			return eventlog.Trace{}, err
+		}
+	}
+	if !a.groupingOK {
+		// No feasible grouping yet: pass the trace through unchanged, as
+		// GECCO returns the original log in the offline setting.
+		return tr, nil
+	}
+	return a.abstractOne(tr), nil
+}
+
+// drifted compares the window's DFG edge set with the grouping-time one.
+func (a *Abstractor) drifted() bool {
+	if a.basisEdges == nil {
+		return false
+	}
+	current := edgeSet(a.window)
+	inter, union := 0, len(a.basisEdges)
+	for e := range current {
+		if _, ok := a.basisEdges[e]; ok {
+			inter++
+		} else {
+			union++
+		}
+	}
+	if union == 0 {
+		return false
+	}
+	return 1-float64(inter)/float64(union) > a.cfg.DriftThreshold
+}
+
+func (a *Abstractor) regroup() error {
+	log := &eventlog.Log{Name: "window", Traces: a.window}
+	res, err := core.Run(log, a.set, a.cfg.Pipeline)
+	if err != nil {
+		return fmt.Errorf("stream: regroup: %w", err)
+	}
+	a.Regroupings++
+	if a.basisEdges != nil && a.sinceRefresh < a.cfg.RefreshEvery {
+		a.Drifts++
+	}
+	a.sinceRefresh = 0
+	a.basisEdges = edgeSet(a.window)
+	if !res.Feasible {
+		a.groupingOK = false
+		return nil
+	}
+	a.grouping = res.Grouping
+	a.groupingOK = true
+	a.classToGroup = make(map[string]int)
+	x := eventlog.NewIndex(log)
+	for gi, g := range res.Grouping.Groups {
+		g.ForEach(func(c int) bool {
+			a.classToGroup[x.Classes[c]] = gi
+			return true
+		})
+	}
+	return nil
+}
+
+// abstractOne rewrites a single trace with the current grouping using the
+// completion-only strategy. Classes unseen at grouping time stay as-is
+// (they will be regrouped on the next refresh).
+func (a *Abstractor) abstractOne(tr eventlog.Trace) eventlog.Trace {
+	out := eventlog.Trace{ID: tr.ID}
+	// Instance segmentation: a new activity instance completes when the
+	// next event of the same group would repeat a class (split-on-repeat)
+	// or at the final event of the group's run.
+	type state struct {
+		classes map[string]bool
+		lastPos int
+	}
+	open := make(map[int]*state)
+	var markers []struct {
+		pos   int
+		class string
+	}
+	flush := func(gi int) {
+		st := open[gi]
+		if st == nil {
+			return
+		}
+		markers = append(markers, struct {
+			pos   int
+			class string
+		}{st.lastPos, a.grouping.Names[gi]})
+		delete(open, gi)
+	}
+	for pos, ev := range tr.Events {
+		gi, ok := a.classToGroup[ev.Class]
+		if !ok {
+			markers = append(markers, struct {
+				pos   int
+				class string
+			}{pos, ev.Class})
+			continue
+		}
+		st := open[gi]
+		if st == nil {
+			st = &state{classes: make(map[string]bool)}
+			open[gi] = st
+		} else if st.classes[ev.Class] {
+			flush(gi)
+			st = &state{classes: make(map[string]bool)}
+			open[gi] = st
+		}
+		st.classes[ev.Class] = true
+		st.lastPos = pos
+	}
+	for gi := range open {
+		flush(gi)
+	}
+	// Emit in completion order.
+	for i := 1; i < len(markers); i++ {
+		for j := i; j > 0 && markers[j].pos < markers[j-1].pos; j-- {
+			markers[j], markers[j-1] = markers[j-1], markers[j]
+		}
+	}
+	for _, m := range markers {
+		ev := eventlog.Event{Class: m.class}
+		if ts, ok := tr.Events[m.pos].Timestamp(); ok {
+			ev.SetAttr(eventlog.AttrTimestamp, eventlog.Time(ts))
+		}
+		out.Events = append(out.Events, ev)
+	}
+	return out
+}
+
+// edgeSet returns the directly-follows edges of the traces.
+func edgeSet(traces []eventlog.Trace) map[[2]string]struct{} {
+	out := make(map[[2]string]struct{})
+	for i := range traces {
+		ev := traces[i].Events
+		for j := 1; j < len(ev); j++ {
+			out[[2]string{ev[j-1].Class, ev[j].Class}] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Policy returns the instance policy the online abstraction mirrors.
+func Policy() instances.Policy { return instances.SplitOnRepeat }

@@ -1,0 +1,139 @@
+package stream
+
+import (
+	"testing"
+
+	"gecco/internal/constraints"
+	"gecco/internal/eventlog"
+	"gecco/internal/procgen"
+)
+
+func roleSet() *constraints.Set {
+	return constraints.NewSet(constraints.MustParse("distinct(role) <= 1"))
+}
+
+func TestOnlineMatchesOfflineOnStableStream(t *testing.T) {
+	log := procgen.RunningExample(300, 3)
+	a := New(roleSet(), Config{WindowSize: 100, RefreshEvery: 50})
+	var abstracted []eventlog.Trace
+	for _, tr := range log.Traces {
+		out, err := a.Push(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abstracted = append(abstracted, out)
+	}
+	if a.Regroupings == 0 {
+		t.Fatal("no regrouping happened")
+	}
+	// After warm-up, traces must be genuinely abstracted (shorter than or
+	// equal to originals, and using activity names).
+	shorter := 0
+	for i := 100; i < len(abstracted); i++ {
+		if len(abstracted[i].Events) < len(log.Traces[i].Events) {
+			shorter++
+		}
+		if len(abstracted[i].Events) > len(log.Traces[i].Events) {
+			t.Fatalf("trace %d grew", i)
+		}
+	}
+	if shorter == 0 {
+		t.Fatal("no trace was compressed after warm-up")
+	}
+}
+
+func TestDriftTriggersRegroup(t *testing.T) {
+	// Phase 1: running example. Phase 2: a completely different process.
+	phase1 := procgen.RunningExample(120, 5)
+	phase2 := &eventlog.Log{}
+	for i := 0; i < 120; i++ {
+		tr := eventlog.Trace{ID: "p2"}
+		for _, c := range []string{"x1", "x2", "x3", "x4"} {
+			ev := eventlog.Event{Class: c}
+			ev.SetAttr(eventlog.AttrRole, eventlog.String("newrole"))
+			tr.Events = append(tr.Events, ev)
+		}
+		phase2.Traces = append(phase2.Traces, tr)
+	}
+	a := New(roleSet(), Config{WindowSize: 60, RefreshEvery: 1000, DriftThreshold: 0.3})
+	for _, tr := range phase1.Traces {
+		if _, err := a.Push(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	regroupsBefore := a.Regroupings
+	for _, tr := range phase2.Traces {
+		if _, err := a.Push(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Regroupings <= regroupsBefore {
+		t.Fatal("drift did not trigger a regrouping")
+	}
+	if a.Drifts == 0 {
+		t.Fatal("drift counter not incremented")
+	}
+	// After adaptation, the new process's classes must be grouped.
+	out, err := a.Push(phase2.Traces[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Events) >= 4 {
+		t.Fatalf("post-drift trace not abstracted: %d events", len(out.Events))
+	}
+}
+
+func TestUnknownClassesPassThrough(t *testing.T) {
+	a := New(roleSet(), Config{WindowSize: 50, RefreshEvery: 10})
+	// Warm up on the running example.
+	for _, tr := range procgen.RunningExample(30, 9).Traces {
+		if _, err := a.Push(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	novel := eventlog.Trace{ID: "n", Events: []eventlog.Event{{Class: "never-seen"}}}
+	out, err := a.Push(novel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Regrouping may or may not have fired on this push; either way the
+	// novel class must survive (as itself or a singleton activity).
+	if len(out.Events) != 1 {
+		t.Fatalf("novel-class trace has %d events", len(out.Events))
+	}
+}
+
+func TestWindowBounded(t *testing.T) {
+	a := New(roleSet(), Config{WindowSize: 25, RefreshEvery: 1000})
+	for _, tr := range procgen.RunningExample(200, 11).Traces {
+		if _, err := a.Push(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(a.window) > 25 {
+		t.Fatalf("window grew to %d", len(a.window))
+	}
+}
+
+func TestGroupingAccessor(t *testing.T) {
+	a := New(roleSet(), Config{WindowSize: 50, RefreshEvery: 10})
+	if a.Grouping() != nil {
+		t.Fatal("grouping before first regroup should be nil")
+	}
+	for _, tr := range procgen.RunningExample(20, 13).Traces {
+		if _, err := a.Push(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := a.Grouping()
+	if g == nil {
+		t.Fatal("grouping missing after regroup")
+	}
+	total := 0
+	for _, classes := range g {
+		total += len(classes)
+	}
+	if total != 8 {
+		t.Fatalf("grouping covers %d classes, want 8", total)
+	}
+}

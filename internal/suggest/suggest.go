@@ -1,0 +1,205 @@
+// Package suggest implements the first future-work direction of §VIII: an
+// approach to suggest interesting constraints to users for a given log.
+// It profiles the log's attributes and proposes constraint candidates with
+// a rationale and an estimated restrictiveness (the fraction of singleton
+// groups, i.e. event classes, that already satisfy the constraint — a
+// cheap feasibility proxy).
+//
+// Heuristics:
+//   - Categorical attributes with few distinct values (role, origin
+//     system, ...) suggest per-instance and class-level homogeneity
+//     constraints, the paper's flagship use cases (§II, §VI-D).
+//   - Numeric attributes suggest per-instance aggregate bounds at robust
+//     percentiles of the observed per-event values.
+//   - Timestamps suggest gap and span bounds at percentiles of observed
+//     inter-event gaps.
+//   - The class count suggests a grouping bound of about |C_L|/4,
+//     a moderate abstraction target.
+package suggest
+
+import (
+	"fmt"
+	"sort"
+
+	"gecco/internal/bitset"
+	"gecco/internal/constraints"
+	"gecco/internal/eventlog"
+	"gecco/internal/instances"
+)
+
+// Suggestion is one proposed constraint with its rationale.
+type Suggestion struct {
+	Constraint constraints.Constraint
+	Rationale  string
+	// SingletonPass is the fraction of event classes whose singleton group
+	// satisfies the constraint: 1.0 means the constraint cannot make the
+	// problem infeasible on its own, lower values warn about
+	// restrictiveness.
+	SingletonPass float64
+}
+
+// maxCategorical is the largest number of distinct values for which an
+// attribute still counts as a grouping-relevant category.
+const maxCategorical = 12
+
+// Suggest profiles the log and returns ranked constraint suggestions
+// (most broadly satisfiable first, ties broken by rationale text).
+func Suggest(log *eventlog.Log) []Suggestion {
+	x := eventlog.NewIndex(log)
+	var out []Suggestion
+
+	catAttrs, numAttrs, hasTime := profileAttrs(log)
+	for _, attr := range catAttrs {
+		vals := distinctValues(log, attr)
+		out = append(out,
+			propose(x, constraints.InstanceAggregate{
+				AggFn: constraints.Distinct, Attr: attr, Op: constraints.LE, Threshold: 1,
+			}, fmt.Sprintf("attribute %q is categorical (%d values); homogeneous instances keep %s-boundaries visible", attr, vals, attr)),
+			propose(x, constraints.ClassAttrDistinct{Attr: attr, Op: constraints.LE, N: 1},
+				fmt.Sprintf("event classes partition by %q; forbid activities mixing %s values (as in the paper's case study)", attr, attr)),
+		)
+	}
+	for _, attr := range numAttrs {
+		vals := numericValues(log, attr)
+		if len(vals) == 0 {
+			continue
+		}
+		p90 := percentile(vals, 0.9)
+		out = append(out, propose(x, constraints.InstanceAggregate{
+			AggFn: constraints.Max, Attr: attr, Op: constraints.LE, Threshold: p90,
+		}, fmt.Sprintf("90%% of observed %q values are below %g; bound instances accordingly", attr, p90)))
+	}
+	if hasTime {
+		gaps := interEventGaps(log)
+		if len(gaps) > 0 {
+			p95 := percentile(gaps, 0.95)
+			out = append(out, propose(x, constraints.MaxGap{Seconds: p95},
+				fmt.Sprintf("95%% of consecutive events are at most %.0fs apart; larger gaps indicate unrelated work", p95)))
+		}
+	}
+	if n := x.NumClasses(); n >= 8 {
+		target := n / 4
+		if target < 2 {
+			target = 2
+		}
+		out = append(out, propose(x, constraints.GroupCount{Op: constraints.LE, N: target},
+			fmt.Sprintf("%d classes; about %d activities is a moderate abstraction target", n, target)))
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].SingletonPass != out[j].SingletonPass {
+			return out[i].SingletonPass > out[j].SingletonPass
+		}
+		return out[i].Rationale < out[j].Rationale
+	})
+	return out
+}
+
+func propose(x *eventlog.Index, c constraints.Constraint, rationale string) Suggestion {
+	return Suggestion{Constraint: c, Rationale: rationale, SingletonPass: singletonPass(x, c)}
+}
+
+// singletonPass checks the constraint against every singleton group.
+func singletonPass(x *eventlog.Index, c constraints.Constraint) float64 {
+	set := constraints.NewSet(c)
+	if len(set.Grouping) > 0 {
+		return 1 // grouping bounds never reject individual classes
+	}
+	ev := constraints.NewEvaluator(x, set, instances.SplitOnRepeat)
+	n := x.NumClasses()
+	pass := 0
+	for i := 0; i < n; i++ {
+		g := bitset.New(n)
+		g.Add(i)
+		if ev.Holds(g) {
+			pass++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(pass) / float64(n)
+}
+
+// profileAttrs partitions event attributes into categorical (string, few
+// values) and numeric, and reports timestamp presence.
+func profileAttrs(log *eventlog.Log) (cat, num []string, hasTime bool) {
+	strVals := make(map[string]map[string]struct{})
+	numeric := make(map[string]bool)
+	for i := range log.Traces {
+		for j := range log.Traces[i].Events {
+			for k, v := range log.Traces[i].Events[j].Attrs {
+				switch {
+				case k == eventlog.AttrTimestamp:
+					hasTime = true
+				case v.Kind == eventlog.KindString:
+					m, ok := strVals[k]
+					if !ok {
+						m = make(map[string]struct{})
+						strVals[k] = m
+					}
+					m[v.Str] = struct{}{}
+				case v.IsNumeric():
+					numeric[k] = true
+				}
+			}
+		}
+	}
+	for k, m := range strVals {
+		if len(m) >= 2 && len(m) <= maxCategorical {
+			cat = append(cat, k)
+		}
+	}
+	for k := range numeric {
+		num = append(num, k)
+	}
+	sort.Strings(cat)
+	sort.Strings(num)
+	return cat, num, hasTime
+}
+
+func distinctValues(log *eventlog.Log, attr string) int {
+	seen := make(map[string]struct{})
+	for i := range log.Traces {
+		for j := range log.Traces[i].Events {
+			if v, ok := log.Traces[i].Events[j].Attrs[attr]; ok {
+				seen[v.AsString()] = struct{}{}
+			}
+		}
+	}
+	return len(seen)
+}
+
+func numericValues(log *eventlog.Log, attr string) []float64 {
+	var out []float64
+	for i := range log.Traces {
+		for j := range log.Traces[i].Events {
+			if v, ok := log.Traces[i].Events[j].Attrs[attr]; ok && v.IsNumeric() {
+				out = append(out, v.Num)
+			}
+		}
+	}
+	return out
+}
+
+func interEventGaps(log *eventlog.Log) []float64 {
+	var out []float64
+	for i := range log.Traces {
+		ev := log.Traces[i].Events
+		for j := 1; j < len(ev); j++ {
+			t1, ok1 := ev[j-1].Timestamp()
+			t2, ok2 := ev[j].Timestamp()
+			if ok1 && ok2 {
+				out = append(out, t2.Sub(t1).Seconds())
+			}
+		}
+	}
+	return out
+}
+
+// percentile returns the p-quantile (0..1) of the values (nearest rank).
+func percentile(vals []float64, p float64) float64 {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

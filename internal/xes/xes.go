@@ -1,0 +1,211 @@
+// Package xes reads and writes event logs in the IEEE XES XML format, the
+// interchange format of the public logs used in the paper's evaluation. Only
+// the log/trace/event structure and the standard attribute kinds (string,
+// int, float, date, boolean) are supported; extensions, globals and
+// classifiers are skipped on read and a minimal header is emitted on write.
+// The canonical event class is the concept:name attribute.
+package xes
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"gecco/internal/eventlog"
+)
+
+// attribute mirrors one XES attribute element of any kind.
+type attribute struct {
+	XMLName xml.Name
+	Key     string `xml:"key,attr"`
+	Value   string `xml:"value,attr"`
+}
+
+type xmlEvent struct {
+	Attrs []attribute `xml:",any"`
+}
+
+type xmlTrace struct {
+	Attrs  []attribute `xml:"string"`
+	Events []xmlEvent  `xml:"event"`
+}
+
+type xmlLog struct {
+	XMLName xml.Name    `xml:"log"`
+	Attrs   []attribute `xml:"string"`
+	Traces  []xmlTrace  `xml:"trace"`
+}
+
+// conceptName is the XES attribute carrying names of logs, traces & events.
+const conceptName = "concept:name"
+
+// timeTimestamp is the XES attribute carrying event timestamps.
+const timeTimestamp = "time:timestamp"
+
+// lifecycleTransition is the XES attribute carrying lifecycle states.
+const lifecycleTransition = "lifecycle:transition"
+
+// Read parses an XES document into a Log. Events without a concept:name are
+// rejected, as class-less events cannot participate in abstraction.
+func Read(r io.Reader) (*eventlog.Log, error) {
+	var doc xmlLog
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("xes: decode: %w", err)
+	}
+	log := &eventlog.Log{}
+	for _, a := range doc.Attrs {
+		if a.Key == conceptName {
+			log.Name = a.Value
+		}
+	}
+	for ti, t := range doc.Traces {
+		trace := eventlog.Trace{ID: fmt.Sprintf("t%d", ti)}
+		for _, a := range t.Attrs {
+			if a.Key == conceptName {
+				trace.ID = a.Value
+			}
+		}
+		for ei, e := range t.Events {
+			ev := eventlog.Event{}
+			for _, a := range e.Attrs {
+				v, err := decodeValue(a)
+				if err != nil {
+					return nil, fmt.Errorf("xes: trace %d event %d attr %q: %w", ti, ei, a.Key, err)
+				}
+				switch a.Key {
+				case conceptName:
+					ev.Class = v.Str
+				case timeTimestamp:
+					ev.SetAttr(eventlog.AttrTimestamp, v)
+				case lifecycleTransition:
+					ev.SetAttr(eventlog.AttrLifecycle, v)
+				default:
+					ev.SetAttr(a.Key, v)
+				}
+			}
+			if ev.Class == "" {
+				return nil, fmt.Errorf("xes: trace %d event %d: missing %s", ti, ei, conceptName)
+			}
+			trace.Events = append(trace.Events, ev)
+		}
+		log.Traces = append(log.Traces, trace)
+	}
+	return log, nil
+}
+
+func decodeValue(a attribute) (eventlog.Value, error) {
+	switch a.XMLName.Local {
+	case "string", "id":
+		return eventlog.String(a.Value), nil
+	case "int":
+		i, err := strconv.ParseInt(a.Value, 10, 64)
+		if err != nil {
+			return eventlog.Value{}, err
+		}
+		return eventlog.Int(i), nil
+	case "float":
+		f, err := strconv.ParseFloat(a.Value, 64)
+		if err != nil {
+			return eventlog.Value{}, err
+		}
+		return eventlog.Float(f), nil
+	case "date":
+		t, err := parseXESTime(a.Value)
+		if err != nil {
+			return eventlog.Value{}, err
+		}
+		return eventlog.Time(t), nil
+	case "boolean":
+		b, err := strconv.ParseBool(a.Value)
+		if err != nil {
+			return eventlog.Value{}, err
+		}
+		return eventlog.Bool(b), nil
+	}
+	// Unknown kinds (lists, containers) are preserved as strings.
+	return eventlog.String(a.Value), nil
+}
+
+func parseXESTime(s string) (time.Time, error) {
+	for _, layout := range []string{time.RFC3339Nano, time.RFC3339, "2006-01-02T15:04:05.000-07:00", "2006-01-02T15:04:05"} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("unrecognised timestamp %q", s)
+}
+
+// Write serialises the log as an XES document.
+func Write(w io.Writer, log *eventlog.Log) error {
+	bw := &errWriter{w: w}
+	bw.printf("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n")
+	bw.printf("<log xes.version=\"1.0\" xes.features=\"\">\n")
+	bw.printf("  <string key=\"concept:name\" value=%q/>\n", log.Name)
+	for i := range log.Traces {
+		tr := &log.Traces[i]
+		bw.printf("  <trace>\n    <string key=\"concept:name\" value=%q/>\n", tr.ID)
+		for j := range tr.Events {
+			ev := &tr.Events[j]
+			bw.printf("    <event>\n")
+			bw.printf("      <string key=\"concept:name\" value=%q/>\n", ev.Class)
+			for _, k := range sortedAttrKeys(ev.Attrs) {
+				writeAttr(bw, k, ev.Attrs[k])
+			}
+			bw.printf("    </event>\n")
+		}
+		bw.printf("  </trace>\n")
+	}
+	bw.printf("</log>\n")
+	return bw.err
+}
+
+func writeAttr(bw *errWriter, key string, v eventlog.Value) {
+	xkey := key
+	switch key {
+	case eventlog.AttrTimestamp:
+		xkey = timeTimestamp
+	case eventlog.AttrLifecycle:
+		xkey = lifecycleTransition
+	}
+	switch v.Kind {
+	case eventlog.KindString:
+		bw.printf("      <string key=%q value=%q/>\n", xkey, v.Str)
+	case eventlog.KindInt:
+		bw.printf("      <int key=%q value=\"%d\"/>\n", xkey, int64(v.Num))
+	case eventlog.KindFloat:
+		bw.printf("      <float key=%q value=\"%g\"/>\n", xkey, v.Num)
+	case eventlog.KindTime:
+		bw.printf("      <date key=%q value=%q/>\n", xkey, v.Time.Format(time.RFC3339Nano))
+	case eventlog.KindBool:
+		bw.printf("      <boolean key=%q value=\"%t\"/>\n", xkey, v.Bool)
+	}
+}
+
+func sortedAttrKeys(m map[string]eventlog.Value) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// insertion sort; attribute maps are tiny
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,129 @@
+package xes
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"gecco/internal/eventlog"
+	"gecco/internal/procgen"
+)
+
+const sampleXES = `<?xml version="1.0" encoding="UTF-8"?>
+<log xes.version="1.0">
+  <string key="concept:name" value="sample"/>
+  <trace>
+    <string key="concept:name" value="case-1"/>
+    <event>
+      <string key="concept:name" value="register"/>
+      <date key="time:timestamp" value="2021-06-01T08:00:00Z"/>
+      <string key="role" value="clerk"/>
+      <float key="cost" value="12.5"/>
+      <int key="items" value="3"/>
+      <boolean key="urgent" value="true"/>
+    </event>
+    <event>
+      <string key="concept:name" value="approve"/>
+      <date key="time:timestamp" value="2021-06-01T09:00:00Z"/>
+    </event>
+  </trace>
+</log>`
+
+func TestReadSample(t *testing.T) {
+	log, err := Read(strings.NewReader(sampleXES))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Name != "sample" {
+		t.Errorf("name = %q", log.Name)
+	}
+	if len(log.Traces) != 1 || log.Traces[0].ID != "case-1" {
+		t.Fatalf("traces = %+v", log.Traces)
+	}
+	ev := log.Traces[0].Events
+	if len(ev) != 2 || ev[0].Class != "register" || ev[1].Class != "approve" {
+		t.Fatalf("events = %+v", ev)
+	}
+	if v := ev[0].Attrs["role"]; v.Str != "clerk" {
+		t.Errorf("role = %+v", v)
+	}
+	if v := ev[0].Attrs["cost"]; v.Kind != eventlog.KindFloat || v.Num != 12.5 {
+		t.Errorf("cost = %+v", v)
+	}
+	if v := ev[0].Attrs["items"]; v.Kind != eventlog.KindInt || v.Num != 3 {
+		t.Errorf("items = %+v", v)
+	}
+	if v := ev[0].Attrs["urgent"]; v.Kind != eventlog.KindBool || !v.Bool {
+		t.Errorf("urgent = %+v", v)
+	}
+	ts, ok := ev[0].Timestamp()
+	if !ok || !ts.Equal(time.Date(2021, 6, 1, 8, 0, 0, 0, time.UTC)) {
+		t.Errorf("timestamp = %v", ts)
+	}
+}
+
+func TestReadRejectsClasslessEvent(t *testing.T) {
+	src := `<log><trace><event><string key="x" value="y"/></event></trace></log>`
+	if _, err := Read(strings.NewReader(src)); err == nil {
+		t.Fatal("expected error for event without concept:name")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := procgen.RunningExampleTable1()
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name {
+		t.Errorf("name %q != %q", back.Name, orig.Name)
+	}
+	if len(back.Traces) != len(orig.Traces) {
+		t.Fatalf("trace count %d != %d", len(back.Traces), len(orig.Traces))
+	}
+	for i := range orig.Traces {
+		ot, bt := &orig.Traces[i], &back.Traces[i]
+		if ot.Variant() != bt.Variant() {
+			t.Fatalf("trace %d variant mismatch: %q vs %q", i, ot.Variant(), bt.Variant())
+		}
+		for j := range ot.Events {
+			oe, be := &ot.Events[j], &bt.Events[j]
+			if len(oe.Attrs) != len(be.Attrs) {
+				t.Fatalf("trace %d event %d attr count %d != %d", i, j, len(be.Attrs), len(oe.Attrs))
+			}
+			for k, ov := range oe.Attrs {
+				bv, ok := be.Attrs[k]
+				if !ok {
+					t.Fatalf("trace %d event %d missing attr %q", i, j, k)
+				}
+				if ov.Kind != bv.Kind {
+					t.Fatalf("attr %q kind %v != %v", k, bv.Kind, ov.Kind)
+				}
+				if ov.Kind == eventlog.KindTime && !ov.Time.Equal(bv.Time) {
+					t.Fatalf("attr %q time %v != %v", k, bv.Time, ov.Time)
+				}
+			}
+		}
+	}
+}
+
+func TestTimestampFormats(t *testing.T) {
+	for _, s := range []string{
+		"2021-06-01T08:00:00Z",
+		"2021-06-01T08:00:00.123Z",
+		"2021-06-01T08:00:00+02:00",
+		"2021-06-01T08:00:00.000+02:00",
+	} {
+		if _, err := parseXESTime(s); err != nil {
+			t.Errorf("parseXESTime(%q): %v", s, err)
+		}
+	}
+	if _, err := parseXESTime("junk"); err == nil {
+		t.Error("expected error for junk timestamp")
+	}
+}

@@ -8,6 +8,8 @@
 package gecco_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -146,6 +148,56 @@ func BenchmarkFigure8CaseStudyDFG(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelCandidates measures exhaustive enumeration (Algorithm 1)
+// with one worker versus one per CPU on medium synthetic logs under an
+// instance-based constraint set (the per-check log passes are the paper's
+// Step 1 bottleneck). The sub-benchmarks additionally assert that the
+// parallel run returns the exact candidate list of the sequential run.
+func BenchmarkParallelCandidates(b *testing.B) {
+	logs := collection(b)
+	medium := logs[1:3] // the medium logs of the bench subset
+	type problem struct {
+		x   *eventlog.Index
+		set *constraints.Set
+	}
+	var problems []problem
+	for _, log := range medium {
+		x := eventlog.NewIndex(log)
+		set, ok := experiments.BuildSet(experiments.SetA, x)
+		if !ok {
+			b.Fatal("constraint set inapplicable")
+		}
+		problems = append(problems, problem{x, set})
+	}
+	budget := candidates.Budget{MaxChecks: 8000}
+	run := func(workers int) []candidates.Result {
+		var out []candidates.Result
+		for _, p := range problems {
+			ev := constraints.NewEvaluator(p.x, p.set, instances.SplitOnRepeat)
+			out = append(out, candidates.Exhaustive(p.x, ev, budget, workers))
+		}
+		return out
+	}
+	baseline := run(1)
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				got := run(workers)
+				for pi := range got {
+					if len(got[pi].Groups) != len(baseline[pi].Groups) || got[pi].Checks != baseline[pi].Checks {
+						b.Fatalf("workers=%d: output diverged from sequential run", workers)
+					}
+					for gi := range got[pi].Groups {
+						if !got[pi].Groups[gi].Equal(baseline[pi].Groups[gi]) {
+							b.Fatalf("workers=%d: group %d differs", workers, gi)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkStep2MIPShare isolates Step 2 (the paper's §V-C claim that the
 // MIP solve contributes marginally to overall runtime): candidate
 // computation plus both solvers on the same instance.
@@ -155,7 +207,7 @@ func BenchmarkStep2MIPShare(b *testing.B) {
 	x := eventlog.NewIndex(log)
 	ev := constraints.NewEvaluator(x, set, instances.SplitOnRepeat)
 	dc := distance.NewCalc(x, instances.SplitOnRepeat)
-	cr := candidates.Exhaustive(x, ev, candidates.Budget{MaxChecks: 4000})
+	cr := candidates.Exhaustive(x, ev, candidates.Budget{MaxChecks: 4000}, 1)
 	prob := &cover.Problem{NumClasses: x.NumClasses(), Candidates: cr.Groups, MaxGroups: -1}
 	for _, g := range cr.Groups {
 		prob.Costs = append(prob.Costs, dc.Group(g))

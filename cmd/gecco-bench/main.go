@@ -33,6 +33,7 @@ func main() {
 		detail  = flag.Bool("detail", false, "print the per-problem breakdown (DFGk) and the solved matrix")
 		budget  = flag.Int("budget", 0, "candidate checks per problem (0 = default)")
 		timeout = flag.Duration("solver-timeout", 0, "Step 2 limit per problem (0 = default)")
+		workers = flag.Int("workers", 0, "worker threads per problem (0 = all cores, 1 = the paper's sequential runs)")
 	)
 	flag.Parse()
 
@@ -41,7 +42,7 @@ func main() {
 	logs := procgen.Collection()
 	fmt.Printf("done in %v\n\n", time.Since(start).Round(time.Millisecond))
 
-	opts := experiments.Options{Logs: logs, MaxChecks: *budget, SolverTimeout: *timeout}
+	opts := experiments.Options{Logs: logs, MaxChecks: *budget, SolverTimeout: *timeout, Workers: *workers}
 	if *quick {
 		opts.Logs = []*eventlog.Log{logs[0], logs[3], logs[6], logs[8], logs[10]}
 		if opts.MaxChecks == 0 {

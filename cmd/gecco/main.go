@@ -43,6 +43,7 @@ func main() {
 		beamWidth   = flag.Int("k", 0, "beam width for -mode beam (0 = 5*|classes|)")
 		strategy    = flag.String("strategy", "complete", "abstraction strategy: complete | startcomplete")
 		maxChecks   = flag.Int("budget", 0, "max candidate checks (0 = unlimited)")
+		workers     = flag.Int("workers", 0, "worker threads for candidate and distance evaluation (0 = all cores)")
 		solverLimit = flag.Duration("solver-timeout", 30*time.Second, "Step 2 time limit")
 		nameAttr    = flag.String("name-attr", "", "prefix activity names by this class attribute (e.g. org)")
 		useMIP      = flag.Bool("mip", false, "use the MIP formulation for Step 2 instead of branch and bound")
@@ -86,6 +87,7 @@ func main() {
 
 	cfg := gecco.Config{
 		BeamWidth:       *beamWidth,
+		Workers:         *workers,
 		Budget:          candidates.Budget{MaxChecks: *maxChecks},
 		SolverTimeout:   *solverLimit,
 		NameByClassAttr: *nameAttr,

@@ -1,0 +1,103 @@
+package gecco_test
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"gecco"
+	"gecco/internal/procgen"
+)
+
+// determinismCases pair the example logs with constraint sets covering
+// class-based, instance-based and grouping constraints.
+var determinismCases = []struct {
+	name        string
+	log         func() *gecco.Log
+	constraints string
+}{
+	{"running-example-roles", procgen.RunningExampleTable1, "distinct(role) <= 1"},
+	{"running-example-large", func() *gecco.Log { return procgen.RunningExample(150, 7) },
+		"distinct(role) <= 1\nsum(duration) >= 0\n|g| <= 6"},
+	{"loan-org", func() *gecco.Log { return procgen.LoanLog(150, 17) },
+		"distinct(class.org) <= 1\n|g| <= 8"},
+}
+
+// TestWorkersByteIdenticalResults asserts the parallelisation contract of
+// Config.Workers: for every pipeline mode, a run with N workers produces
+// byte-identical groups, activity names, distance, and abstracted log to
+// the sequential run.
+func TestWorkersByteIdenticalResults(t *testing.T) {
+	modes := []struct {
+		name string
+		mode gecco.Config
+	}{
+		{"exh", gecco.Config{Mode: gecco.ModeExhaustive}},
+		{"dfg", gecco.Config{Mode: gecco.ModeDFGUnbounded}},
+		{"beam", gecco.Config{Mode: gecco.ModeDFGBeam}},
+	}
+	for _, tc := range determinismCases {
+		log := tc.log()
+		for _, m := range modes {
+			t.Run(tc.name+"/"+m.name, func(t *testing.T) {
+				cfg := m.mode
+				cfg.Workers = 1
+				seq, err := gecco.Abstract(log, tc.constraints, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !seq.Feasible {
+					t.Fatalf("sequential run infeasible: %s", seq.Diagnostics)
+				}
+				var seqXES bytes.Buffer
+				if err := gecco.WriteXES(&seqXES, seq.Abstracted); err != nil {
+					t.Fatal(err)
+				}
+				for _, w := range []int{2, runtime.NumCPU()} {
+					cfg.Workers = w
+					par, err := gecco.Abstract(log, tc.constraints, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !par.Feasible {
+						t.Fatalf("workers=%d infeasible", w)
+					}
+					if !reflect.DeepEqual(par.GroupClasses, seq.GroupClasses) {
+						t.Fatalf("workers=%d: groups %v, want %v", w, par.GroupClasses, seq.GroupClasses)
+					}
+					if !reflect.DeepEqual(par.Grouping.Names, seq.Grouping.Names) {
+						t.Fatalf("workers=%d: names %v, want %v", w, par.Grouping.Names, seq.Grouping.Names)
+					}
+					if par.Distance != seq.Distance {
+						t.Fatalf("workers=%d: distance %v, want %v", w, par.Distance, seq.Distance)
+					}
+					if par.NumCandidates != seq.NumCandidates || par.ConstraintChecks != seq.ConstraintChecks {
+						t.Fatalf("workers=%d: candidates/checks %d/%d, want %d/%d",
+							w, par.NumCandidates, par.ConstraintChecks, seq.NumCandidates, seq.ConstraintChecks)
+					}
+					var parXES bytes.Buffer
+					if err := gecco.WriteXES(&parXES, par.Abstracted); err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(parXES.Bytes(), seqXES.Bytes()) {
+						t.Fatalf("workers=%d: abstracted XES differs from sequential run", w)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestWorkersDefaultIsParallel pins the Config contract: Workers <= 0 means
+// one worker per CPU, and the zero-value Config must still be feasible on
+// the running example (i.e. parallel-by-default does not change behaviour).
+func TestWorkersDefaultIsParallel(t *testing.T) {
+	res, err := gecco.Abstract(procgen.RunningExampleTable1(), "distinct(role) <= 1", gecco.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("zero-value config infeasible: %s", res.Diagnostics)
+	}
+}

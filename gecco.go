@@ -19,6 +19,12 @@
 // configurations mirror the paper: exhaustive candidate computation
 // (ModeExhaustive), DFG-guided search (ModeDFGUnbounded), and beam-pruned
 // DFG search (ModeDFGBeam, the paper's DFGk with k = 5·|C_L| by default).
+//
+// Candidate computation and distance evaluation run on a worker pool sized
+// by Config.Workers (default: one worker per CPU). Parallel runs are
+// deterministic — without a wall-clock Budget.TimeLimit, any worker count
+// produces byte-identical results; set Workers to 1 for the paper's
+// sequential execution.
 package gecco
 
 import (

@@ -1,0 +1,3 @@
+module gecco
+
+go 1.22

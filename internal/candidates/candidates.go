@@ -5,10 +5,20 @@
 // merging of exclusive behavioural alternatives (Algorithm 3). All honour a
 // budget: like the paper's 5-hour timeout, on exhaustion the candidates
 // found so far are returned and the pipeline continues.
+//
+// Both enumeration procedures evaluate their frontiers in parallel across a
+// worker pool while staying deterministic: the items of a frontier are
+// scored concurrently into an index-aligned verdict array and merged
+// sequentially in frontier order, so the candidate set — and therefore every
+// downstream result — is identical for any worker count. Frontier items all
+// have the same group size, so the monotonicity shortcut (which consults the
+// candidates of strictly smaller sizes) reads only frozen state during the
+// parallel phase.
 package candidates
 
 import (
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"gecco/internal/bitset"
@@ -16,6 +26,7 @@ import (
 	"gecco/internal/dfg"
 	"gecco/internal/distance"
 	"gecco/internal/eventlog"
+	"gecco/internal/par"
 )
 
 // Budget caps candidate computation. Zero values mean "unlimited".
@@ -24,11 +35,31 @@ type Budget struct {
 	TimeLimit time.Duration // wall-clock limit
 }
 
+// deadlineSampleInterval is how often (in checks) the wall clock is
+// consulted against TimeLimit. The deadline is also tested on the very
+// first check after start(), so a budget that is already expired — or a
+// single slow constraint evaluation right at the start — cannot run an
+// entire sampling window past the limit. Between samples the overshoot is
+// bounded by the cost of deadlineSampleInterval constraint checks.
+const deadlineSampleInterval = 64
+
+// budgetState tracks budget consumption. It is safe for concurrent use:
+// reservations and work counts are atomic, so frontier workers can consume
+// the budget concurrently. Consumption is two-phase: grant reserves a whole
+// frontier against MaxChecks up front (making the MaxChecks cut
+// deterministic for any worker count), then each worker calls tick per item
+// it actually evaluates (counting real work and sampling the deadline).
+// MaxChecks exhaustion and deadline expiry are tracked separately: a short
+// grant must not stop workers from evaluating the items already granted —
+// that is what reproduces the sequential semantics of "assess exactly
+// MaxChecks groups, then stop".
 type budgetState struct {
 	Budget
 	deadline time.Time
-	used     int
-	exceeded bool
+	reserved atomic.Int64 // checks reserved against MaxChecks
+	ticks    atomic.Int64 // items actually evaluated (Checks reporting, deadline sampling)
+	maxedOut atomic.Bool  // MaxChecks exhausted
+	timedOut atomic.Bool  // deadline passed
 }
 
 func (b *budgetState) start() {
@@ -37,22 +68,63 @@ func (b *budgetState) start() {
 	}
 }
 
-// spend consumes one unit and reports whether the budget still allows work.
-func (b *budgetState) spend() bool {
-	if b.exceeded {
+// exceeded reports whether any budget dimension is exhausted.
+func (b *budgetState) exceeded() bool { return b.maxedOut.Load() || b.timedOut.Load() }
+
+// tick records one evaluated item and reports whether the deadline still
+// holds; on expiry the item must not be evaluated. The wall clock is
+// sampled on the first tick and every deadlineSampleInterval-th thereafter.
+func (b *budgetState) tick() bool {
+	if b.timedOut.Load() {
 		return false
 	}
-	b.used++
-	if b.MaxChecks > 0 && b.used > b.MaxChecks {
-		b.exceeded = true
-		return false
+	t := b.ticks.Add(1)
+	if b.deadline.IsZero() {
+		return true
 	}
-	if !b.deadline.IsZero() && b.used&63 == 0 && time.Now().After(b.deadline) {
-		b.exceeded = true
+	if (t == 1 || t%deadlineSampleInterval == 0) && time.Now().After(b.deadline) {
+		b.timedOut.Store(true)
+		b.ticks.Add(-1) // the expired item is not evaluated
 		return false
 	}
 	return true
 }
+
+// grant atomically reserves up to n checks against MaxChecks and returns
+// how many were granted. A short grant marks MaxChecks exhausted; the
+// granted items are still evaluated.
+func (b *budgetState) grant(n int) int {
+	if n <= 0 || b.exceeded() {
+		return 0
+	}
+	if b.MaxChecks <= 0 {
+		b.reserved.Add(int64(n))
+		return n
+	}
+	for {
+		cur := b.reserved.Load()
+		rem := int64(b.MaxChecks) - cur
+		if rem <= 0 {
+			b.maxedOut.Store(true)
+			return 0
+		}
+		g := int64(n)
+		if g > rem {
+			g = rem
+		}
+		if b.reserved.CompareAndSwap(cur, cur+g) {
+			if g < int64(n) {
+				b.maxedOut.Store(true)
+			}
+			return int(g)
+		}
+	}
+}
+
+// checks reports the number of items actually evaluated — unlike the
+// reservation count, this stays accurate when a deadline expires after a
+// frontier was granted but before all its items ran.
+func (b *budgetState) checks() int { return int(b.ticks.Load()) }
 
 // Result is the output of a candidate computation.
 type Result struct {
@@ -61,7 +133,10 @@ type Result struct {
 	Checks   int  // groups/paths assessed
 }
 
-// set tracks candidate groups with key-based deduplication.
+// set tracks candidate groups with key-based deduplication. It is only
+// mutated from the sequential merge phases; workers read it concurrently
+// through contains/hasSatisfyingSubset, which is safe because no writer is
+// active during a parallel frontier evaluation.
 type set struct {
 	keys   map[string]struct{}
 	groups []bitset.Set
@@ -102,8 +177,12 @@ func (s *set) hasSatisfyingSubset(g bitset.Set, universe int) bool {
 }
 
 // Exhaustive implements Algorithm 1: iterative enumeration of co-occurring
-// groups of increasing size with monotonicity-based pruning.
-func Exhaustive(x *eventlog.Index, ev *constraints.Evaluator, budget Budget) Result {
+// groups of increasing size with monotonicity-based pruning. The frontier of
+// each lattice level is evaluated in parallel across workers (<= 0 means one
+// per CPU); results are merged in frontier order, so the output is identical
+// for any worker count.
+func Exhaustive(x *eventlog.Index, ev *constraints.Evaluator, budget Budget, workers int) Result {
+	w := par.Workers(workers)
 	mode := ev.Set.CheckingMode()
 	n := x.NumClasses()
 	bs := &budgetState{Budget: budget}
@@ -120,25 +199,26 @@ func Exhaustive(x *eventlog.Index, ev *constraints.Evaluator, budget Budget) Res
 		queued[g.Key()] = struct{}{}
 	}
 
-	for len(toCheck) > 0 && !bs.exceeded {
-		var newCands []bitset.Set
-		for _, g := range toCheck {
-			if !bs.spend() {
-				break
+	for len(toCheck) > 0 && !bs.exceeded() {
+		limit := bs.grant(len(toCheck))
+		verdicts := make([]bool, limit)
+		par.For(w, limit, func(i int) {
+			if !bs.tick() {
+				return
 			}
-			ok := false
+			g := toCheck[i]
 			if mode == constraints.ModeMono && cands.hasSatisfyingSubset(g, n) {
-				ok = true
+				verdicts[i] = true
 			} else {
-				ok = ev.Holds(g)
+				verdicts[i] = ev.Holds(g)
 			}
-			if ok {
-				if cands.add(g) {
-					newCands = append(newCands, g)
-				}
+		})
+		for i := 0; i < limit; i++ {
+			if verdicts[i] {
+				cands.add(toCheck[i])
 			}
 		}
-		if bs.exceeded {
+		if bs.exceeded() {
 			break
 		}
 		// Group expansion (lines 9–13). In the anti-monotonic mode only
@@ -148,16 +228,20 @@ func Exhaustive(x *eventlog.Index, ev *constraints.Evaluator, budget Budget) Res
 		// must-link pair) may still have satisfying supergroups.
 		expandFrom := toCheck
 		if mode == constraints.ModeAnti {
+			antiOK := make([]bool, len(toCheck))
+			par.For(w, len(toCheck), func(i int) {
+				antiOK[i] = ev.HoldsAnti(toCheck[i])
+			})
 			expandFrom = expandFrom[:0]
-			for _, g := range toCheck {
-				if ev.HoldsAnti(g) {
+			for i, g := range toCheck {
+				if antiOK[i] {
 					expandFrom = append(expandFrom, g)
 				}
 			}
 		}
 		toCheck = expand(x, expandFrom, n, queued)
 	}
-	return Result{Groups: cands.groups, TimedOut: bs.exceeded, Checks: bs.used}
+	return Result{Groups: cands.groups, TimedOut: bs.exceeded(), Checks: bs.checks()}
 }
 
 // expand creates all one-class-larger groups from base groups, keeping only
@@ -206,8 +290,12 @@ func pathKey(nodes []int) string {
 
 // DFGBased implements Algorithm 2: beam search over DFG paths, prioritising
 // paths whose node sets have the lowest distance. A beamWidth k <= 0 means
-// unlimited (the DFG∞ configuration).
-func DFGBased(x *eventlog.Index, ev *constraints.Evaluator, dc *distance.Calc, g *dfg.Graph, beamWidth int, budget Budget) Result {
+// unlimited (the DFG∞ configuration). Path scoring and constraint
+// evaluation of each frontier fan out across workers (<= 0 means one per
+// CPU) with a sequential in-order merge, so the search — including the beam
+// cut — is deterministic for any worker count.
+func DFGBased(x *eventlog.Index, ev *constraints.Evaluator, dc *distance.Calc, g *dfg.Graph, beamWidth int, budget Budget, workers int) Result {
+	w := par.Workers(workers)
 	mode := ev.Set.CheckingMode()
 	bs := &budgetState{Budget: budget}
 	bs.start()
@@ -223,9 +311,11 @@ func DFGBased(x *eventlog.Index, ev *constraints.Evaluator, dc *distance.Calc, g
 	}
 
 	firstFrontier := true
-	for len(toCheck) > 0 && !bs.exceeded {
-		// Sort by group distance, lowest first (line 5).
-		sortPathsByDist(toCheck, dc)
+	for len(toCheck) > 0 && !bs.exceeded() {
+		// Sort by group distance, lowest first (line 5). The distance of
+		// each path's group is evaluated concurrently before the
+		// (deterministic, stable) sort.
+		sortPathsByDist(toCheck, dc, w)
 		limit := len(toCheck)
 		if beamWidth > 0 && beamWidth < limit && !firstFrontier {
 			limit = beamWidth
@@ -234,35 +324,52 @@ func DFGBased(x *eventlog.Index, ev *constraints.Evaluator, dc *distance.Calc, g
 		// dropped singleton could make the exact cover of Step 2
 		// infeasible even though the class is trivially coverable.
 		firstFrontier = false
+		limit = bs.grant(limit)
+		type verdict struct{ holds, anti bool }
+		verdicts := make([]verdict, limit)
+		par.For(w, limit, func(i int) {
+			if !bs.tick() {
+				return
+			}
+			grp := toCheck[i].group
+			switch mode {
+			case constraints.ModeMono:
+				verdicts[i].holds = cands.hasSatisfyingSubset(grp, g.N) || ev.Holds(grp)
+			case constraints.ModeAnti:
+				verdicts[i].holds = ev.Holds(grp)
+				if !verdicts[i].holds {
+					verdicts[i].anti = ev.HoldsAnti(grp)
+				}
+			default: // non-monotonic
+				verdicts[i].holds = ev.Holds(grp)
+			}
+		})
 		var toExpand []path
 		for i := 0; i < limit; i++ {
-			if !bs.spend() {
-				break
-			}
 			p := toCheck[i]
 			switch mode {
 			case constraints.ModeMono:
-				if cands.hasSatisfyingSubset(p.group, g.N) || ev.Holds(p.group) {
+				if verdicts[i].holds {
 					cands.add(p.group)
 				}
 				toExpand = append(toExpand, p) // mono mode always expands
 			case constraints.ModeAnti:
-				if ev.Holds(p.group) {
+				if verdicts[i].holds {
 					cands.add(p.group)
 					toExpand = append(toExpand, p)
-				} else if ev.HoldsAnti(p.group) {
+				} else if verdicts[i].anti {
 					// Violates only non-monotonic constraints: larger
 					// paths may still satisfy them.
 					toExpand = append(toExpand, p)
 				}
-			default: // non-monotonic
-				if ev.Holds(p.group) {
+			default:
+				if verdicts[i].holds {
 					cands.add(p.group)
 				}
 				toExpand = append(toExpand, p)
 			}
 		}
-		if bs.exceeded {
+		if bs.exceeded() {
 			break
 		}
 		// Path expansion (lines 21–29).
@@ -286,7 +393,7 @@ func DFGBased(x *eventlog.Index, ev *constraints.Evaluator, dc *distance.Calc, g
 			}
 		}
 	}
-	return Result{Groups: cands.groups, TimedOut: bs.exceeded, Checks: bs.used}
+	return Result{Groups: cands.groups, TimedOut: bs.exceeded(), Checks: bs.checks()}
 }
 
 func addPath(x *eventlog.Index, nodes []int, group bitset.Set, out *[]path, seen map[string]struct{}) {
@@ -301,15 +408,15 @@ func addPath(x *eventlog.Index, nodes []int, group bitset.Set, out *[]path, seen
 	*out = append(*out, path{nodes: nodes, group: group})
 }
 
-func sortPathsByDist(ps []path, dc *distance.Calc) {
+func sortPathsByDist(ps []path, dc *distance.Calc, workers int) {
 	type scoredPath struct {
 		d float64
 		p path
 	}
 	tmp := make([]scoredPath, len(ps))
-	for i := range ps {
+	par.For(workers, len(ps), func(i int) {
 		tmp[i] = scoredPath{dc.Group(ps[i].group), ps[i]}
-	}
+	})
 	// Stable so that ties keep insertion order, which keeps the beam
 	// deterministic across runs.
 	sort.SliceStable(tmp, func(i, j int) bool { return tmp[i].d < tmp[j].d })

@@ -1,0 +1,57 @@
+package constraints
+
+import (
+	"testing"
+
+	"gecco/internal/bitset"
+	"gecco/internal/eventlog"
+	"gecco/internal/instances"
+	"gecco/internal/par"
+	"gecco/internal/procgen"
+)
+
+// TestEvaluatorConcurrentUse hammers one Evaluator from many goroutines
+// (run under -race): verdicts must match a sequential reference evaluator
+// and the memo must count each unique group exactly once, including the
+// class-attribute cache behind distinct(role).
+func TestEvaluatorConcurrentUse(t *testing.T) {
+	x := eventlog.NewIndex(procgen.RunningExample(60, 3))
+	set := NewSet(
+		MustParse("|g| <= 4"),
+		MustParse("distinct(role) <= 1"),
+		MustParse("sum(duration) >= 0"),
+	)
+	ev := NewEvaluator(x, set, instances.SplitOnRepeat)
+	ref := NewEvaluator(x, set, instances.SplitOnRepeat)
+
+	n := x.NumClasses()
+	var groups []bitset.Set
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			g := bitset.New(n)
+			g.Add(a)
+			g.Add(b)
+			groups = append(groups, g)
+		}
+	}
+	want := make([]bool, len(groups))
+	wantAnti := make([]bool, len(groups))
+	for i, g := range groups {
+		want[i] = ref.Holds(g)
+		wantAnti[i] = ref.HoldsAnti(g)
+	}
+	par.For(8, len(groups), func(i int) {
+		if got := ev.Holds(groups[i]); got != want[i] {
+			t.Errorf("Holds(%v) = %v, want %v", groups[i], got, want[i])
+		}
+		if got := ev.HoldsAnti(groups[i]); got != wantAnti[i] {
+			t.Errorf("HoldsAnti(%v) = %v, want %v", groups[i], got, wantAnti[i])
+		}
+	})
+	if ev.Checks() != ref.Checks() {
+		t.Fatalf("Checks = %d, want %d (exactly once per unique group)", ev.Checks(), ref.Checks())
+	}
+	if ev.LogPasses() != ref.LogPasses() {
+		t.Fatalf("LogPasses = %d, want %d", ev.LogPasses(), ref.LogPasses())
+	}
+}

@@ -295,8 +295,8 @@ func TestEvaluatorMemoises(t *testing.T) {
 	g := group(x, "rcp", "ckc")
 	ev.Holds(g)
 	ev.Holds(g)
-	if ev.Checks != 1 {
-		t.Fatalf("Checks = %d, want 1", ev.Checks)
+	if ev.Checks() != 1 {
+		t.Fatalf("Checks = %d, want 1", ev.Checks())
 	}
 }
 
@@ -346,9 +346,9 @@ func TestHoldsAnti(t *testing.T) {
 		t.Fatal("size-4 group violates the anti-monotonic size bound")
 	}
 	// Memoised.
-	before := ev.LogPasses
+	before := ev.LogPasses()
 	ev.HoldsAnti(inf)
-	if ev.LogPasses != before {
+	if ev.LogPasses() != before {
 		t.Fatal("HoldsAnti verdict not memoised")
 	}
 }

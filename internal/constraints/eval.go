@@ -3,15 +3,22 @@ package constraints
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"gecco/internal/bitset"
 	"gecco/internal/eventlog"
 	"gecco/internal/instances"
+	"gecco/internal/par"
 )
 
 // Evaluator checks groups against a constraint set over one indexed log. It
 // memoises class-level attribute extractions and verdicts per group, and
 // checks R_C before R_I as the paper prescribes (cheap checks first).
+//
+// An Evaluator is safe for concurrent use: verdict memos are sharded with
+// per-shard locks and each group is validated exactly once, so the Checks
+// and LogPasses accounting stays identical between sequential and parallel
+// candidate computations.
 type Evaluator struct {
 	X      *eventlog.Index
 	Set    *Set
@@ -19,16 +26,12 @@ type Evaluator struct {
 
 	classCtx     ClassContext
 	instCtx      InstanceContext
-	attrCache    map[string][]map[string]struct{}
-	verdicts     map[string]bool
-	antiVerdicts map[string]bool
+	attrCache    *par.Memo[[]map[string]struct{}]
+	verdicts     *par.Memo[bool]
+	antiVerdicts *par.Memo[bool]
 
-	// Checks counts the number of full (non-memoised) group validations,
-	// for the runtime accounting of §VI.
-	Checks int
-	// LogPasses counts validations that required scanning the event log
-	// (i.e. R_I was evaluated).
-	LogPasses int
+	checks    atomic.Int64
+	logPasses atomic.Int64
 }
 
 // NewEvaluator builds an evaluator for the log and constraint set.
@@ -37,9 +40,9 @@ func NewEvaluator(x *eventlog.Index, set *Set, policy instances.Policy) *Evaluat
 		X:            x,
 		Set:          set,
 		Policy:       policy,
-		attrCache:    make(map[string][]map[string]struct{}),
-		verdicts:     make(map[string]bool),
-		antiVerdicts: make(map[string]bool),
+		attrCache:    par.NewMemo[[]map[string]struct{}](),
+		verdicts:     par.NewMemo[bool](),
+		antiVerdicts: par.NewMemo[bool](),
 	}
 	e.classCtx = ClassContext{
 		Classes:    x.Classes,
@@ -50,13 +53,18 @@ func NewEvaluator(x *eventlog.Index, set *Set, policy instances.Policy) *Evaluat
 	return e
 }
 
+// Checks reports the number of full (non-memoised) group validations, for
+// the runtime accounting of §VI.
+func (e *Evaluator) Checks() int { return int(e.checks.Load()) }
+
+// LogPasses reports the number of validations that required scanning the
+// event log (i.e. R_I was evaluated).
+func (e *Evaluator) LogPasses() int { return int(e.logPasses.Load()) }
+
 func (e *Evaluator) classAttrValues(attr string) []map[string]struct{} {
-	if v, ok := e.attrCache[attr]; ok {
-		return v
-	}
-	v := e.X.ClassAttrValues(attr)
-	e.attrCache[attr] = v
-	return v
+	return e.attrCache.Do(attr, func() []map[string]struct{} {
+		return e.X.ClassAttrValues(attr)
+	})
 }
 
 // HoldsClass checks only the class-based constraints for the group.
@@ -75,7 +83,7 @@ func (e *Evaluator) HoldsInstance(g bitset.Set) bool {
 	if len(e.Set.Instance) == 0 {
 		return true
 	}
-	e.LogPasses++
+	e.logPasses.Add(1)
 	insts := instances.OfLog(e.X, g, e.Policy)
 	for _, c := range e.Set.Instance {
 		if !c.HoldsInstances(&e.instCtx, g, insts) {
@@ -88,14 +96,10 @@ func (e *Evaluator) HoldsInstance(g bitset.Set) bool {
 // Holds checks all per-group constraints (R_C then R_I), memoising the
 // verdict per group.
 func (e *Evaluator) Holds(g bitset.Set) bool {
-	key := g.Key()
-	if v, ok := e.verdicts[key]; ok {
-		return v
-	}
-	e.Checks++
-	v := e.HoldsClass(g) && e.HoldsInstance(g)
-	e.verdicts[key] = v
-	return v
+	return e.verdicts.Do(g.Key(), func() bool {
+		e.checks.Add(1)
+		return e.HoldsClass(g) && e.HoldsInstance(g)
+	})
 }
 
 // HoldsAnti checks only the anti-monotonic per-group constraints. This is
@@ -104,18 +108,12 @@ func (e *Evaluator) Holds(g bitset.Set) bool {
 // may still have satisfying supergroups and must stay expandable, whereas an
 // anti-monotonic violation can never be repaired by growing the group.
 func (e *Evaluator) HoldsAnti(g bitset.Set) bool {
-	key := g.Key()
-	if v, ok := e.antiVerdicts[key]; ok {
-		return v
-	}
-	ok := true
-	for _, c := range e.Set.Class {
-		if c.Monotonicity() == AntiMonotonic && !c.HoldsGroup(&e.classCtx, g) {
-			ok = false
-			break
+	return e.antiVerdicts.Do(g.Key(), func() bool {
+		for _, c := range e.Set.Class {
+			if c.Monotonicity() == AntiMonotonic && !c.HoldsGroup(&e.classCtx, g) {
+				return false
+			}
 		}
-	}
-	if ok {
 		var anti []InstanceConstraint
 		for _, c := range e.Set.Instance {
 			if c.Monotonicity() == AntiMonotonic {
@@ -123,18 +121,16 @@ func (e *Evaluator) HoldsAnti(g bitset.Set) bool {
 			}
 		}
 		if len(anti) > 0 {
-			e.LogPasses++
+			e.logPasses.Add(1)
 			insts := instances.OfLog(e.X, g, e.Policy)
 			for _, c := range anti {
 				if !c.HoldsInstances(&e.instCtx, g, insts) {
-					ok = false
-					break
+					return false
 				}
 			}
 		}
-	}
-	e.antiVerdicts[key] = ok
-	return ok
+		return true
+	})
 }
 
 // HoldsGrouping checks the grouping constraints for a grouping of size k.

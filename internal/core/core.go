@@ -19,6 +19,7 @@ import (
 	"gecco/internal/eventlog"
 	"gecco/internal/instances"
 	"gecco/internal/mip"
+	"gecco/internal/par"
 	"math"
 )
 
@@ -56,10 +57,19 @@ const (
 type Config struct {
 	Mode      Mode
 	BeamWidth int // DFGBeam only; 0 means 5·|C_L|
-	Strategy  abstraction.Strategy
-	Policy    instances.Policy
-	Budget    candidates.Budget
-	Solver    Solver
+	// Workers is the number of workers Step 1 and the distance hot path
+	// fan out to; <= 0 means one per CPU (runtime.NumCPU()). With no
+	// Budget.TimeLimit set, any worker count produces byte-identical
+	// results: parallel frontiers are merged in deterministic order and
+	// all memoised evaluations run exactly once. (A wall-clock limit cuts
+	// work at a timing-dependent point, so runs under TimeLimit are not
+	// reproducible at any worker count — exactly as in the sequential
+	// implementation.)
+	Workers  int
+	Strategy abstraction.Strategy
+	Policy   instances.Policy
+	Budget   candidates.Budget
+	Solver   Solver
 	// SolverTimeout caps Step 2; zero means none. On expiry the best
 	// incumbent found is used.
 	SolverTimeout time.Duration
@@ -116,7 +126,13 @@ func Run(log *eventlog.Log, set *constraints.Set, cfg Config) (*Result, error) {
 	}
 	x := eventlog.NewIndex(log)
 	graph := dfg.Build(x)
+	workers := par.Workers(cfg.Workers)
 	ev := constraints.NewEvaluator(x, set, cfg.Policy)
+	// The pipeline parallelises across groups/paths (frontier evaluation,
+	// the Step 2 cost loop), so the Calc's inner per-variant fan-out stays
+	// off here: nesting it would stack up to workers^2 runnable goroutines
+	// with no extra parallelism. SetWorkers serves callers that evaluate
+	// few groups over very large logs.
 	dc := distance.NewCalc(x, cfg.Policy)
 
 	// Step 1: candidate computation.
@@ -131,15 +147,15 @@ func Run(log *eventlog.Log, set *constraints.Set, cfg Config) (*Result, error) {
 	} else {
 		switch cfg.Mode {
 		case Exhaustive:
-			cr = candidates.Exhaustive(x, ev, cfg.Budget)
+			cr = candidates.Exhaustive(x, ev, cfg.Budget, workers)
 		case DFGUnbounded:
-			cr = candidates.DFGBased(x, ev, dc, graph, -1, cfg.Budget)
+			cr = candidates.DFGBased(x, ev, dc, graph, -1, cfg.Budget, workers)
 		case DFGBeam:
 			k := cfg.BeamWidth
 			if k <= 0 {
 				k = 5 * x.NumClasses()
 			}
-			cr = candidates.DFGBased(x, ev, dc, graph, k, cfg.Budget)
+			cr = candidates.DFGBased(x, ev, dc, graph, k, cfg.Budget, workers)
 		default:
 			return nil, fmt.Errorf("core: unknown mode %d", cfg.Mode)
 		}
@@ -150,12 +166,15 @@ func Run(log *eventlog.Log, set *constraints.Set, cfg Config) (*Result, error) {
 	}
 	candTime := time.Since(t0)
 
-	// Step 2: optimal grouping.
+	// Step 2: optimal grouping. The candidate costs (Eq. 1 per group) are
+	// the distance hot path: evaluate them across the worker pool; the memo
+	// guarantees exactly-once evaluation, so the costs vector is identical
+	// for any worker count.
 	t1 := time.Now()
 	costs := make([]float64, len(groups))
-	for i, g := range groups {
-		costs[i] = dc.Group(g)
-	}
+	par.For(workers, len(groups), func(i int) {
+		costs[i] = dc.Group(groups[i])
+	})
 	minG, maxG := set.GroupBounds()
 	prob := &cover.Problem{
 		NumClasses: x.NumClasses(),
@@ -241,7 +260,7 @@ func Run(log *eventlog.Log, set *constraints.Set, cfg Config) (*Result, error) {
 	out := &Result{
 		NumCandidates:      len(groups),
 		CandidatesTimedOut: cr.TimedOut,
-		ConstraintChecks:   ev.Checks,
+		ConstraintChecks:   ev.Checks(),
 		Timings:            Timings{Candidates: candTime, Solve: solveTime},
 	}
 	if !res.Feasible {

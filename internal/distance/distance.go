@@ -6,73 +6,116 @@ package distance
 
 import (
 	"math"
+	"sync/atomic"
 
 	"gecco/internal/bitset"
 	"gecco/internal/eventlog"
 	"gecco/internal/instances"
+	"gecco/internal/par"
 )
 
-// Calc computes and memoises group distances over one indexed log.
+// parallelVariantThreshold is the minimum number of distinct variants before
+// a single Eq. 1 evaluation fans its per-variant loop out to the workers;
+// below it the goroutine handoff costs more than the scan.
+const parallelVariantThreshold = 256
+
+// Calc computes and memoises group distances over one indexed log. It is
+// safe for concurrent use: the memo is sharded with per-shard locks and each
+// group is evaluated exactly once, so the evaluation count — and, because
+// Eq. 1 itself is deterministic, every memoised value — is identical between
+// sequential and parallel runs.
 type Calc struct {
-	X      *eventlog.Index
-	Policy instances.Policy
-	cache  map[string]float64
-
-	// Evals counts non-memoised group evaluations (runtime accounting).
-	Evals int
+	X       *eventlog.Index
+	Policy  instances.Policy
+	workers int
+	cache   *par.Memo[float64]
+	evals   atomic.Int64
 }
 
-// NewCalc builds a distance calculator for the log.
+// NewCalc builds a distance calculator for the log. It evaluates Eq. 1
+// sequentially; use SetWorkers to parallelise the per-variant loop on large
+// logs.
 func NewCalc(x *eventlog.Index, policy instances.Policy) *Calc {
-	return &Calc{X: x, Policy: policy, cache: make(map[string]float64)}
+	return &Calc{X: x, Policy: policy, workers: 1, cache: par.NewMemo[float64]()}
 }
+
+// SetWorkers sets the number of workers a single Eq. 1 evaluation may fan
+// out to (<= 0 means one per CPU). Call before sharing the Calc across
+// goroutines.
+func (c *Calc) SetWorkers(n int) { c.workers = par.Workers(n) }
+
+// Evals reports the number of non-memoised group evaluations (the runtime
+// accounting of §VI).
+func (c *Calc) Evals() int { return int(c.evals.Load()) }
 
 // Group computes dist(g, L) per Eq. 1. Groups with no instances in the log
 // (which only arise for never-occurring class combinations) score +Inf.
 func (c *Calc) Group(g bitset.Set) float64 {
-	key := g.Key()
-	if v, ok := c.cache[key]; ok {
-		return v
-	}
-	c.Evals++
-	v := c.compute(g)
-	c.cache[key] = v
-	return v
+	return c.cache.Do(g.Key(), func() float64 {
+		c.evals.Add(1)
+		return c.compute(g)
+	})
 }
 
 // compute evaluates Eq. 1 over the log's distinct variants, weighting each
 // by its trace multiplicity: the measure depends only on class sequences,
-// so identical traces need not be re-segmented.
+// so identical traces need not be re-segmented. Each variant's contribution
+// is accumulated locally and the subtotals are reduced in variant order, so
+// the floating-point result is bit-identical no matter how many workers
+// evaluate the variants.
 func (c *Calc) compute(g bitset.Set) float64 {
-	size := float64(g.Len())
+	nv := len(c.X.VariantSeqs)
 	sum := 0.0
 	numInsts := 0
-	nClasses := c.X.NumClasses()
-	for v, seq := range c.X.VariantSeqs {
-		if !c.X.VariantClasses[v].Intersects(g) {
-			continue
+	if c.workers > 1 && nv >= parallelVariantThreshold {
+		sums := make([]float64, nv)
+		counts := make([]int, nv)
+		par.For(c.workers, nv, func(v int) {
+			sums[v], counts[v] = c.variantTerm(g, v)
+		})
+		for v := 0; v < nv; v++ {
+			sum += sums[v]
+			numInsts += counts[v]
 		}
-		weight := float64(c.X.VariantCount[v])
-		for _, positions := range instances.Segments(seq, nClasses, g, c.Policy) {
-			first, last := positions[0], positions[len(positions)-1]
-			interrupts := (last - first + 1) - len(positions)
-			present := 0
-			seen := make(map[int]struct{}, len(positions))
-			for _, pos := range positions {
-				if _, ok := seen[seq[pos]]; !ok {
-					seen[seq[pos]] = struct{}{}
-					present++
-				}
-			}
-			missing := g.Len() - present
-			sum += weight * (float64(interrupts)/float64(len(positions)) + float64(missing)/size + 1/size)
-			numInsts += c.X.VariantCount[v]
+	} else {
+		for v := 0; v < nv; v++ {
+			s, n := c.variantTerm(g, v)
+			sum += s
+			numInsts += n
 		}
 	}
 	if numInsts == 0 {
 		return math.Inf(1)
 	}
 	return sum / float64(numInsts)
+}
+
+// variantTerm evaluates the Eq. 1 summand of one variant: the weighted sum
+// over the variant's group instances and the number of instances
+// contributed (times the variant's trace multiplicity).
+func (c *Calc) variantTerm(g bitset.Set, v int) (sum float64, numInsts int) {
+	if !c.X.VariantClasses[v].Intersects(g) {
+		return 0, 0
+	}
+	seq := c.X.VariantSeqs[v]
+	size := float64(g.Len())
+	weight := float64(c.X.VariantCount[v])
+	for _, positions := range instances.Segments(seq, c.X.NumClasses(), g, c.Policy) {
+		first, last := positions[0], positions[len(positions)-1]
+		interrupts := (last - first + 1) - len(positions)
+		present := 0
+		seen := make(map[int]struct{}, len(positions))
+		for _, pos := range positions {
+			if _, ok := seen[seq[pos]]; !ok {
+				seen[seq[pos]] = struct{}{}
+				present++
+			}
+		}
+		missing := g.Len() - present
+		sum += weight * (float64(interrupts)/float64(len(positions)) + float64(missing)/size + 1/size)
+		numInsts += c.X.VariantCount[v]
+	}
+	return sum, numInsts
 }
 
 // Grouping computes dist(G, L) per Eq. 2: the sum over all groups.

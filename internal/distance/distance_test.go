@@ -107,8 +107,8 @@ func TestCacheConsistency(t *testing.T) {
 	if d1 != d2 {
 		t.Fatal("cached distance differs")
 	}
-	if c.Evals != 1 {
-		t.Fatalf("Evals = %d, want 1 (memoised)", c.Evals)
+	if c.Evals() != 1 {
+		t.Fatalf("Evals = %d, want 1 (memoised)", c.Evals())
 	}
 }
 

@@ -1,0 +1,95 @@
+package distance
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"gecco/internal/bitset"
+	"gecco/internal/eventlog"
+	"gecco/internal/instances"
+	"gecco/internal/par"
+	"gecco/internal/procgen"
+)
+
+// manyVariantLog builds a log with enough distinct variants to cross the
+// parallel per-variant threshold.
+func manyVariantLog(nVariants int) *eventlog.Log {
+	classes := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	log := &eventlog.Log{Name: "many-variants"}
+	for i := 0; i < nVariants; i++ {
+		var tr eventlog.Trace
+		tr.ID = fmt.Sprintf("t%d", i)
+		// Spell out i in base 8 as class indices: every trace is its own
+		// variant by construction.
+		for v := i; ; v /= len(classes) {
+			tr.Events = append(tr.Events, eventlog.Event{Class: classes[v%len(classes)]})
+			if v < len(classes) {
+				break
+			}
+		}
+		tr.Events = append(tr.Events, eventlog.Event{Class: classes[i%len(classes)]})
+		log.Traces = append(log.Traces, tr)
+	}
+	return log
+}
+
+// TestParallelVariantLoopBitIdentical asserts that fanning the Eq. 1
+// per-variant loop out to workers yields bit-identical distances: both
+// paths reduce per-variant subtotals in variant order.
+func TestParallelVariantLoopBitIdentical(t *testing.T) {
+	log := manyVariantLog(4 * parallelVariantThreshold)
+	x := eventlog.NewIndex(log)
+	if len(x.VariantSeqs) < parallelVariantThreshold {
+		t.Fatalf("fixture has %d variants, need >= %d", len(x.VariantSeqs), parallelVariantThreshold)
+	}
+	seq := NewCalc(x, instances.SplitOnRepeat)
+	parc := NewCalc(x, instances.SplitOnRepeat)
+	parc.SetWorkers(runtime.NumCPU())
+	n := x.NumClasses()
+	for a := 0; a < n; a++ {
+		for b := a; b < n; b++ {
+			g := bitset.New(n)
+			g.Add(a)
+			g.Add(b)
+			ds, dp := seq.Group(g), parc.Group(g)
+			if ds != dp {
+				t.Fatalf("group %v: sequential %v != parallel %v", g, ds, dp)
+			}
+		}
+	}
+}
+
+// TestCalcConcurrentUse hammers one Calc from many goroutines (run under
+// -race); the sharded memo must serve every caller the same value and count
+// each unique group exactly once.
+func TestCalcConcurrentUse(t *testing.T) {
+	x := eventlog.NewIndex(procgen.RunningExample(80, 5))
+	c := NewCalc(x, instances.SplitOnRepeat)
+	ref := NewCalc(x, instances.SplitOnRepeat)
+	n := x.NumClasses()
+	groups := make([]bitset.Set, 0, n*n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			g := bitset.New(n)
+			g.Add(a)
+			g.Add(b)
+			groups = append(groups, g)
+		}
+	}
+	// Each distinct group appears n times in the work list (a,b and b,a
+	// collide plus diagonal repeats); evaluate them all concurrently.
+	par.For(8, len(groups), func(i int) {
+		got := c.Group(groups[i])
+		if rv := ref.Group(groups[i]); got != rv {
+			t.Errorf("group %v: concurrent %v != reference %v", groups[i], got, rv)
+		}
+	})
+	unique := make(map[string]struct{})
+	for _, g := range groups {
+		unique[g.Key()] = struct{}{}
+	}
+	if c.Evals() != len(unique) {
+		t.Fatalf("Evals = %d, want %d (exactly once per unique group)", c.Evals(), len(unique))
+	}
+}

@@ -20,6 +20,7 @@ import (
 type Options struct {
 	MaxChecks     int           // candidate budget per problem (default 30000)
 	SolverTimeout time.Duration // Step 2 cap per problem (default 10s)
+	Workers       int           // worker threads per problem (<= 0 = all cores)
 	Logs          []*eventlog.Log
 }
 
@@ -68,6 +69,7 @@ func RunProblem(log *eventlog.Log, id SetID, mode core.Mode, opts Options) Measu
 	}
 	cfg := core.Config{
 		Mode:          mode,
+		Workers:       opts.Workers,
 		Budget:        candidates.Budget{MaxChecks: opts.MaxChecks},
 		SolverTimeout: opts.SolverTimeout,
 	}

@@ -1,0 +1,150 @@
+// Package par is GECCO's small concurrency toolkit: worker-count
+// resolution, a parallel index loop, and a sharded memoisation map. The hot
+// paths of the pipeline (Step 1 candidate evaluation and the Eq. 1 distance
+// measure) fan out through these primitives; everything is written so that a
+// parallel run stays deterministic — work is assigned by index, results are
+// merged in index order by the callers, and memoised computations run
+// exactly once per key.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 mean "one worker
+// per CPU", anything else is taken as-is.
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.NumCPU()
+	}
+	return requested
+}
+
+// For runs fn(i) for every i in [0, n) across at most the given number of
+// workers and returns when all calls have finished. Indices are handed out
+// through a shared atomic counter, so uneven per-item costs balance
+// automatically. fn must be safe for concurrent invocation; with workers <= 1
+// (or tiny n) the loop degenerates to a plain sequential for, so a
+// single-worker run takes the exact code path of the pre-parallel
+// implementation.
+func For(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+const numShards = 64
+
+// Memo is a sharded memoisation map from string keys to values, safe for
+// concurrent use. Each key's value is computed exactly once: concurrent
+// requests for the same key coalesce onto the first caller's computation
+// (per-key singleflight; see Do), while different keys — even colliding
+// ones — never wait on each other's compute. Exactly-once evaluation is
+// what keeps the pipeline's evaluation counters (constraint checks,
+// distance evaluations) identical between sequential and parallel runs.
+type Memo[V any] struct {
+	shards [numShards]memoShard[V]
+}
+
+type memoShard[V any] struct {
+	mu       sync.RWMutex
+	m        map[string]V        // completed values
+	inflight map[string]*call[V] // computations in progress
+}
+
+// call tracks one in-progress computation; waiters block on done.
+type call[V any] struct {
+	done chan struct{}
+	v    V
+}
+
+// NewMemo returns an empty memoisation map.
+func NewMemo[V any]() *Memo[V] {
+	return &Memo[V]{}
+}
+
+// Do returns the memoised value for key, calling compute to produce it on
+// first use. Duplicate concurrent requests coalesce onto the first caller's
+// computation (per-shard singleflight); no lock is held while compute runs,
+// so a slow — or itself parallel — computation never blocks other keys of
+// the shard. compute must not panic: waiters on the same key would block
+// forever.
+func (c *Memo[V]) Do(key string, compute func() V) V {
+	s := &c.shards[shardOf(key)]
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	if ok {
+		return v
+	}
+	s.mu.Lock()
+	if v, ok := s.m[key]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	if cl, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-cl.done
+		return cl.v
+	}
+	cl := &call[V]{done: make(chan struct{})}
+	if s.inflight == nil {
+		s.inflight = make(map[string]*call[V])
+	}
+	s.inflight[key] = cl
+	s.mu.Unlock()
+
+	cl.v = compute()
+
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[string]V)
+	}
+	s.m[key] = cl.v
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(cl.done)
+	return cl.v
+}
+
+// Get returns the memoised value for key, if its computation has completed.
+func (c *Memo[V]) Get(key string) (V, bool) {
+	s := &c.shards[shardOf(key)]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.m[key]
+	return v, ok
+}
+
+// shardOf hashes a key to its shard with FNV-1a.
+func shardOf(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return h % numShards
+}

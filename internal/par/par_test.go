@@ -1,0 +1,63 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatalf("Workers(3) = %d", Workers(3))
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Fatal("Workers must resolve non-positive requests to >= 1")
+	}
+}
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 1000
+		hits := make([]atomic.Int32, n)
+		For(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForZeroItems(t *testing.T) {
+	called := false
+	For(4, 0, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestMemoExactlyOnce(t *testing.T) {
+	m := NewMemo[int]()
+	var computes atomic.Int64
+	// Hammer the same small key set from many goroutines; each key must be
+	// computed exactly once.
+	const keys = 10
+	For(8, 1000, func(i int) {
+		k := string(rune('a' + i%keys))
+		v := m.Do(k, func() int {
+			computes.Add(1)
+			return i % keys
+		})
+		if v != i%keys {
+			t.Errorf("key %q: got %d, want %d", k, v, i%keys)
+		}
+	})
+	if got := computes.Load(); got != keys {
+		t.Fatalf("computes = %d, want %d (exactly once per key)", got, keys)
+	}
+	if v, ok := m.Get("a"); !ok || v != 0 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	if _, ok := m.Get("missing"); ok {
+		t.Fatal("Get(missing) reported present")
+	}
+}

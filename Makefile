@@ -1,0 +1,43 @@
+# Single source of truth for build/test/bench commands: CI invokes these
+# targets, so local runs reproduce CI exactly.
+
+GO        ?= go
+BENCH_PR  ?= BENCH_pr.json
+BASELINE  ?= BENCH_baseline.json
+MAX_REGRESS ?= 0.25
+
+.PHONY: build test race vet fmt-check bench bench-gate bench-baseline serve all
+
+all: build vet fmt-check test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/par/ ./internal/candidates/ ./internal/distance/ ./internal/constraints/ ./internal/core/ ./internal/service/ .
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+# Quick Table VI run with a machine-readable report (the CI artifact).
+bench:
+	$(GO) run ./cmd/gecco-bench -table 6 -quick -json $(BENCH_PR)
+
+# Bench + fail on >MAX_REGRESS wall-time regression vs the checked-in baseline.
+bench-gate:
+	$(GO) run ./cmd/gecco-bench -table 6 -quick -json $(BENCH_PR) -baseline $(BASELINE) -max-regress $(MAX_REGRESS)
+
+# Regenerate the checked-in baseline (run on the reference machine, commit the result).
+bench-baseline:
+	$(GO) run ./cmd/gecco-bench -table 6 -quick -json $(BASELINE)
+
+serve:
+	$(GO) run ./cmd/gecco-serve -addr :8080

@@ -8,13 +8,25 @@
 //	gecco-bench -table all          # everything (minutes)
 //	gecco-bench -table 5 -quick     # Table V on a subset, small budgets
 //	gecco-bench -figures -out figs/ # DOT files for the figures
+//
+// CI benchmark gate:
+//
+//	gecco-bench -table 6 -quick -json BENCH_pr.json -baseline BENCH_baseline.json
+//
+// -json writes the measured rows (per-config wall-time and distance) in a
+// machine-readable report; -baseline compares them against a checked-in
+// report and exits non-zero when any configuration's wall-time regresses by
+// more than -max-regress (default 25%).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"gecco"
@@ -24,16 +36,32 @@ import (
 	"gecco/internal/procgen"
 )
 
+// benchReport is the machine-readable format of -json; rows are keyed by
+// configuration label (Exh, DFG∞, DFGk).
+type benchReport struct {
+	Table   string            `json:"table"`
+	Quick   bool              `json:"quick"`
+	Budget  int               `json:"budget"`
+	GOOS    string            `json:"goos"`
+	GOARCH  string            `json:"goarch"`
+	NumCPU  int               `json:"numCPU"`
+	Workers int               `json:"workers"`
+	Rows    []experiments.Row `json:"rows"`
+}
+
 func main() {
 	var (
-		table   = flag.String("table", "all", "which table to run: 3 | 5 | 6 | 7 | all | none")
-		figures = flag.Bool("figures", false, "emit Figures 1, 2, 3, 8 as DOT files")
-		outDir  = flag.String("out", "figures", "output directory for -figures")
-		quick   = flag.Bool("quick", false, "small budgets and a log subset (for CI/smoke)")
-		detail  = flag.Bool("detail", false, "print the per-problem breakdown (DFGk) and the solved matrix")
-		budget  = flag.Int("budget", 0, "candidate checks per problem (0 = default)")
-		timeout = flag.Duration("solver-timeout", 0, "Step 2 limit per problem (0 = default)")
-		workers = flag.Int("workers", 0, "worker threads per problem (0 = all cores, 1 = the paper's sequential runs)")
+		table      = flag.String("table", "all", "which table to run: 3 | 5 | 6 | 7 | all | none")
+		figures    = flag.Bool("figures", false, "emit Figures 1, 2, 3, 8 as DOT files")
+		outDir     = flag.String("out", "figures", "output directory for -figures")
+		quick      = flag.Bool("quick", false, "small budgets and a log subset (for CI/smoke)")
+		detail     = flag.Bool("detail", false, "print the per-problem breakdown (DFGk) and the solved matrix")
+		budget     = flag.Int("budget", 0, "candidate checks per problem (0 = default)")
+		timeout    = flag.Duration("solver-timeout", 0, "Step 2 limit per problem (0 = default)")
+		workers    = flag.Int("workers", 0, "worker threads per problem (0 = all cores, 1 = the paper's sequential runs)")
+		jsonOut    = flag.String("json", "", "write the measured rows as a JSON bench report to this file")
+		baseline   = flag.String("baseline", "", "compare the measured rows against this JSON bench report and fail on regression")
+		maxRegress = flag.Float64("max-regress", 0.25, "maximum tolerated per-config wall-time regression vs -baseline (0.25 = +25%)")
 	)
 	flag.Parse()
 
@@ -56,20 +84,53 @@ func main() {
 	if *table == "3" || *table == "all" {
 		experiments.PrintTable3(os.Stdout, logs)
 	}
+	// measured collects the rows of every table that ran, for -json/-baseline.
+	var measured []experiments.Row
 	if *table == "5" || *table == "all" {
 		run("Table V — Exh per constraint set", func() {
-			experiments.PrintRows(os.Stdout, "Table V", experiments.Table5(opts), experiments.PaperTable5)
+			rows := experiments.Table5(opts)
+			measured = append(measured, rows...)
+			experiments.PrintRows(os.Stdout, "Table V", rows, experiments.PaperTable5)
 		})
 	}
 	if *table == "6" || *table == "all" {
 		run("Table VI — configurations", func() {
-			experiments.PrintRows(os.Stdout, "Table VI", experiments.Table6(opts), experiments.PaperTable6)
+			rows := experiments.Table6(opts)
+			measured = append(measured, rows...)
+			experiments.PrintRows(os.Stdout, "Table VI", rows, experiments.PaperTable6)
 		})
 	}
 	if *table == "7" || *table == "all" {
 		run("Table VII — baselines", func() {
-			experiments.PrintRows(os.Stdout, "Table VII", experiments.Table7(opts), experiments.PaperTable7)
+			rows := experiments.Table7(opts)
+			measured = append(measured, rows...)
+			experiments.PrintRows(os.Stdout, "Table VII", rows, experiments.PaperTable7)
 		})
+	}
+	if *jsonOut != "" {
+		report := benchReport{
+			Table:   *table,
+			Quick:   *quick,
+			Budget:  opts.MaxChecks,
+			GOOS:    runtime.GOOS,
+			GOARCH:  runtime.GOARCH,
+			NumCPU:  runtime.NumCPU(),
+			Workers: *workers,
+			Rows:    measured,
+		}
+		if err := writeReport(*jsonOut, report); err != nil {
+			fmt.Fprintln(os.Stderr, "gecco-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench report written to %s\n", *jsonOut)
+	}
+	if *baseline != "" {
+		current := benchReport{Table: *table, Quick: *quick, Budget: opts.MaxChecks, Workers: *workers}
+		if err := gate(*baseline, current, measured, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "gecco-bench: REGRESSION GATE FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("regression gate passed (max tolerated wall-time regression %.0f%%)\n", *maxRegress*100)
 	}
 	if *detail {
 		run("per-problem detail (DFGk)", func() {
@@ -85,6 +146,95 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+func writeReport(path string, report benchReport) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// gateAbsSlackSeconds is an absolute slack added on top of the relative
+// threshold. Quick-run rows are sub-second, where scheduler jitter alone
+// exceeds 25%; the floor keeps the gate meaningful (a real 2× regression on
+// any non-trivial row still trips it) without false-failing on noise.
+const gateAbsSlackSeconds = 0.25
+
+// gate compares measured rows against the baseline report: any
+// configuration whose mean wall-time grew by more than maxRegress (plus a
+// small absolute slack absorbing sub-second jitter) fails the gate.
+// Distance drift is reported as a warning — quick runs are deterministic,
+// so a drift means the pipeline's output changed, which may be intentional
+// (then the baseline needs regenerating) but is worth eyes.
+func gate(baselinePath string, current benchReport, measured []experiments.Row, maxRegress float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline: %w", err)
+	}
+	// A run with different table/quick/budget/workers settings measures
+	// different work (or the same work at a different parallelism);
+	// wall-times are incomparable and the gate refuses rather than
+	// reporting a spurious verdict.
+	if base.Table != current.Table || base.Quick != current.Quick ||
+		base.Budget != current.Budget || base.Workers != current.Workers {
+		return fmt.Errorf("run settings (table=%s quick=%t budget=%d workers=%d) do not match baseline (table=%s quick=%t budget=%d workers=%d); rerun with the baseline's flags or regenerate it",
+			current.Table, current.Quick, current.Budget, current.Workers,
+			base.Table, base.Quick, base.Budget, base.Workers)
+	}
+	if base.GOOS != runtime.GOOS || base.GOARCH != runtime.GOARCH || base.NumCPU != runtime.NumCPU() {
+		fmt.Printf("gate WARNING: baseline recorded on %s/%s numCPU=%d, this run is %s/%s numCPU=%d — wall-times are only roughly comparable\n",
+			base.GOOS, base.GOARCH, base.NumCPU, runtime.GOOS, runtime.GOARCH, runtime.NumCPU())
+	}
+	byLabel := make(map[string]experiments.Row, len(measured))
+	for _, r := range measured {
+		byLabel[r.Label] = r
+	}
+	var regressions, missing []string
+	compared := 0
+	for _, b := range base.Rows {
+		got, ok := byLabel[b.Label]
+		if !ok {
+			// A configuration that vanished or was renamed is itself a
+			// gate failure — otherwise dropping a slow config "fixes" it.
+			missing = append(missing, b.Label)
+			continue
+		}
+		if b.Seconds <= 0 {
+			continue
+		}
+		compared++
+		allowed := b.Seconds*(1+maxRegress) + gateAbsSlackSeconds
+		ratio := got.Seconds / b.Seconds
+		status := "ok"
+		if got.Seconds > allowed {
+			status = "REGRESSED"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.2fs vs baseline %.2fs (%.0f%% over, allowed %.2fs)",
+					b.Label, got.Seconds, b.Seconds, (ratio-1)*100, allowed))
+		}
+		fmt.Printf("gate %-14s %8.2fs vs baseline %8.2fs (%+.0f%%, allowed %.2fs) %s\n",
+			b.Label, got.Seconds, b.Seconds, (ratio-1)*100, allowed, status)
+		if math.Abs(got.Dist-b.Dist) > 1e-6 {
+			fmt.Printf("gate %-14s WARNING: mean distance %.6f differs from baseline %.6f — pipeline output changed\n",
+				b.Label, got.Dist, b.Dist)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("baseline configuration(s) %v produced no measurement in this run (renamed or dropped? regenerate the baseline if intentional)", missing)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no comparable rows between this run and %s", baselinePath)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d configuration(s) regressed: %v", len(regressions), regressions)
+	}
+	return nil
 }
 
 func run(title string, fn func()) {

@@ -1,0 +1,71 @@
+// Command gecco-serve exposes the GECCO pipeline as a concurrent HTTP
+// service with a sharded result cache and cooperative cancellation: a
+// disconnected client or a shutdown signal stops in-flight pipeline runs
+// mid-frontier.
+//
+// Usage:
+//
+//	gecco-serve -addr :8080 -max-jobs 4 -cache-size 256
+//
+//	curl -s "localhost:8080/abstract?constraints=distinct(role)%20%3C%3D%201" \
+//	     -X POST --data-binary @events.xes
+//	curl -s localhost:8080/stats
+//
+// See the README's Serving section for the full API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gecco/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		maxJobs   = flag.Int("max-jobs", 0, "maximum concurrent pipeline runs (0 = one per CPU)")
+		cacheSize = flag.Int("cache-size", 256, "result cache capacity in entries (0 = disable)")
+		workers   = flag.Int("workers", 0, "default worker threads per job (0 = all cores)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown window before in-flight jobs are cut")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Options{
+		MaxConcurrent:  *maxJobs,
+		CacheCapacity:  *cacheSize,
+		NoCache:        *cacheSize <= 0,
+		DefaultWorkers: *workers,
+	})
+	srv := &http.Server{Addr: *addr, Handler: service.Handler(svc)}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("gecco-serve listening on %s (max-jobs=%d cache-size=%d)\n", *addr, *maxJobs, *cacheSize)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("gecco-serve: %v, draining for up to %v...\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "gecco-serve: shutdown:", err)
+		}
+		cancel()
+		// Cancel whatever is still running mid-frontier and wait for it.
+		svc.Close()
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "gecco-serve:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -25,9 +25,25 @@
 // deterministic — without a wall-clock Budget.TimeLimit, any worker count
 // produces byte-identical results; set Workers to 1 for the paper's
 // sequential execution.
+//
+// # Cancellation
+//
+// AbstractContext and AbstractSetContext are the context-aware entry points
+// for long-running or served workloads. Cancelling the context — a
+// disconnected HTTP client, a server shutdown, a caller-side timeout —
+// stops the pipeline mid-frontier and mid-solve and returns an error
+// wrapping context.Canceled or context.DeadlineExceeded. A context deadline
+// composes with Config.Budget.TimeLimit: whichever expires first cuts the
+// candidate frontier, but only the context's own expiry becomes an error
+// (TimeLimit expiry returns the partial result, as in the paper's 5-hour
+// budget). With a context that is never cancelled, results are
+// byte-identical to Abstract/AbstractSet. The gecco-serve command exposes
+// these entry points over HTTP with a sharded result cache; see
+// internal/service.
 package gecco
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -89,16 +105,28 @@ func ParseConstraints(text string) (*ConstraintSet, error) {
 
 // Abstract runs the GECCO pipeline on the log under textual constraints.
 func Abstract(log *Log, constraintText string, cfg Config) (*Result, error) {
+	return AbstractContext(context.Background(), log, constraintText, cfg)
+}
+
+// AbstractContext is Abstract under a context; see the package
+// documentation for the cancellation and deadline-composition semantics.
+func AbstractContext(ctx context.Context, log *Log, constraintText string, cfg Config) (*Result, error) {
 	set, err := ParseConstraints(constraintText)
 	if err != nil {
 		return nil, fmt.Errorf("gecco: %w", err)
 	}
-	return AbstractSet(log, set, cfg)
+	return AbstractSetContext(ctx, log, set, cfg)
 }
 
 // AbstractSet runs the GECCO pipeline with an already-built constraint set.
 func AbstractSet(log *Log, set *ConstraintSet, cfg Config) (*Result, error) {
 	return core.Run(log, set, cfg)
+}
+
+// AbstractSetContext is AbstractSet under a context; cancellation stops the
+// pipeline mid-frontier and returns an error wrapping ctx.Err().
+func AbstractSetContext(ctx context.Context, log *Log, set *ConstraintSet, cfg Config) (*Result, error) {
+	return core.RunContext(ctx, log, set, cfg)
 }
 
 // ReadXES parses an event log in IEEE XES format.

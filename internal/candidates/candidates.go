@@ -17,6 +17,7 @@
 package candidates
 
 import (
+	"context"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -53,36 +54,61 @@ const deadlineSampleInterval = 64
 // grant must not stop workers from evaluating the items already granted —
 // that is what reproduces the sequential semantics of "assess exactly
 // MaxChecks groups, then stop".
+//
+// The state also composes the caller's context with TimeLimit: the earlier
+// of the two deadlines cuts the frontier, and cancellation is sampled at
+// the same points as the deadline, so a cancelled context stops the
+// enumeration mid-frontier within deadlineSampleInterval evaluations.
 type budgetState struct {
 	Budget
-	deadline time.Time
-	reserved atomic.Int64 // checks reserved against MaxChecks
-	ticks    atomic.Int64 // items actually evaluated (Checks reporting, deadline sampling)
-	maxedOut atomic.Bool  // MaxChecks exhausted
-	timedOut atomic.Bool  // deadline passed
+	ctx       context.Context
+	deadline  time.Time
+	reserved  atomic.Int64 // checks reserved against MaxChecks
+	ticks     atomic.Int64 // items actually evaluated (Checks reporting, deadline sampling)
+	maxedOut  atomic.Bool  // MaxChecks exhausted
+	timedOut  atomic.Bool  // deadline passed
+	cancelled atomic.Bool  // ctx cancelled
 }
 
-func (b *budgetState) start() {
+func (b *budgetState) start(ctx context.Context) {
+	b.ctx = ctx
 	if b.TimeLimit > 0 {
 		b.deadline = time.Now().Add(b.TimeLimit)
+	}
+	// Whichever of Budget.TimeLimit and the context deadline expires first
+	// cuts the frontier.
+	if cd, ok := ctx.Deadline(); ok && (b.deadline.IsZero() || cd.Before(b.deadline)) {
+		b.deadline = cd
+	}
+	if ctx.Err() != nil {
+		b.cancelled.Store(true)
 	}
 }
 
 // exceeded reports whether any budget dimension is exhausted.
-func (b *budgetState) exceeded() bool { return b.maxedOut.Load() || b.timedOut.Load() }
+func (b *budgetState) exceeded() bool {
+	return b.maxedOut.Load() || b.timedOut.Load() || b.cancelled.Load()
+}
 
 // tick records one evaluated item and reports whether the deadline still
-// holds; on expiry the item must not be evaluated. The wall clock is
-// sampled on the first tick and every deadlineSampleInterval-th thereafter.
+// holds and the context is still live; on expiry or cancellation the item
+// must not be evaluated. The wall clock and the context are sampled on the
+// first tick and every deadlineSampleInterval-th thereafter.
 func (b *budgetState) tick() bool {
-	if b.timedOut.Load() {
+	if b.timedOut.Load() || b.cancelled.Load() {
 		return false
 	}
 	t := b.ticks.Add(1)
+	sample := t == 1 || t%deadlineSampleInterval == 0
+	if sample && b.ctx != nil && b.ctx.Err() != nil {
+		b.cancelled.Store(true)
+		b.ticks.Add(-1) // the cancelled item is not evaluated
+		return false
+	}
 	if b.deadline.IsZero() {
 		return true
 	}
-	if (t == 1 || t%deadlineSampleInterval == 0) && time.Now().After(b.deadline) {
+	if sample && time.Now().After(b.deadline) {
 		b.timedOut.Store(true)
 		b.ticks.Add(-1) // the expired item is not evaluated
 		return false
@@ -182,11 +208,20 @@ func (s *set) hasSatisfyingSubset(g bitset.Set, universe int) bool {
 // per CPU); results are merged in frontier order, so the output is identical
 // for any worker count.
 func Exhaustive(x *eventlog.Index, ev *constraints.Evaluator, budget Budget, workers int) Result {
+	return ExhaustiveCtx(context.Background(), x, ev, budget, workers)
+}
+
+// ExhaustiveCtx is Exhaustive under a context: the enumeration stops
+// mid-frontier when ctx is cancelled or its deadline (composed with
+// Budget.TimeLimit, whichever is earlier) expires, returning the candidates
+// found so far with TimedOut set. With a never-cancelled context the result
+// is byte-identical to Exhaustive.
+func ExhaustiveCtx(ctx context.Context, x *eventlog.Index, ev *constraints.Evaluator, budget Budget, workers int) Result {
 	w := par.Workers(workers)
 	mode := ev.Set.CheckingMode()
 	n := x.NumClasses()
 	bs := &budgetState{Budget: budget}
-	bs.start()
+	bs.start(ctx)
 
 	cands := newSet()
 	queued := make(map[string]struct{}) // every group ever placed in toCheck
@@ -295,10 +330,16 @@ func pathKey(nodes []int) string {
 // CPU) with a sequential in-order merge, so the search — including the beam
 // cut — is deterministic for any worker count.
 func DFGBased(x *eventlog.Index, ev *constraints.Evaluator, dc *distance.Calc, g *dfg.Graph, beamWidth int, budget Budget, workers int) Result {
+	return DFGBasedCtx(context.Background(), x, ev, dc, g, beamWidth, budget, workers)
+}
+
+// DFGBasedCtx is DFGBased under a context; see ExhaustiveCtx for the
+// cancellation and deadline-composition semantics.
+func DFGBasedCtx(ctx context.Context, x *eventlog.Index, ev *constraints.Evaluator, dc *distance.Calc, g *dfg.Graph, beamWidth int, budget Budget, workers int) Result {
 	w := par.Workers(workers)
 	mode := ev.Set.CheckingMode()
 	bs := &budgetState{Budget: budget}
-	bs.start()
+	bs.start(ctx)
 
 	cands := newSet()
 	seenPaths := make(map[string]struct{})

@@ -1,0 +1,73 @@
+package candidates
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// The context deadline composes with Budget.TimeLimit: whichever is earlier
+// cuts the frontier.
+func TestBudgetComposesContextDeadline(t *testing.T) {
+	// Context deadline far earlier than TimeLimit wins...
+	d := time.Now().Add(50 * time.Millisecond)
+	ctx, cancel := context.WithDeadline(context.Background(), d)
+	defer cancel()
+	bs := &budgetState{Budget: Budget{TimeLimit: time.Hour}}
+	bs.start(ctx)
+	if bs.deadline.After(d) {
+		t.Fatalf("effective deadline %v, want the earlier context deadline %v", bs.deadline, d)
+	}
+	// ...and an earlier TimeLimit wins over a later context deadline.
+	ctx2, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(time.Hour))
+	defer cancel2()
+	bs2 := &budgetState{Budget: Budget{TimeLimit: time.Millisecond}}
+	bs2.start(ctx2)
+	if bs2.deadline.After(time.Now().Add(time.Minute)) {
+		t.Fatalf("effective deadline %v, want the earlier TimeLimit cut", bs2.deadline)
+	}
+}
+
+// An already-expired context refuses all work from the first grant on, so
+// an entire frontier is never reserved, let alone evaluated.
+func TestBudgetPreExpiredContextRefusesWork(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	bs := &budgetState{Budget: Budget{TimeLimit: time.Hour}}
+	bs.start(ctx)
+	if !bs.exceeded() {
+		t.Fatal("budget not marked exceeded under a pre-expired context")
+	}
+	if got := bs.grant(10); got != 0 {
+		t.Fatalf("grant(10) = %d, want 0", got)
+	}
+	if bs.checks() != 0 {
+		t.Fatalf("checks = %d, want 0", bs.checks())
+	}
+}
+
+// Cancellation is sampled at the same points as the deadline, so a context
+// cancelled between frontiers stops the next sampled tick.
+func TestBudgetObservesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	bs := &budgetState{}
+	bs.start(ctx)
+	bs.grant(deadlineSampleInterval * 2)
+	if !bs.tick() {
+		t.Fatal("tick refused work under a live context")
+	}
+	cancel()
+	ok := true
+	for i := 0; i < deadlineSampleInterval+1; i++ {
+		if !bs.tick() {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		t.Fatal("a full sampling interval of ticks ran after cancellation")
+	}
+	if !bs.exceeded() {
+		t.Fatal("budget not marked exceeded after cancellation")
+	}
+}

@@ -1,6 +1,7 @@
 package candidates
 
 import (
+	"context"
 	"runtime"
 	"testing"
 	"time"
@@ -22,7 +23,7 @@ import (
 // must not be counted as evaluated.
 func TestBudgetDeadlineTestedOnFirstCheck(t *testing.T) {
 	bs := &budgetState{Budget: Budget{TimeLimit: time.Nanosecond}}
-	bs.start()
+	bs.start(context.Background())
 	time.Sleep(time.Millisecond)
 	if got := bs.grant(1); got != 1 {
 		t.Fatalf("grant(1) = %d, want 1 (no MaxChecks limit)", got)
@@ -40,7 +41,7 @@ func TestBudgetDeadlineTestedOnFirstCheck(t *testing.T) {
 
 func TestBudgetNoDeadlineUnlimited(t *testing.T) {
 	bs := &budgetState{}
-	bs.start()
+	bs.start(context.Background())
 	if got := bs.grant(1000); got != 1000 {
 		t.Fatalf("grant(1000) = %d, want 1000", got)
 	}
@@ -60,7 +61,7 @@ func TestBudgetNoDeadlineUnlimited(t *testing.T) {
 // the granted items run (only further grants are refused).
 func TestBudgetGrantDeterministicCut(t *testing.T) {
 	bs := &budgetState{Budget: Budget{MaxChecks: 10}}
-	bs.start()
+	bs.start(context.Background())
 	if got := bs.grant(7); got != 7 {
 		t.Fatalf("grant(7) = %d, want 7", got)
 	}
@@ -82,7 +83,7 @@ func TestBudgetGrantDeterministicCut(t *testing.T) {
 // under -race this exercises the atomic counters.
 func TestBudgetConcurrentTicks(t *testing.T) {
 	bs := &budgetState{Budget: Budget{MaxChecks: 500}}
-	bs.start()
+	bs.start(context.Background())
 	granted := 0
 	for i := 0; i < 10; i++ {
 		granted += bs.grant(100)

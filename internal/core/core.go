@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -121,6 +122,19 @@ type Result struct {
 
 // Run executes the full GECCO pipeline on the log under the constraint set.
 func Run(log *eventlog.Log, set *constraints.Set, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), log, set, cfg)
+}
+
+// RunContext is Run under a context. Cancellation (a disconnected client, a
+// server shutdown) stops the pipeline mid-frontier and mid-solve and returns
+// an error wrapping ctx.Err(); a context deadline composes with
+// Budget.TimeLimit — whichever expires first cuts the candidate frontier,
+// and only the context's own expiry turns into an error. A never-cancelled
+// context leaves results byte-identical to Run.
+func RunContext(ctx context.Context, log *eventlog.Log, set *constraints.Set, cfg Config) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	if len(log.Traces) == 0 {
 		return nil, fmt.Errorf("core: empty log")
 	}
@@ -147,22 +161,28 @@ func Run(log *eventlog.Log, set *constraints.Set, cfg Config) (*Result, error) {
 	} else {
 		switch cfg.Mode {
 		case Exhaustive:
-			cr = candidates.Exhaustive(x, ev, cfg.Budget, workers)
+			cr = candidates.ExhaustiveCtx(ctx, x, ev, cfg.Budget, workers)
 		case DFGUnbounded:
-			cr = candidates.DFGBased(x, ev, dc, graph, -1, cfg.Budget, workers)
+			cr = candidates.DFGBasedCtx(ctx, x, ev, dc, graph, -1, cfg.Budget, workers)
 		case DFGBeam:
 			k := cfg.BeamWidth
 			if k <= 0 {
 				k = 5 * x.NumClasses()
 			}
-			cr = candidates.DFGBased(x, ev, dc, graph, k, cfg.Budget, workers)
+			cr = candidates.DFGBasedCtx(ctx, x, ev, dc, graph, k, cfg.Budget, workers)
 		default:
 			return nil, fmt.Errorf("core: unknown mode %d", cfg.Mode)
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: candidates: %w", err)
+	}
 	groups := cr.Groups
 	if !cfg.SkipExclusiveMerge && cfg.CustomCandidates == nil {
 		groups = candidates.ExclusiveMerge(x, ev, graph, groups)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: candidates: %w", err)
 	}
 	candTime := time.Since(t0)
 
@@ -175,6 +195,9 @@ func Run(log *eventlog.Log, set *constraints.Set, cfg Config) (*Result, error) {
 	par.For(workers, len(groups), func(i int) {
 		costs[i] = dc.Group(groups[i])
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: costs: %w", err)
+	}
 	minG, maxG := set.GroupBounds()
 	prob := &cover.Problem{
 		NumClasses: x.NumClasses(),
@@ -184,11 +207,14 @@ func Run(log *eventlog.Log, set *constraints.Set, cfg Config) (*Result, error) {
 		MaxGroups:  maxG,
 	}
 	solveOnce := func() (cover.Result, error) {
+		if err := ctx.Err(); err != nil {
+			return cover.Result{}, fmt.Errorf("core: solve: %w", err)
+		}
 		switch cfg.Solver {
 		case SolverBB:
-			return cover.SolveBBTimeout(prob, cfg.SolverTimeout), nil
+			return cover.SolveBBCtx(ctx, prob, cfg.SolverTimeout), nil
 		case SolverMIP:
-			r, _ := cover.SolveMIP(prob, mip.Options{TimeLimit: cfg.SolverTimeout})
+			r, _ := cover.SolveMIPCtx(ctx, prob, mip.Options{TimeLimit: cfg.SolverTimeout})
 			return r, nil
 		default:
 			return cover.Result{}, fmt.Errorf("core: unknown solver %d", cfg.Solver)
@@ -256,6 +282,12 @@ func Run(log *eventlog.Log, set *constraints.Set, cfg Config) (*Result, error) {
 		}
 	}
 	solveTime := time.Since(t1)
+	// A solver cut short by cancellation may still report its incumbent as
+	// feasible; the caller asked us to stop, so surface the cancellation
+	// rather than a half-optimised grouping.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: solve: %w", err)
+	}
 
 	out := &Result{
 		NumCandidates:      len(groups),

@@ -8,6 +8,7 @@
 package cover
 
 import (
+	"context"
 	"math"
 	"sort"
 	"time"
@@ -67,19 +68,30 @@ type Result struct {
 // classes. Costs must be non-negative (GECCO's distance always is); +Inf
 // costs effectively remove a candidate.
 func SolveBB(p *Problem) Result {
-	return solveBB(p, time.Time{})
+	return solveBB(context.Background(), p, time.Time{})
 }
 
 // SolveBBTimeout is SolveBB with a wall-clock budget; on expiry the best
 // incumbent found so far (if any) is returned with Feasible reflecting it.
 func SolveBBTimeout(p *Problem, budget time.Duration) Result {
-	if budget <= 0 {
-		return solveBB(p, time.Time{})
-	}
-	return solveBB(p, time.Now().Add(budget))
+	return SolveBBCtx(context.Background(), p, budget)
 }
 
-func solveBB(p *Problem, deadline time.Time) Result {
+// SolveBBCtx is SolveBBTimeout under a context: the search additionally
+// stops — keeping the best incumbent found so far — when ctx is cancelled
+// or its deadline (composed with budget, whichever is earlier) expires.
+func SolveBBCtx(ctx context.Context, p *Problem, budget time.Duration) Result {
+	deadline := time.Time{}
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+	}
+	if cd, ok := ctx.Deadline(); ok && (deadline.IsZero() || cd.Before(deadline)) {
+		deadline = cd
+	}
+	return solveBB(ctx, p, deadline)
+}
+
+func solveBB(ctx context.Context, p *Problem, deadline time.Time) Result {
 	nC := p.NumClasses
 	// byClass[c] lists candidates covering class c, cheapest first.
 	byClass := make([][]int, nC)
@@ -158,9 +170,15 @@ func solveBB(p *Problem, deadline time.Time) Result {
 			return
 		}
 		checkCounter++
-		if checkCounter&1023 == 0 && !deadline.IsZero() && time.Now().After(deadline) {
-			timedOut = true
-			return
+		if checkCounter&1023 == 0 {
+			if ctx.Err() != nil {
+				timedOut = true
+				return
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				timedOut = true
+				return
+			}
 		}
 		if numUncovered == 0 {
 			if len(curSel) >= p.MinGroups && cost < bestCost {
@@ -290,6 +308,12 @@ func greedyCover(p *Problem, byClass [][]int) ([]int, float64, bool) {
 // SolveMIP solves the problem via the paper's MIP formulation (Eq. 3–5):
 // binary selected_g and covered_c variables with coverage-linking rows.
 func SolveMIP(p *Problem, opts mip.Options) (Result, mip.Status) {
+	return SolveMIPCtx(context.Background(), p, opts)
+}
+
+// SolveMIPCtx is SolveMIP under a context; cancellation aborts the
+// branch-and-bound search (see mip.SolveContext).
+func SolveMIPCtx(ctx context.Context, p *Problem, opts mip.Options) (Result, mip.Status) {
 	nG := len(p.Candidates)
 	nC := p.NumClasses
 	nv := nG + nC // selected_0..nG-1, covered_0..nC-1
@@ -379,8 +403,11 @@ func SolveMIP(p *Problem, opts mip.Options) (Result, mip.Status) {
 		addRow(sel, lp.GE, float64(p.MinGroups))
 	}
 
-	sol := mip.Solve(prob, opts)
-	if sol.Status != mip.Optimal || sol.X == nil {
+	sol := mip.SolveContext(ctx, prob, opts)
+	// Like SolveBBCtx, a truncated search (time limit, cancellation, node
+	// limit) still yields its best incumbent when one was found; only a
+	// solve with no integral solution at all is infeasible.
+	if sol.X == nil {
 		return Result{Nodes: sol.Nodes}, sol.Status
 	}
 	var selected []int

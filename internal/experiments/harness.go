@@ -42,6 +42,7 @@ type Measures struct {
 	CRed       float64 // control-flow complexity reduction
 	Sil        float64 // silhouette coefficient
 	Seconds    float64 // wall-clock runtime
+	Dist       float64 // total distance of the selected grouping (Eq. 1)
 }
 
 // evaluate scores a finished run against the original log.
@@ -55,6 +56,7 @@ func evaluate(log *eventlog.Log, res *core.Result, elapsed time.Duration) Measur
 	m.SRed = metrics.SizeReduction(len(res.Grouping.Groups), x.NumClasses())
 	m.CRed = metrics.ComplexityReduction(log, res.Abstracted, discovery.Options{})
 	m.Sil = metrics.Silhouette(x, res.Grouping.Groups)
+	m.Dist = res.Distance
 	return m
 }
 
@@ -85,8 +87,8 @@ func RunProblem(log *eventlog.Log, id SetID, mode core.Mode, opts Options) Measu
 // aggregate averages measures over applicable problems; SRed/CRed/Sil are
 // averaged over solved problems only, as in the paper's tables.
 type aggregate struct {
-	applicable, solved         int
-	sred, cred, sil, secSolved float64
+	applicable, solved               int
+	sred, cred, sil, secSolved, dist float64
 }
 
 func (a *aggregate) add(m Measures) {
@@ -102,17 +104,21 @@ func (a *aggregate) add(m Measures) {
 	a.cred += m.CRed
 	a.sil += m.Sil
 	a.secSolved += m.Seconds
+	a.dist += m.Dist
 }
 
-// Row is an aggregated result row for any of the tables.
+// Row is an aggregated result row for any of the tables. The JSON tags are
+// the machine-readable bench format consumed by the CI regression gate
+// (gecco-bench -json / -baseline).
 type Row struct {
-	Label   string
-	Solved  float64
-	SRed    float64
-	CRed    float64
-	Sil     float64
-	Seconds float64
-	N       int // applicable problems
+	Label   string  `json:"label"`
+	Solved  float64 `json:"solved"`
+	SRed    float64 `json:"sred"`
+	CRed    float64 `json:"cred"`
+	Sil     float64 `json:"sil"`
+	Seconds float64 `json:"seconds"`
+	Dist    float64 `json:"dist"` // mean grouping distance over solved problems
+	N       int     `json:"n"`    // applicable problems
 }
 
 func (a *aggregate) row(label string) Row {
@@ -126,6 +132,7 @@ func (a *aggregate) row(label string) Row {
 		r.CRed = a.cred / n
 		r.Sil = a.sil / n
 		r.Seconds = a.secSolved / n
+		r.Dist = a.dist / n
 	}
 	return r
 }

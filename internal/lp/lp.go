@@ -12,6 +12,7 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -69,10 +70,13 @@ const (
 	Infeasible
 	Unbounded
 	IterLimit
+	// Cancelled means the solve was abandoned because the caller's context
+	// was cancelled or its deadline expired; the solution is unusable.
+	Cancelled
 )
 
 func (s Status) String() string {
-	return [...]string{"optimal", "infeasible", "unbounded", "iteration-limit"}[s]
+	return [...]string{"optimal", "infeasible", "unbounded", "iteration-limit", "cancelled"}[s]
 }
 
 // Solution holds the result of Solve.
@@ -90,6 +94,14 @@ const (
 
 // Solve solves the problem with two-phase primal simplex.
 func Solve(p *Problem) Solution {
+	return SolveContext(context.Background(), p)
+}
+
+// SolveContext is Solve under a context: cancellation is sampled every
+// ctxSampleInterval pivots and aborts the solve with Status Cancelled. A
+// never-cancelled context leaves the pivot sequence — and so the solution —
+// identical to Solve.
+func SolveContext(ctx context.Context, p *Problem) Solution {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
@@ -98,6 +110,7 @@ func Solve(p *Problem) Solution {
 		return Solution{Status: Infeasible}
 	}
 	t := newTableau(st)
+	t.ctx = ctx
 	if status := t.phase1(); status != Optimal {
 		return Solution{Status: status}
 	}
@@ -213,7 +226,13 @@ type tableau struct {
 	artStart  int
 	realCosts []float64
 	iters     int
+	ctx       context.Context // nil means non-cancellable
 }
+
+// ctxSampleInterval is how often (in pivots) the context is polled for
+// cancellation; between samples the overshoot is bounded by the cost of
+// ctxSampleInterval pivots.
+const ctxSampleInterval = 64
 
 func newTableau(st *standardized) *tableau {
 	m := len(st.rows)
@@ -330,6 +349,9 @@ func (t *tableau) iterate(banned []bool) Status {
 	for iter := 0; ; iter++ {
 		if iter > maxIters {
 			return IterLimit
+		}
+		if t.ctx != nil && iter%ctxSampleInterval == 0 && t.ctx.Err() != nil {
+			return Cancelled
 		}
 		t.iters++
 		useBland := iter > blandAfter

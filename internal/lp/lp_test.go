@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -217,4 +218,37 @@ func TestValidationErrors(t *testing.T) {
 		}
 	}()
 	Solve(&Problem{NumVars: 2, C: []float64{1}})
+}
+
+func TestSolveContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := SolveContext(ctx, &Problem{
+		NumVars: 2,
+		C:       []float64{-1, -1},
+		A:       [][]float64{{1, 1}},
+		Ops:     []RelOp{LE},
+		B:       []float64{4},
+	})
+	if s.Status != Cancelled {
+		t.Fatalf("status %v, want cancelled", s.Status)
+	}
+	// A live context must match the plain solve exactly.
+	want := Solve(&Problem{
+		NumVars: 2,
+		C:       []float64{-1, -1},
+		A:       [][]float64{{1, 1}},
+		Ops:     []RelOp{LE},
+		B:       []float64{4},
+	})
+	got := SolveContext(context.Background(), &Problem{
+		NumVars: 2,
+		C:       []float64{-1, -1},
+		A:       [][]float64{{1, 1}},
+		Ops:     []RelOp{LE},
+		B:       []float64{4},
+	})
+	if got.Status != want.Status || got.Obj != want.Obj {
+		t.Fatalf("context solve diverged: %v/%v vs %v/%v", got.Status, got.Obj, want.Status, want.Obj)
+	}
 }

@@ -8,6 +8,7 @@ package mip
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"time"
 
@@ -47,10 +48,13 @@ const (
 	Unbounded
 	NodeLimit // search truncated; Solution may hold the best incumbent
 	TimeLimitHit
+	// Cancelled means the caller's context was cancelled mid-search; the
+	// Solution may still hold the best incumbent found before the cut.
+	Cancelled
 )
 
 func (s Status) String() string {
-	return [...]string{"optimal", "infeasible", "unbounded", "node-limit", "time-limit"}[s]
+	return [...]string{"optimal", "infeasible", "unbounded", "node-limit", "time-limit", "cancelled"}[s]
 }
 
 // Solution is the result of Solve.
@@ -77,6 +81,15 @@ func (q *nodeQueue) Pop() any          { old := *q; n := old[len(old)-1]; *q = o
 
 // Solve runs branch and bound.
 func Solve(p *Problem, opts Options) Solution {
+	return SolveContext(context.Background(), p, opts)
+}
+
+// SolveContext is Solve under a context: cancellation is checked once per
+// branch-and-bound node (and inside each LP subsolve), aborting the search
+// with Status Cancelled while keeping the best incumbent found so far. The
+// context deadline composes with Options.TimeLimit — whichever expires
+// first stops the search.
+func SolveContext(ctx context.Context, p *Problem, opts Options) Solution {
 	opts = opts.withDefaults()
 	nv := p.LP.NumVars
 	if len(p.Integer) != nv {
@@ -103,7 +116,7 @@ func Solve(p *Problem, opts Options) Solution {
 		sub := p.LP
 		sub.Lower = lo
 		sub.Upper = hi
-		return lp.Solve(&sub)
+		return lp.SolveContext(ctx, &sub)
 	}
 
 	root := solveLP(baseLower, baseUpper)
@@ -114,6 +127,8 @@ func Solve(p *Problem, opts Options) Solution {
 		return Solution{Status: Unbounded}
 	case lp.IterLimit:
 		return Solution{Status: NodeLimit}
+	case lp.Cancelled:
+		return Solution{Status: Cancelled}
 	}
 
 	var (
@@ -130,6 +145,10 @@ func Solve(p *Problem, opts Options) Solution {
 			status = NodeLimit
 			break
 		}
+		if ctx.Err() != nil {
+			status = Cancelled
+			break
+		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			status = TimeLimitHit
 			break
@@ -140,6 +159,10 @@ func Solve(p *Problem, opts Options) Solution {
 		}
 		nodes++
 		sol := solveLP(n.lower, n.upper)
+		if sol.Status == lp.Cancelled {
+			status = Cancelled
+			break
+		}
 		if sol.Status != lp.Optimal {
 			continue // infeasible or degenerate subproblem
 		}

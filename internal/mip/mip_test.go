@@ -1,6 +1,7 @@
 package mip
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -206,5 +207,31 @@ func TestNodeLimit(t *testing.T) {
 	s := Solve(p, Options{MaxNodes: 1})
 	if s.Status != NodeLimit && s.Status != Optimal {
 		t.Fatalf("status %v", s.Status)
+	}
+}
+
+func TestSolveContextCancelled(t *testing.T) {
+	p := &Problem{
+		LP: lp.Problem{
+			NumVars: 2,
+			C:       []float64{-5, -4},
+			A:       [][]float64{{2, 3}},
+			Ops:     []lp.RelOp{lp.LE},
+			B:       []float64{5},
+			Upper:   []float64{1, 1},
+		},
+		Integer: []bool{true, true},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := SolveContext(ctx, p, Options{})
+	if s.Status != Cancelled {
+		t.Fatalf("status %v, want cancelled", s.Status)
+	}
+	// Live context: identical to the plain solve.
+	got := SolveContext(context.Background(), p, Options{})
+	want := Solve(p, Options{})
+	if got.Status != want.Status || got.Obj != want.Obj {
+		t.Fatalf("context solve diverged: %v/%v vs %v/%v", got.Status, got.Obj, want.Status, want.Obj)
 	}
 }

@@ -1,0 +1,420 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"gecco/internal/abstraction"
+	"gecco/internal/candidates"
+	"gecco/internal/constraints"
+	"gecco/internal/core"
+	"gecco/internal/csvlog"
+	"gecco/internal/eventlog"
+	"gecco/internal/instances"
+	"gecco/internal/xes"
+)
+
+// maxBodyBytes caps uploaded log size (64 MiB).
+const maxBodyBytes = 64 << 20
+
+// AbstractRequest is the JSON envelope accepted by POST /abstract. Raw XES
+// or CSV bodies are also accepted (see Handler), with the remaining fields
+// read from query parameters of the same names.
+type AbstractRequest struct {
+	// Format of Log: "xes" or "csv"; default sniffs XES for bodies
+	// starting with '<'.
+	Format string `json:"format,omitempty"`
+	// Log is the event log serialised in Format.
+	Log string `json:"log"`
+	// Constraints holds newline-separated constraint declarations.
+	Constraints string `json:"constraints"`
+	// Mode is "exh", "dfg" (default), or "dfgk".
+	Mode string `json:"mode,omitempty"`
+	// BeamWidth tunes dfgk; 0 means the paper's 5·|C_L|.
+	BeamWidth int `json:"beamWidth,omitempty"`
+	// Workers caps pipeline parallelism; 0 uses the server default.
+	Workers int `json:"workers,omitempty"`
+	// MaxChecks bounds candidate computation; 0 means unlimited.
+	MaxChecks int `json:"maxChecks,omitempty"`
+	// Strategy is "completion" (default) or "start-complete".
+	Strategy string `json:"strategy,omitempty"`
+	// Policy is "split" (default) or "whole".
+	Policy string `json:"policy,omitempty"`
+	// Solver is "bb" (default) or "mip".
+	Solver string `json:"solver,omitempty"`
+	// NamePrefix labels multi-class activities; default "Activity ".
+	NamePrefix string `json:"namePrefix,omitempty"`
+	// NameByClassAttr prefixes activity labels with the group's unique
+	// value of this class-level attribute.
+	NameByClassAttr string `json:"nameByClassAttr,omitempty"`
+	// Async returns 202 with a job ID instead of blocking; poll
+	// GET /jobs/{id} for the result.
+	Async bool `json:"async,omitempty"`
+}
+
+// AbstractResponse is the JSON result of a finished abstraction.
+type AbstractResponse struct {
+	JobID     string `json:"jobId,omitempty"`
+	State     string `json:"state,omitempty"`
+	Cached    bool   `json:"cached"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+
+	Feasible           bool       `json:"feasible"`
+	Distance           float64    `json:"distance,omitempty"`
+	GroupClasses       [][]string `json:"groupClasses,omitempty"`
+	ActivityNames      []string   `json:"activityNames,omitempty"`
+	NumCandidates      int        `json:"numCandidates"`
+	CandidatesTimedOut bool       `json:"candidatesTimedOut,omitempty"`
+	ConstraintChecks   int        `json:"constraintChecks"`
+	Diagnostics        string     `json:"diagnostics,omitempty"`
+	// Abstracted is the abstracted log, serialised in the request format.
+	Abstracted string `json:"abstracted,omitempty"`
+	TimingsMs  struct {
+		Candidates float64 `json:"candidates"`
+		Solve      float64 `json:"solve"`
+		Abstract   float64 `json:"abstract"`
+	} `json:"timingsMs"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /abstract          run (or serve from cache) an abstraction
+//	GET  /jobs/{id}         poll a job
+//	POST /jobs/{id}/cancel  cancel a queued or running job (asynchronous:
+//	                        the response may still show it running; poll)
+//	GET  /healthz           liveness
+//	GET  /stats             cache and job counters
+func Handler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /abstract", func(w http.ResponseWriter, r *http.Request) { handleAbstract(s, w, r) })
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) { handleJob(s, w, r) })
+	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) { handleCancel(s, w, r) })
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+func handleAbstract(s *Service, w http.ResponseWriter, r *http.Request) {
+	// Load-shed before reading and parsing up to 64 MiB of body: when the
+	// queue is full the request would be rejected anyway (cache hits and
+	// coalescing joins can slip through after a retry — they are cheap).
+	if s.Busy() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, ErrBusy)
+		return
+	}
+	env, err := decodeAbstractRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, format, err := buildRequest(env)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	if env.Async {
+		snap, err := s.Submit(req)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrBusy) || errors.Is(err, ErrClosed) {
+				w.Header().Set("Retry-After", "1")
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, AbstractResponse{JobID: snap.ID, State: string(snap.State)})
+		return
+	}
+
+	// The request context carries client disconnects: an abandoned last
+	// waiter cancels the pipeline mid-frontier.
+	res, meta, err := s.Do(r.Context(), req)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrInvalidRequest) {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if errors.Is(err, ErrBusy) || errors.Is(err, ErrClosed) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if r.Context().Err() != nil {
+				// The client went away: 499 is nginx's "client closed
+				// request"; the response is unlikely to be seen, but logs
+				// and tests observe the status.
+				status = 499
+			} else {
+				// Server-side cancellation (admin cancel of a coalesced
+				// job, shutdown) while the client is still connected.
+				status = http.StatusServiceUnavailable
+			}
+		}
+		writeError(w, status, err)
+		return
+	}
+	resp, err := buildResponse(res, format)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp.Cached = meta.Cached
+	resp.Coalesced = meta.CoalescedInto
+	resp.JobID = meta.JobID
+	resp.State = string(StateDone)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func handleJob(s *Service, w http.ResponseWriter, r *http.Request) {
+	format := strings.ToLower(r.URL.Query().Get("format"))
+	if format != "" && format != "xes" && format != "csv" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want xes or csv)", format))
+		return
+	}
+	snap, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJobSnapshot(w, snap, format)
+}
+
+func handleCancel(s *Service, w http.ResponseWriter, r *http.Request) {
+	snap, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJobSnapshot(w, snap, "")
+}
+
+// writeJobSnapshot renders a job; formatOverride lets a poller that
+// coalesced onto a job submitted in the other wire format (the job's tag
+// records the first submitter's) ask for its own via ?format=.
+func writeJobSnapshot(w http.ResponseWriter, snap JobSnapshot, formatOverride string) {
+	resp := AbstractResponse{JobID: snap.ID, State: string(snap.State)}
+	format := formatOverride
+	if format == "" {
+		format = snap.Tag
+	}
+	if format == "" {
+		format = "xes"
+	}
+	if snap.State == StateDone && snap.Result != nil {
+		built, err := buildResponse(snap.Result, format)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		built.JobID = snap.ID
+		built.State = string(snap.State)
+		resp = *built
+	} else if snap.State == StateDone && snap.ResultEvicted {
+		writeJSON(w, http.StatusGone, struct {
+			AbstractResponse
+			Error string `json:"error"`
+		}{resp, "result evicted from job retention; re-POST the request (cached results are served instantly)"})
+		return
+	} else if snap.Err != nil {
+		// A failed pipeline is a 500 so status-code-only pollers notice;
+		// cancellation is a client-requested outcome and stays 200.
+		status := http.StatusOK
+		if snap.State == StateFailed {
+			status = http.StatusInternalServerError
+		}
+		writeJSON(w, status, struct {
+			AbstractResponse
+			Error string `json:"error"`
+		}{resp, snap.Err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeAbstractRequest accepts either the JSON envelope or a raw XES/CSV
+// body with query-parameter settings (curl-friendly).
+func decodeAbstractRequest(r *http.Request) (*AbstractRequest, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("reading body: %w", err)
+	}
+	if len(body) > maxBodyBytes {
+		return nil, fmt.Errorf("body exceeds %d bytes", maxBodyBytes)
+	}
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/json") {
+		env := &AbstractRequest{}
+		if err := json.Unmarshal(body, env); err != nil {
+			return nil, fmt.Errorf("decoding JSON envelope: %w", err)
+		}
+		return env, nil
+	}
+	q := r.URL.Query()
+	env := &AbstractRequest{
+		Format:          q.Get("format"),
+		Log:             string(body),
+		Constraints:     q.Get("constraints"),
+		Mode:            q.Get("mode"),
+		Strategy:        q.Get("strategy"),
+		Policy:          q.Get("policy"),
+		Solver:          q.Get("solver"),
+		NamePrefix:      q.Get("namePrefix"),
+		NameByClassAttr: q.Get("nameByClassAttr"),
+		Async:           q.Get("async") == "true",
+	}
+	// Malformed numbers are a 400, not a silent zero: maxChecks=10k
+	// falling back to 0 would mean *unlimited* budget.
+	for _, p := range []struct {
+		name string
+		dst  *int
+	}{{"beamWidth", &env.BeamWidth}, {"workers", &env.Workers}, {"maxChecks", &env.MaxChecks}} {
+		raw := q.Get(p.name)
+		if raw == "" {
+			continue
+		}
+		n, err := strconv.Atoi(raw)
+		if err != nil {
+			return nil, fmt.Errorf("query parameter %s=%q is not an integer", p.name, raw)
+		}
+		*p.dst = n
+	}
+	return env, nil
+}
+
+// buildRequest parses the envelope into a service request plus the format
+// to serialise the response log in.
+func buildRequest(env *AbstractRequest) (Request, string, error) {
+	format := strings.ToLower(env.Format)
+	if format == "" {
+		if strings.HasPrefix(strings.TrimSpace(env.Log), "<") {
+			format = "xes"
+		} else {
+			format = "csv"
+		}
+	}
+	var (
+		log *eventlog.Log
+		err error
+	)
+	switch format {
+	case "xes":
+		log, err = xes.Read(strings.NewReader(env.Log))
+	case "csv":
+		log, err = csvlog.Read(strings.NewReader(env.Log), csvlog.Options{})
+	default:
+		return Request{}, "", fmt.Errorf("unknown format %q (want xes or csv)", env.Format)
+	}
+	if err != nil {
+		return Request{}, "", fmt.Errorf("parsing %s log: %w", format, err)
+	}
+	set, err := constraints.ParseSet(env.Constraints)
+	if err != nil {
+		return Request{}, "", fmt.Errorf("parsing constraints: %w", err)
+	}
+	cfg := core.Config{
+		BeamWidth:       env.BeamWidth,
+		Workers:         env.Workers,
+		Budget:          candidates.Budget{MaxChecks: env.MaxChecks},
+		NamePrefix:      env.NamePrefix,
+		NameByClassAttr: env.NameByClassAttr,
+	}
+	switch strings.ToLower(env.Mode) {
+	case "", "dfg", "dfg-unbounded":
+		cfg.Mode = core.DFGUnbounded
+	case "exh", "exhaustive":
+		cfg.Mode = core.Exhaustive
+	case "dfgk", "beam", "dfg-beam":
+		cfg.Mode = core.DFGBeam
+	default:
+		return Request{}, "", fmt.Errorf("unknown mode %q (want exh, dfg, or dfgk)", env.Mode)
+	}
+	switch strings.ToLower(env.Strategy) {
+	case "", "completion":
+		cfg.Strategy = abstraction.CompletionOnly
+	case "start-complete":
+		cfg.Strategy = abstraction.StartComplete
+	default:
+		return Request{}, "", fmt.Errorf("unknown strategy %q", env.Strategy)
+	}
+	switch strings.ToLower(env.Policy) {
+	case "", "split":
+		cfg.Policy = instances.SplitOnRepeat
+	case "whole":
+		cfg.Policy = instances.WholeTrace
+	default:
+		return Request{}, "", fmt.Errorf("unknown policy %q", env.Policy)
+	}
+	switch strings.ToLower(env.Solver) {
+	case "", "bb":
+		cfg.Solver = core.SolverBB
+	case "mip":
+		cfg.Solver = core.SolverMIP
+	default:
+		return Request{}, "", fmt.Errorf("unknown solver %q (want bb or mip)", env.Solver)
+	}
+	return Request{Log: log, Constraints: set, Config: cfg, Tag: format}, format, nil
+}
+
+func buildResponse(res *JobResult, format string) (*AbstractResponse, error) {
+	resp := &AbstractResponse{
+		Feasible:           res.Feasible,
+		Distance:           res.Distance,
+		GroupClasses:       res.GroupClasses,
+		ActivityNames:      res.Grouping.Names,
+		NumCandidates:      res.NumCandidates,
+		CandidatesTimedOut: res.CandidatesTimedOut,
+		ConstraintChecks:   res.ConstraintChecks,
+	}
+	resp.TimingsMs.Candidates = ms(res.Timings.Candidates)
+	resp.TimingsMs.Solve = ms(res.Timings.Solve)
+	resp.TimingsMs.Abstract = ms(res.Timings.Abstract)
+	if res.Diagnostics != nil {
+		resp.Diagnostics = res.Diagnostics.String()
+	}
+	if res.Abstracted != nil {
+		var b strings.Builder
+		var err error
+		if format == "csv" {
+			err = csvlog.Write(&b, res.Abstracted)
+		} else {
+			err = xes.Write(&b, res.Abstracted)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("serialising abstracted log: %w", err)
+		}
+		resp.Abstracted = b.String()
+	}
+	return resp, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,308 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"gecco/internal/procgen"
+	"gecco/internal/xes"
+)
+
+func newTestServer(t *testing.T, opts Options) (*httptest.Server, *Service) {
+	t.Helper()
+	svc := New(opts)
+	srv := httptest.NewServer(Handler(svc))
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return srv, svc
+}
+
+func runningExampleXES(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	if err := xes.Write(&b, procgen.RunningExampleTable1()); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func postAbstract(t *testing.T, srv *httptest.Server, body string, params url.Values) (*http.Response, AbstractResponse) {
+	t.Helper()
+	u := srv.URL + "/abstract"
+	if len(params) > 0 {
+		u += "?" + params.Encode()
+	}
+	resp, err := http.Post(u, "application/xml", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out AbstractResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, out
+}
+
+// End-to-end: POST the running-example XES, assert the abstracted log
+// round-trips, and assert the second identical POST is served from cache
+// (observed through /stats).
+func TestHTTPEndToEndWithCache(t *testing.T) {
+	srv, _ := newTestServer(t, Options{})
+	logXES := runningExampleXES(t)
+	params := url.Values{"constraints": {"distinct(role) <= 1"}, "mode": {"dfg"}}
+
+	resp, out := postAbstract(t, srv, logXES, params)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %+v", resp.StatusCode, out)
+	}
+	if out.Cached {
+		t.Fatal("first request reported cached")
+	}
+	if !out.Feasible {
+		t.Fatalf("infeasible: %s", out.Diagnostics)
+	}
+	// The abstracted log must round-trip through XES.
+	abstracted, err := xes.Read(strings.NewReader(out.Abstracted))
+	if err != nil {
+		t.Fatalf("abstracted log does not parse as XES: %v", err)
+	}
+	if len(abstracted.Traces) != len(procgen.RunningExampleTable1().Traces) {
+		t.Fatalf("abstracted log has %d traces, want %d", len(abstracted.Traces), 4)
+	}
+	// Figure 7 grouping: four activities, clerk classes merged.
+	if len(out.GroupClasses) != 4 {
+		t.Fatalf("got %d groups, want 4 (Figure 7): %v", len(out.GroupClasses), out.GroupClasses)
+	}
+	var flat []string
+	for _, g := range out.GroupClasses {
+		gg := append([]string(nil), g...)
+		sort.Strings(gg)
+		flat = append(flat, strings.Join(gg, ","))
+	}
+	sort.Strings(flat)
+	want := []string{"acc", "arv,inf,prio", "ckc,ckt,rcp", "rej"}
+	if strings.Join(flat, "|") != strings.Join(want, "|") {
+		t.Fatalf("grouping %v, want %v", flat, want)
+	}
+
+	// Second identical request: served from the cache.
+	resp2, out2 := postAbstract(t, srv, logXES, params)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp2.StatusCode)
+	}
+	if !out2.Cached {
+		t.Fatal("second identical request not cached")
+	}
+	if out2.Abstracted != out.Abstracted {
+		t.Fatal("cached abstracted log differs from fresh one")
+	}
+
+	var st Stats
+	getJSON(t, srv.URL+"/stats", &st)
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Fatalf("cache stats hits=%d misses=%d, want 1/1", st.Cache.Hits, st.Cache.Misses)
+	}
+	if st.Jobs.Started != 1 {
+		t.Fatalf("jobs started = %d, want 1", st.Jobs.Started)
+	}
+}
+
+// The JSON envelope is the second ingestion path; CSV logs exercise it.
+func TestHTTPJSONEnvelopeCSV(t *testing.T) {
+	srv, _ := newTestServer(t, Options{})
+	csv := "case,activity,role\n" +
+		"1,a,clerk\n1,b,clerk\n1,c,boss\n" +
+		"2,a,clerk\n2,b,clerk\n2,c,boss\n"
+	env := AbstractRequest{Format: "csv", Log: csv, Constraints: "distinct(role) <= 1"}
+	body, _ := json.Marshal(env)
+	resp, err := http.Post(srv.URL+"/abstract", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out AbstractResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !out.Feasible {
+		t.Fatalf("status %d feasible %t: %+v", resp.StatusCode, out.Feasible, out)
+	}
+	// a and b share a role and always co-occur; they must group.
+	found := false
+	for _, g := range out.GroupClasses {
+		if len(g) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no merged group in %v", out.GroupClasses)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(out.Abstracted), "case,") {
+		t.Fatalf("CSV request did not get a CSV response: %.60q", out.Abstracted)
+	}
+}
+
+// A cancelled client request stops the pipeline without affecting a
+// concurrent job on the same server.
+func TestHTTPCancelledRequestStopsPipeline(t *testing.T) {
+	srv, svc := newTestServer(t, Options{MaxConcurrent: 2})
+
+	var b strings.Builder
+	if err := xes.Write(&b, procgen.LoanLog(400, 17)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	params := url.Values{"constraints": {"distinct(role) <= 1"}, "mode": {"exh"}}
+	req, err := http.NewRequestWithContext(ctx, "POST",
+		srv.URL+"/abstract?"+params.Encode(), strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if resp != nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Stats().Jobs.Running == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel() // client disconnects
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("cancelled client request returned no error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled request hung")
+	}
+
+	// Concurrent job on the same server still completes correctly.
+	resp, out := postAbstract(t, srv, runningExampleXES(t),
+		url.Values{"constraints": {"distinct(role) <= 1"}})
+	if resp.StatusCode != http.StatusOK || !out.Feasible {
+		t.Fatalf("concurrent job failed: status %d %+v", resp.StatusCode, out)
+	}
+
+	// The abandoned pipeline must wind down.
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := svc.Stats(); st.Jobs.Cancelled >= 1 && st.Jobs.Running == 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("pipeline still running after client disconnect: %+v", svc.Stats().Jobs)
+}
+
+// Async submission: 202 + job ID, then poll /jobs/{id} to completion. A
+// CSV submission must get its result back as CSV, not XES.
+func TestHTTPAsyncJobLifecycle(t *testing.T) {
+	srv, _ := newTestServer(t, Options{})
+	csv := "case,activity,role\n1,a,clerk\n1,b,clerk\n2,a,clerk\n2,b,clerk\n"
+	env := AbstractRequest{Format: "csv", Log: csv, Constraints: "distinct(role) <= 1", Async: true}
+	body, _ := json.Marshal(env)
+	httpResp, err := http.Post(srv.URL+"/abstract", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out AbstractResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d, want 202", httpResp.StatusCode)
+	}
+	if out.JobID == "" {
+		t.Fatal("no job ID in async response")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var job AbstractResponse
+		getJSON(t, srv.URL+"/jobs/"+out.JobID, &job)
+		if job.State == string(StateDone) {
+			if !job.Feasible || job.Abstracted == "" {
+				t.Fatalf("done job incomplete: %+v", job)
+			}
+			if !strings.HasPrefix(strings.TrimSpace(job.Abstracted), "case,") {
+				t.Fatalf("CSV submission polled back non-CSV result: %.60q", job.Abstracted)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("async job did not reach done")
+}
+
+// Malformed numeric query parameters must 400, not silently become 0
+// (maxChecks=0 means an *unlimited* budget).
+func TestHTTPMalformedIntIs400(t *testing.T) {
+	srv, _ := newTestServer(t, Options{})
+	resp, err := http.Post(srv.URL+"/abstract?constraints=%7Cg%7C+%3C%3D+8&maxChecks=10k",
+		"application/xml", strings.NewReader(runningExampleXES(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPHealthzAndErrors(t *testing.T) {
+	srv, _ := newTestServer(t, Options{})
+	var h map[string]string
+	getJSON(t, srv.URL+"/healthz", &h)
+	if h["status"] != "ok" {
+		t.Fatalf("healthz = %v", h)
+	}
+	// Unparseable constraints are a 400, not a 500.
+	resp, err := http.Post(srv.URL+"/abstract?constraints="+url.QueryEscape("nonsense((("),
+		"application/xml", strings.NewReader(runningExampleXES(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	// Unknown job is a 404.
+	jr, err := http.Get(srv.URL + "/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr.Body.Close()
+	if jr.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", jr.StatusCode)
+	}
+}
+
+func getJSON(t *testing.T, u string, v any) {
+	t.Helper()
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", u, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: %v", u, err)
+	}
+}

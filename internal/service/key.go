@@ -1,0 +1,117 @@
+// Request hashing: cache keys are a SHA-256 digest over the canonicalised
+// request — log content, constraint set, and the result-affecting Config
+// fields. Two requests with byte-different but semantically identical
+// inputs (reordered constraint declarations, different Workers settings)
+// map to the same key, so repeated logs hit the cache regardless of how the
+// client phrased the request.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"sort"
+
+	"gecco/internal/constraints"
+	"gecco/internal/core"
+	"gecco/internal/eventlog"
+)
+
+// LogDigest hashes a log's canonical structure: trace IDs, event classes,
+// and each event's attributes in sorted order, all length-prefixed so that
+// no two distinct logs share an encoding. The digest is independent of the
+// wire format the log arrived in (XES and CSV uploads of the same events
+// collide, as they should) — which is also why log.Name is excluded: XES
+// carries a log-level concept:name while CSV cannot, and the name only
+// decorates the output (a cache hit echoes the first run's name).
+func LogDigest(log *eventlog.Log) string {
+	h := sha256.New()
+	writeInt(h, len(log.Traces))
+	for i := range log.Traces {
+		tr := &log.Traces[i]
+		writeStr(h, tr.ID)
+		writeInt(h, len(tr.Events))
+		for j := range tr.Events {
+			e := &tr.Events[j]
+			writeStr(h, e.Class)
+			names := make([]string, 0, len(e.Attrs))
+			for name := range e.Attrs {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			writeInt(h, len(names))
+			for _, name := range names {
+				v := e.Attrs[name]
+				writeStr(h, name)
+				writeInt(h, int(v.Kind))
+				if v.Kind == eventlog.KindTime {
+					// AsString renders RFC3339 without sub-second
+					// precision, but gap/span constraints compare at full
+					// precision — two logs differing only in fractional
+					// seconds must not collide on one cache key.
+					writeInt(h, int(v.Time.UnixNano()))
+				} else {
+					writeStr(h, v.AsString())
+				}
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// canonicalConstraints renders the set as its sorted constraint strings, so
+// declaration order does not split cache entries.
+func canonicalConstraints(set *constraints.Set) string {
+	parts := make([]string, 0, set.Len())
+	for _, c := range set.All() {
+		parts = append(parts, c.String())
+	}
+	sort.Strings(parts)
+	out := ""
+	for _, p := range parts {
+		out += p + "\n"
+	}
+	return out
+}
+
+// canonicalConfig renders the result-affecting Config fields. Workers is
+// deliberately omitted: any worker count produces byte-identical results.
+// Budget.TimeLimit is included because a wall-clock cut makes the outcome
+// depend on it (and on luck — see Cacheable).
+func canonicalConfig(cfg core.Config) string {
+	return fmt.Sprintf("mode=%d beam=%d strategy=%d policy=%d maxchecks=%d timelimit=%d solver=%d solvertimeout=%d skipmerge=%t prefix=%q byattr=%q",
+		cfg.Mode, cfg.BeamWidth, cfg.Strategy, cfg.Policy,
+		cfg.Budget.MaxChecks, cfg.Budget.TimeLimit,
+		cfg.Solver, cfg.SolverTimeout, cfg.SkipExclusiveMerge,
+		cfg.NamePrefix, cfg.NameByClassAttr)
+}
+
+// Cacheable reports whether a request's result is deterministic and so safe
+// to cache and to coalesce with identical in-flight requests. Wall-clock
+// budgets cut work at a timing-dependent point, and CustomCandidates is an
+// opaque function — both bypass the cache.
+func Cacheable(cfg core.Config) bool {
+	return cfg.Budget.TimeLimit == 0 && cfg.SolverTimeout == 0 && cfg.CustomCandidates == nil
+}
+
+// requestKey combines the three canonical components into the cache key.
+func requestKey(logDigest string, set *constraints.Set, cfg core.Config) string {
+	h := sha256.New()
+	writeStr(h, logDigest)
+	writeStr(h, canonicalConstraints(set))
+	writeStr(h, canonicalConfig(cfg))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func writeStr(h hash.Hash, s string) {
+	writeInt(h, len(s))
+	h.Write([]byte(s))
+}
+
+func writeInt(h hash.Hash, n int) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(n))
+	h.Write(buf[:])
+}

@@ -5,8 +5,12 @@ GO        ?= go
 BENCH_PR  ?= BENCH_pr.json
 BASELINE  ?= BENCH_baseline.json
 MAX_REGRESS ?= 0.25
+# The one definition of the gate's measurement configs: bench, bench-gate and
+# bench-baseline all expand it, so the checked-in baseline cannot drift from
+# what the gate measures.
+BENCH_FLAGS = -table 6 -quick
 
-.PHONY: build test race vet fmt-check bench bench-gate bench-baseline serve all
+.PHONY: build test race vet fmt-check bench bench-gate bench-baseline serve examples all
 
 all: build vet fmt-check test
 
@@ -29,15 +33,24 @@ fmt-check:
 
 # Quick Table VI run with a machine-readable report (the CI artifact).
 bench:
-	$(GO) run ./cmd/gecco-bench -table 6 -quick -json $(BENCH_PR)
+	$(GO) run ./cmd/gecco-bench $(BENCH_FLAGS) -json $(BENCH_PR)
 
 # Bench + fail on >MAX_REGRESS wall-time regression vs the checked-in baseline.
 bench-gate:
-	$(GO) run ./cmd/gecco-bench -table 6 -quick -json $(BENCH_PR) -baseline $(BASELINE) -max-regress $(MAX_REGRESS)
+	$(GO) run ./cmd/gecco-bench $(BENCH_FLAGS) -json $(BENCH_PR) -baseline $(BASELINE) -max-regress $(MAX_REGRESS)
 
-# Regenerate the checked-in baseline (run on the reference machine, commit the result).
+# Regenerate the checked-in baseline with exactly the gate's configs (run on
+# the reference machine, commit the result).
 bench-baseline:
-	$(GO) run ./cmd/gecco-bench -table 6 -quick -json $(BASELINE)
+	$(GO) run ./cmd/gecco-bench $(BENCH_FLAGS) -json $(BASELINE)
+
+# Build and smoke-run every example program, so example drift fails CI
+# instead of rotting silently.
+examples:
+	@set -e; for d in examples/*/; do \
+		echo "== $$d"; \
+		$(GO) run ./$$d > /dev/null; \
+	done
 
 serve:
 	$(GO) run ./cmd/gecco-serve -addr :8080

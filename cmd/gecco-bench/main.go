@@ -8,6 +8,8 @@
 //	gecco-bench -table all          # everything (minutes)
 //	gecco-bench -table 5 -quick     # Table V on a subset, small budgets
 //	gecco-bench -figures -out figs/ # DOT files for the figures
+//	gecco-bench -table none -session-bench
+//	                                # cold vs warm constraint sweep (session reuse)
 //
 // CI benchmark gate:
 //
@@ -20,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -59,6 +62,7 @@ func main() {
 		budget     = flag.Int("budget", 0, "candidate checks per problem (0 = default)")
 		timeout    = flag.Duration("solver-timeout", 0, "Step 2 limit per problem (0 = default)")
 		workers    = flag.Int("workers", 0, "worker threads per problem (0 = all cores, 1 = the paper's sequential runs)")
+		sessions   = flag.Bool("session-bench", false, "measure the fixed loan-log refinement sweep: cold (pipeline per set) vs warm (one session)")
 		jsonOut    = flag.String("json", "", "write the measured rows as a JSON bench report to this file")
 		baseline   = flag.String("baseline", "", "compare the measured rows against this JSON bench report and fail on regression")
 		maxRegress = flag.Float64("max-regress", 0.25, "maximum tolerated per-config wall-time regression vs -baseline (0.25 = +25%)")
@@ -131,6 +135,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("regression gate passed (max tolerated wall-time regression %.0f%%)\n", *maxRegress*100)
+	}
+	if *sessions {
+		if err := sessionBench(opts); err != nil {
+			fmt.Fprintln(os.Stderr, "gecco-bench:", err)
+			os.Exit(1)
+		}
 	}
 	if *detail {
 		run("per-problem detail (DFGk)", func() {
@@ -233,6 +243,91 @@ func gate(baselinePath string, current benchReport, measured []experiments.Row, 
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("%d configuration(s) regressed: %v", len(regressions), regressions)
+	}
+	return nil
+}
+
+// sessionBench measures the workload the session engine targets: an
+// interactive refinement sweep re-abstracting one log under progressively
+// tightened constraint sets (the §VI-D case-study constraint with shrinking
+// group-size bounds — exactly what an analyst comparing granularities
+// runs). Cold runs the full pipeline per set; warm builds one core.Session
+// and solves the same sets on it, so sets 2..N start with the index, DFG,
+// and a warm distance memo. Results must match exactly — the speedup is
+// free, not bought with approximation — so any divergence is a hard error.
+func sessionBench(opts experiments.Options) error {
+	log := procgen.LoanLog(1000, 17)
+	sweep := []string{
+		"distinct(class.org) <= 1",
+		"distinct(class.org) <= 1\n|g| <= 8",
+		"distinct(class.org) <= 1\n|g| <= 6",
+		"distinct(class.org) <= 1\n|g| <= 4",
+	}
+	cfg := core.Config{
+		Mode:    core.DFGUnbounded,
+		Workers: opts.Workers,
+	}
+	if opts.MaxChecks > 0 {
+		cfg.Budget.MaxChecks = opts.MaxChecks
+	}
+	sets := make([]*gecco.ConstraintSet, len(sweep))
+	for i, text := range sweep {
+		set, err := gecco.ParseConstraints(text)
+		if err != nil {
+			return err
+		}
+		sets[i] = set
+	}
+
+	fmt.Printf("session reuse — refinement sweep of %d constraint sets on %s (%d traces):\n",
+		len(sets), log.Name, len(log.Traces))
+	coldTimes := make([]time.Duration, len(sets))
+	cold := make([]*core.Result, len(sets))
+	t0 := time.Now()
+	for i, set := range sets {
+		t := time.Now()
+		res, err := core.Run(log, set, cfg)
+		if err != nil {
+			return err
+		}
+		cold[i], coldTimes[i] = res, time.Since(t)
+	}
+	coldTotal := time.Since(t0)
+
+	t1 := time.Now()
+	sess, err := core.NewSession(log)
+	if err != nil {
+		return err
+	}
+	build := time.Since(t1)
+	warmTimes := make([]time.Duration, len(sets))
+	warm := make([]*core.Result, len(sets))
+	t2 := time.Now()
+	for i, set := range sets {
+		t := time.Now()
+		res, err := sess.Solve(context.Background(), set, cfg)
+		if err != nil {
+			return err
+		}
+		warm[i], warmTimes[i] = res, time.Since(t)
+	}
+	warmTotal := time.Since(t2)
+
+	for i := range sets {
+		if cold[i].Feasible != warm[i].Feasible || cold[i].Distance != warm[i].Distance ||
+			cold[i].NumCandidates != warm[i].NumCandidates {
+			return fmt.Errorf("session bench: set %d diverged between cold and warm runs (dist %v vs %v)",
+				i+1, cold[i].Distance, warm[i].Distance)
+		}
+		fmt.Printf("  set %d: cold %8v   warm %8v\n",
+			i+1, coldTimes[i].Round(time.Millisecond), warmTimes[i].Round(time.Millisecond))
+	}
+	fmt.Printf("  total: cold %v, warm %v (+ %v one-time session build)\n",
+		coldTotal.Round(time.Millisecond), warmTotal.Round(time.Millisecond), build.Round(time.Millisecond))
+	if warmTotal > 0 {
+		fmt.Printf("  sweep speedup %.2fx; warm solves after the first: %.2fx (results identical)\n",
+			float64(coldTotal)/float64(warmTotal),
+			float64(coldTotal-coldTimes[0])/float64(warmTotal-warmTimes[0]))
 	}
 	return nil
 }

@@ -33,16 +33,19 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		maxJobs   = flag.Int("max-jobs", 0, "maximum concurrent pipeline runs (0 = one per CPU)")
 		cacheSize = flag.Int("cache-size", 256, "result cache capacity in entries (0 = disable)")
+		sessions  = flag.Int("session-cache", 16, "live per-log sessions kept for cross-request reuse (0 = disable)")
 		workers   = flag.Int("workers", 0, "default worker threads per job (0 = all cores)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown window before in-flight jobs are cut")
 	)
 	flag.Parse()
 
 	svc := service.New(service.Options{
-		MaxConcurrent:  *maxJobs,
-		CacheCapacity:  *cacheSize,
-		NoCache:        *cacheSize <= 0,
-		DefaultWorkers: *workers,
+		MaxConcurrent:   *maxJobs,
+		CacheCapacity:   *cacheSize,
+		NoCache:         *cacheSize <= 0,
+		SessionCapacity: *sessions,
+		NoSessions:      *sessions <= 0,
+		DefaultWorkers:  *workers,
 	})
 	srv := &http.Server{Addr: *addr, Handler: service.Handler(svc)}
 

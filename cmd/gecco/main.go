@@ -4,10 +4,18 @@
 //
 //	gecco -log events.xes -constraints rules.txt -out abstracted.xes
 //	gecco -log events.csv -constraint 'distinct(role) <= 1' -mode dfg -dot out.dot
+//	gecco -log events.xes -sweep alternatives.txt
 //
 // The constraint file holds one constraint per line ('#' comments allowed);
 // -constraint adds single constraints on the command line (repeatable).
 // Output formats follow the file extensions (.xes or .csv).
+//
+// -sweep explores several constraint sets interactively: the sweep file
+// holds multiple sets separated by lines containing only "---", and all of
+// them are solved on one session — the log is indexed once and the distance
+// memo stays warm across sets — printing a per-set comparison instead of a
+// single grouping. Constraints given via -constraints/-constraint are
+// prepended to every set as a shared base.
 package main
 
 import (
@@ -49,6 +57,7 @@ func main() {
 		useMIP      = flag.Bool("mip", false, "use the MIP formulation for Step 2 instead of branch and bound")
 		quiet       = flag.Bool("q", false, "suppress the grouping report")
 		suggestOnly = flag.Bool("suggest", false, "profile the log and print constraint suggestions, then exit")
+		sweepFile   = flag.String("sweep", "", "file with constraint sets separated by '---' lines; solve all on one session and compare")
 	)
 	var extra constraintList
 	flag.Var(&extra, "constraint", "single constraint (repeatable)")
@@ -81,7 +90,7 @@ func main() {
 	}
 	set, err := gecco.ParseConstraints(text)
 	fatal(err)
-	if set.Len() == 0 {
+	if set.Len() == 0 && *sweepFile == "" {
 		fmt.Fprintln(os.Stderr, "gecco: warning: no constraints given; distance alone drives the grouping")
 	}
 
@@ -114,6 +123,11 @@ func main() {
 		cfg.Solver = gecco.SolverMIP
 	}
 
+	if *sweepFile != "" {
+		fatal(runSweep(log, *sweepFile, text, cfg))
+		return
+	}
+
 	res, err := gecco.AbstractSet(log, set, cfg)
 	fatal(err)
 
@@ -138,6 +152,71 @@ func main() {
 	if *dotPath != "" {
 		fatal(os.WriteFile(*dotPath, []byte(gecco.DFGDot(res.Abstracted, *dotFrac)), 0o644))
 	}
+}
+
+// runSweep solves every constraint set of the sweep file on one session and
+// prints a per-set comparison. base (the -constraints/-constraint text) is
+// prepended to each set.
+func runSweep(log *gecco.Log, path, base string, cfg gecco.Config) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	texts := splitSets(string(b))
+	if len(texts) == 0 {
+		return fmt.Errorf("sweep file %s holds no constraint sets", path)
+	}
+	sess, err := gecco.NewSession(log)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	fmt.Printf("sweeping %d constraint sets on %s (one session, warm distance memo):\n",
+		len(texts), log.Name)
+	fmt.Printf("  %-4s %-8s %7s %10s %11s %9s  %s\n",
+		"set", "feasible", "groups", "distance", "candidates", "time", "constraints")
+	for i, t := range texts {
+		full := base + "\n" + t
+		t0 := time.Now()
+		res, err := sess.Solve(full, cfg)
+		if err != nil {
+			return fmt.Errorf("set %d: %w", i+1, err)
+		}
+		oneLine := strings.Join(strings.Fields(t), " ")
+		if res.Feasible {
+			fmt.Printf("  #%-3d %-8s %7d %10.4f %11d %9s  %s\n",
+				i+1, "yes", len(res.Grouping.Names), res.Distance, res.NumCandidates,
+				time.Since(t0).Round(time.Millisecond), oneLine)
+		} else {
+			fmt.Printf("  #%-3d %-8s %7s %10s %11d %9s  %s (%s)\n",
+				i+1, "no", "-", "-", res.NumCandidates,
+				time.Since(t0).Round(time.Millisecond), oneLine, res.Diagnostics)
+		}
+	}
+	fmt.Printf("sweep total: %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// splitSets splits a sweep file into constraint sets on lines containing
+// only "---"; empty sets (e.g. a trailing separator) are dropped.
+func splitSets(text string) []string {
+	var out []string
+	cur := ""
+	flush := func() {
+		if strings.TrimSpace(cur) != "" {
+			out = append(out, cur)
+		}
+		cur = ""
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.TrimSpace(line) == "---" {
+			flush()
+			continue
+		}
+		cur += line + "\n"
+	}
+	flush()
+	return out
 }
 
 func readLog(path string) (*gecco.Log, error) {

@@ -89,6 +89,84 @@ func TestWorkersByteIdenticalResults(t *testing.T) {
 	}
 }
 
+// TestSessionByteIdenticalResults asserts the session-engine contract: for
+// every pipeline mode, Session.Solve — on a session deliberately warmed by
+// solving *other* constraint sets first, so the shared distance and
+// attribute memos are populated — produces byte-identical groups, names,
+// distance, accounting, and abstracted XES to the one-shot Abstract path.
+func TestSessionByteIdenticalResults(t *testing.T) {
+	// Warm-up sets chosen to overlap the cases' groups without equalling
+	// any case's constraints.
+	warmups := []string{"|g| <= 3", "|g| <= 5"}
+	modes := []struct {
+		name string
+		mode gecco.Config
+	}{
+		{"exh", gecco.Config{Mode: gecco.ModeExhaustive}},
+		{"dfg", gecco.Config{Mode: gecco.ModeDFGUnbounded}},
+		{"beam", gecco.Config{Mode: gecco.ModeDFGBeam}},
+	}
+	for _, tc := range determinismCases {
+		log := tc.log()
+		sess, err := gecco.NewSession(log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range modes {
+			t.Run(tc.name+"/"+m.name, func(t *testing.T) {
+				oneShot, err := gecco.Abstract(log, tc.constraints, m.mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !oneShot.Feasible {
+					t.Fatalf("one-shot run infeasible: %s", oneShot.Diagnostics)
+				}
+				var oneShotXES bytes.Buffer
+				if err := gecco.WriteXES(&oneShotXES, oneShot.Abstracted); err != nil {
+					t.Fatal(err)
+				}
+				// Warm-ups run in DFG mode regardless of the case's mode:
+				// what they exist for is populating the session's shared
+				// distance and attribute memos, and doing that through
+				// exhaustive enumeration on loosely-constrained sets would
+				// dominate the test's runtime for no extra coverage.
+				for _, w := range warmups {
+					if _, err := sess.Solve(w, gecco.Config{Mode: gecco.ModeDFGUnbounded}); err != nil {
+						t.Fatalf("warm-up solve: %v", err)
+					}
+				}
+				warm, err := sess.Solve(tc.constraints, m.mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !warm.Feasible {
+					t.Fatal("session solve infeasible")
+				}
+				if !reflect.DeepEqual(warm.GroupClasses, oneShot.GroupClasses) {
+					t.Fatalf("session groups %v, want %v", warm.GroupClasses, oneShot.GroupClasses)
+				}
+				if !reflect.DeepEqual(warm.Grouping.Names, oneShot.Grouping.Names) {
+					t.Fatalf("session names %v, want %v", warm.Grouping.Names, oneShot.Grouping.Names)
+				}
+				if warm.Distance != oneShot.Distance {
+					t.Fatalf("session distance %v, want %v", warm.Distance, oneShot.Distance)
+				}
+				if warm.NumCandidates != oneShot.NumCandidates || warm.ConstraintChecks != oneShot.ConstraintChecks {
+					t.Fatalf("session candidates/checks %d/%d, want %d/%d",
+						warm.NumCandidates, warm.ConstraintChecks, oneShot.NumCandidates, oneShot.ConstraintChecks)
+				}
+				var warmXES bytes.Buffer
+				if err := gecco.WriteXES(&warmXES, warm.Abstracted); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(warmXES.Bytes(), oneShotXES.Bytes()) {
+					t.Fatal("session abstracted XES differs from one-shot Abstract")
+				}
+			})
+		}
+	}
+}
+
 // TestWorkersDefaultIsParallel pins the Config contract: Workers <= 0 means
 // one worker per CPU, and the zero-value Config must still be feasible on
 // the running example (i.e. parallel-by-default does not change behaviour).

@@ -29,6 +29,48 @@ func TestPublicAPIPipeline(t *testing.T) {
 	}
 }
 
+// The session API end to end: repeated solves on one log, including the
+// set/context variants and the parse-error path.
+func TestPublicAPISession(t *testing.T) {
+	log := procgen.RunningExampleTable1()
+	sess, err := gecco.NewSession(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Log() != log {
+		t.Fatal("Log() should return the bound log")
+	}
+	cfg := gecco.Config{Mode: gecco.ModeDFGUnbounded}
+	first, err := sess.Solve("distinct(role) <= 1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Feasible || math.Abs(first.Distance-3.0833333) > 1e-5 {
+		t.Fatalf("first solve: feasible=%v distance=%f", first.Feasible, first.Distance)
+	}
+	set, err := gecco.ParseConstraints("distinct(role) <= 1\n|g| <= 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := sess.SolveSet(set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := gecco.AbstractSet(log, set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Distance != ref.Distance || len(second.Grouping.Names) != len(ref.Grouping.Names) {
+		t.Fatalf("session solve diverged from AbstractSet: %f vs %f", second.Distance, ref.Distance)
+	}
+	if _, err := sess.Solve("not a constraint", cfg); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := gecco.NewSession(&gecco.Log{}); err == nil {
+		t.Fatal("expected empty-log error")
+	}
+}
+
 func TestPublicAPIParseError(t *testing.T) {
 	log := procgen.RunningExampleTable1()
 	if _, err := gecco.Abstract(log, "not a constraint", gecco.Config{}); err == nil {

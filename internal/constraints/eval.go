@@ -11,6 +11,27 @@ import (
 	"gecco/internal/par"
 )
 
+// AttrCache memoises class-level attribute extraction over one indexed log.
+// The extraction depends only on the log — not on any constraint set — so a
+// single AttrCache can back every Evaluator built on the same index; repeated
+// solves with different constraints then skip the per-attribute log scan.
+// Safe for concurrent use (each attribute is extracted exactly once).
+type AttrCache struct {
+	x    *eventlog.Index
+	memo *par.Memo[[]map[string]struct{}]
+}
+
+// NewAttrCache builds an attribute-extraction cache for the index.
+func NewAttrCache(x *eventlog.Index) *AttrCache {
+	return &AttrCache{x: x, memo: par.NewMemo[[]map[string]struct{}]()}
+}
+
+func (a *AttrCache) values(attr string) []map[string]struct{} {
+	return a.memo.Do(attr, func() []map[string]struct{} {
+		return a.x.ClassAttrValues(attr)
+	})
+}
+
 // Evaluator checks groups against a constraint set over one indexed log. It
 // memoises class-level attribute extractions and verdicts per group, and
 // checks R_C before R_I as the paper prescribes (cheap checks first).
@@ -26,7 +47,7 @@ type Evaluator struct {
 
 	classCtx     ClassContext
 	instCtx      InstanceContext
-	attrCache    *par.Memo[[]map[string]struct{}]
+	attrCache    *AttrCache
 	verdicts     *par.Memo[bool]
 	antiVerdicts *par.Memo[bool]
 
@@ -36,11 +57,19 @@ type Evaluator struct {
 
 // NewEvaluator builds an evaluator for the log and constraint set.
 func NewEvaluator(x *eventlog.Index, set *Set, policy instances.Policy) *Evaluator {
+	return NewEvaluatorCached(x, set, policy, NewAttrCache(x))
+}
+
+// NewEvaluatorCached is NewEvaluator with a caller-provided attribute cache,
+// letting repeated solves on the same log (core.Session) share the
+// constraint-independent extraction work. The cache must have been built on
+// the same index.
+func NewEvaluatorCached(x *eventlog.Index, set *Set, policy instances.Policy, attrs *AttrCache) *Evaluator {
 	e := &Evaluator{
 		X:            x,
 		Set:          set,
 		Policy:       policy,
-		attrCache:    par.NewMemo[[]map[string]struct{}](),
+		attrCache:    attrs,
 		verdicts:     par.NewMemo[bool](),
 		antiVerdicts: par.NewMemo[bool](),
 	}
@@ -62,9 +91,7 @@ func (e *Evaluator) Checks() int { return int(e.checks.Load()) }
 func (e *Evaluator) LogPasses() int { return int(e.logPasses.Load()) }
 
 func (e *Evaluator) classAttrValues(attr string) []map[string]struct{} {
-	return e.attrCache.Do(attr, func() []map[string]struct{} {
-		return e.X.ClassAttrValues(attr)
-	})
+	return e.attrCache.values(attr)
 }
 
 // HoldsClass checks only the class-based constraints for the group.

@@ -1,7 +1,11 @@
 // Package core orchestrates the GECCO pipeline of §V: Step 1 candidate
 // computation (exhaustive or DFG-based, plus exclusive-alternative merging),
 // Step 2 optimal grouping via weighted set partitioning, and Step 3 trace
-// abstraction. The root package gecco wraps this with the public API.
+// abstraction. The one-shot Run/RunContext entry points are thin wrappers
+// over the two-phase Session engine (session.go), which builds the
+// constraint-independent artifacts of a log once and solves many constraint
+// sets on top of them. The root package gecco wraps this with the public
+// API.
 package core
 
 import (
@@ -14,14 +18,9 @@ import (
 	"gecco/internal/bitset"
 	"gecco/internal/candidates"
 	"gecco/internal/constraints"
-	"gecco/internal/cover"
 	"gecco/internal/dfg"
-	"gecco/internal/distance"
 	"gecco/internal/eventlog"
 	"gecco/internal/instances"
-	"gecco/internal/mip"
-	"gecco/internal/par"
-	"math"
 )
 
 // Mode selects the Step 1 instantiation (§V-B and the configurations of
@@ -131,200 +130,18 @@ func Run(log *eventlog.Log, set *constraints.Set, cfg Config) (*Result, error) {
 // Budget.TimeLimit — whichever expires first cuts the candidate frontier,
 // and only the context's own expiry turns into an error. A never-cancelled
 // context leaves results byte-identical to Run.
+//
+// RunContext builds a fresh Session per call; callers that abstract the same
+// log repeatedly should hold a Session and call Solve instead.
 func RunContext(ctx context.Context, log *eventlog.Log, set *constraints.Set, cfg Config) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	if len(log.Traces) == 0 {
-		return nil, fmt.Errorf("core: empty log")
-	}
-	x := eventlog.NewIndex(log)
-	graph := dfg.Build(x)
-	workers := par.Workers(cfg.Workers)
-	ev := constraints.NewEvaluator(x, set, cfg.Policy)
-	// The pipeline parallelises across groups/paths (frontier evaluation,
-	// the Step 2 cost loop), so the Calc's inner per-variant fan-out stays
-	// off here: nesting it would stack up to workers^2 runnable goroutines
-	// with no extra parallelism. SetWorkers serves callers that evaluate
-	// few groups over very large logs.
-	dc := distance.NewCalc(x, cfg.Policy)
-
-	// Step 1: candidate computation.
-	t0 := time.Now()
-	var cr candidates.Result
-	if cfg.CustomCandidates != nil {
-		groups, err := cfg.CustomCandidates(x, graph)
-		if err != nil {
-			return nil, fmt.Errorf("core: custom candidates: %w", err)
-		}
-		cr = candidates.Result{Groups: groups}
-	} else {
-		switch cfg.Mode {
-		case Exhaustive:
-			cr = candidates.ExhaustiveCtx(ctx, x, ev, cfg.Budget, workers)
-		case DFGUnbounded:
-			cr = candidates.DFGBasedCtx(ctx, x, ev, dc, graph, -1, cfg.Budget, workers)
-		case DFGBeam:
-			k := cfg.BeamWidth
-			if k <= 0 {
-				k = 5 * x.NumClasses()
-			}
-			cr = candidates.DFGBasedCtx(ctx, x, ev, dc, graph, k, cfg.Budget, workers)
-		default:
-			return nil, fmt.Errorf("core: unknown mode %d", cfg.Mode)
-		}
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: candidates: %w", err)
-	}
-	groups := cr.Groups
-	if !cfg.SkipExclusiveMerge && cfg.CustomCandidates == nil {
-		groups = candidates.ExclusiveMerge(x, ev, graph, groups)
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: candidates: %w", err)
-	}
-	candTime := time.Since(t0)
-
-	// Step 2: optimal grouping. The candidate costs (Eq. 1 per group) are
-	// the distance hot path: evaluate them across the worker pool; the memo
-	// guarantees exactly-once evaluation, so the costs vector is identical
-	// for any worker count.
-	t1 := time.Now()
-	costs := make([]float64, len(groups))
-	par.For(workers, len(groups), func(i int) {
-		costs[i] = dc.Group(groups[i])
-	})
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: costs: %w", err)
-	}
-	minG, maxG := set.GroupBounds()
-	prob := &cover.Problem{
-		NumClasses: x.NumClasses(),
-		Candidates: groups,
-		Costs:      costs,
-		MinGroups:  minG,
-		MaxGroups:  maxG,
-	}
-	solveOnce := func() (cover.Result, error) {
-		if err := ctx.Err(); err != nil {
-			return cover.Result{}, fmt.Errorf("core: solve: %w", err)
-		}
-		switch cfg.Solver {
-		case SolverBB:
-			return cover.SolveBBCtx(ctx, prob, cfg.SolverTimeout), nil
-		case SolverMIP:
-			r, _ := cover.SolveMIPCtx(ctx, prob, mip.Options{TimeLimit: cfg.SolverTimeout})
-			return r, nil
-		default:
-			return cover.Result{}, fmt.Errorf("core: unknown solver %d", cfg.Solver)
-		}
-	}
-	res, err := solveOnce()
+	s, err := NewSession(log)
 	if err != nil {
 		return nil, err
 	}
-	// Verification pass: the paper's monotonic pruning admits supergroups
-	// of satisfying groups without re-validation, which is unsound when a
-	// superset gains new instances in previously-vacuous traces. Re-check
-	// the selected groups and re-solve without any violating candidate so
-	// the returned grouping always genuinely satisfies R.
-	// Each round invalidates at least one selected candidate, so the loop
-	// terminates; the cap keeps worst-case Step 2 time bounded when a
-	// SolverTimeout is set.
-	maxRounds := len(groups)
-	if cfg.SolverTimeout > 0 && maxRounds > 16 {
-		maxRounds = 16
-	}
-	clean := false
-	for round := 0; res.Feasible && round < maxRounds; round++ {
-		violating := false
-		for _, gi := range res.Selected {
-			if !ev.HoldsClass(groups[gi]) || !ev.HoldsInstance(groups[gi]) {
-				costs[gi] = math.Inf(1)
-				violating = true
-			}
-		}
-		if !violating {
-			clean = true
-			break
-		}
-		if res, err = solveOnce(); err != nil {
-			return nil, err
-		}
-	}
-	if res.Feasible && !clean {
-		// The round cap was hit with violations outstanding: declare the
-		// problem unsolved rather than return a constraint-violating
-		// grouping. (Requires adversarial candidate sets; not observed in
-		// practice.)
-		res.Feasible = false
-	}
-	// Global grouping-instance constraints (§VIII future work, implemented
-	// here): enforced by no-good cuts — each violating optimum is excluded
-	// and the next-best grouping is sought.
-	if len(set.GlobalConstraints()) > 0 {
-		for round := 0; res.Feasible && round < 64; round++ {
-			sel := make([]bitset.Set, len(res.Selected))
-			for i, gi := range res.Selected {
-				sel[i] = groups[gi]
-			}
-			if ev.HoldsGlobal(sel) {
-				break
-			}
-			prob.Forbidden = append(prob.Forbidden, append([]int(nil), res.Selected...))
-			if res, err = solveOnce(); err != nil {
-				return nil, err
-			}
-			if round == 63 {
-				res.Feasible = false // exhausted the cut budget
-			}
-		}
-	}
-	solveTime := time.Since(t1)
-	// A solver cut short by cancellation may still report its incumbent as
-	// feasible; the caller asked us to stop, so surface the cancellation
-	// rather than a half-optimised grouping.
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: solve: %w", err)
-	}
-
-	out := &Result{
-		NumCandidates:      len(groups),
-		CandidatesTimedOut: cr.TimedOut,
-		ConstraintChecks:   ev.Checks(),
-		Timings:            Timings{Candidates: candTime, Solve: solveTime},
-	}
-	if !res.Feasible {
-		out.Abstracted = log
-		out.Diagnostics = ev.Diagnose()
-		return out, nil
-	}
-
-	// Step 3: abstraction.
-	t2 := time.Now()
-	selected := make([]bitset.Set, len(res.Selected))
-	for i, gi := range res.Selected {
-		selected[i] = groups[gi]
-	}
-	sortByFirstOccurrence(x, selected)
-	names := a.names(cfg, x, selected)
-	grouping := abstraction.Grouping{Groups: selected, Names: names}
-	abstracted, err := abstraction.Apply(x, grouping, cfg.Strategy, cfg.Policy)
-	if err != nil {
-		return nil, fmt.Errorf("core: abstraction: %w", err)
-	}
-	out.Timings.Abstract = time.Since(t2)
-	out.Feasible = true
-	out.Grouping = grouping
-	out.Distance = res.Cost
-	out.SolverNodes = res.Nodes
-	out.Abstracted = abstracted
-	out.GroupClasses = make([][]string, len(selected))
-	for i, g := range selected {
-		out.GroupClasses[i] = x.GroupNames(g)
-	}
-	return out, nil
+	return s.Solve(ctx, set, cfg)
 }
 
 // sortByFirstOccurrence orders groups by the position at which any of their

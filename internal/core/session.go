@@ -1,0 +1,301 @@
+// Session: the two-phase form of the GECCO pipeline. GECCO's distance
+// measure (§IV-B, Eq. 1/2) and all of Step 1's scaffolding — the interned
+// log index, the directly-follows graph, class-level attribute extraction,
+// instance segmentation — depend only on the log, never on the declared
+// constraints. A Session binds to one log and builds those artifacts once;
+// Solve then runs only the constraint-dependent Steps 1–3 on top of the
+// frozen state, sharing the distance memo (and the attribute-extraction
+// memo) across every solve. Interactive constraint exploration — N
+// constraint sets on one log — pays the indexing and distance effort once
+// instead of N times, while each solve stays byte-identical to a one-shot
+// Run with the same inputs.
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"gecco/internal/abstraction"
+	"gecco/internal/bitset"
+	"gecco/internal/candidates"
+	"gecco/internal/constraints"
+	"gecco/internal/cover"
+	"gecco/internal/dfg"
+	"gecco/internal/distance"
+	"gecco/internal/eventlog"
+	"gecco/internal/instances"
+	"gecco/internal/mip"
+	"gecco/internal/par"
+)
+
+// Session holds the constraint-independent analysis state of one log. It is
+// safe for concurrent use: concurrent Solve calls share the memoised
+// artifacts behind sharded locks, and because every memoised value is a
+// deterministic function of the log alone, sharing never changes results —
+// only how often they are recomputed.
+type Session struct {
+	log   *eventlog.Log
+	x     *eventlog.Index
+	graph *dfg.Graph
+	attrs *constraints.AttrCache
+
+	// calcs holds one distance calculator per instance policy (Eq. 1 depends
+	// on how trace projections are segmented); each memo persists for the
+	// session's lifetime and is shared across all solves under that policy.
+	mu    sync.Mutex
+	calcs map[instances.Policy]*distance.Calc
+}
+
+// NewSession indexes the log and builds its DFG — the expensive
+// constraint-independent phase. The log must not be mutated afterwards; the
+// session aliases it.
+func NewSession(log *eventlog.Log) (*Session, error) {
+	if len(log.Traces) == 0 {
+		return nil, fmt.Errorf("core: empty log")
+	}
+	x := eventlog.NewIndex(log)
+	return &Session{
+		log:   log,
+		x:     x,
+		graph: dfg.Build(x),
+		attrs: constraints.NewAttrCache(x),
+		calcs: make(map[instances.Policy]*distance.Calc),
+	}, nil
+}
+
+// Log returns the log the session is bound to.
+func (s *Session) Log() *eventlog.Log { return s.log }
+
+// Index returns the session's interned view of the log.
+func (s *Session) Index() *eventlog.Index { return s.x }
+
+// Graph returns the log's directly-follows graph.
+func (s *Session) Graph() *dfg.Graph { return s.graph }
+
+// Calc returns the session's shared distance calculator for the policy,
+// creating it on first use. Its memo is warm across solves.
+func (s *Session) Calc(policy instances.Policy) *distance.Calc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dc, ok := s.calcs[policy]
+	if !ok {
+		// The pipeline parallelises across groups/paths (frontier
+		// evaluation, the Step 2 cost loop), so the Calc's inner per-variant
+		// fan-out stays off here: nesting it would stack up to workers^2
+		// runnable goroutines with no extra parallelism.
+		dc = distance.NewCalc(s.x, policy)
+		s.calcs[policy] = dc
+	}
+	return dc
+}
+
+// MemoSize reports the total number of memoised group distances across the
+// session's calculators. The memos grow with every distinct candidate group
+// ever costed and are never evicted — that is what keeps solves cheap — so
+// a holder keeping sessions alive indefinitely (the serving layer's session
+// cache) uses this to retire sessions whose memos have grown past a bound.
+func (s *Session) MemoSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, dc := range s.calcs {
+		n += dc.MemoLen()
+	}
+	return n
+}
+
+// Solve runs the constraint-dependent pipeline — Step 1 candidate
+// computation, Step 2 optimal grouping, Step 3 abstraction — on the frozen
+// session artifacts. Results are byte-identical to RunContext on the same
+// inputs: the shared memos only ever return values a fresh run would have
+// computed. Per-solve accounting (ConstraintChecks, timings) starts from
+// zero on every call.
+func (s *Session) Solve(ctx context.Context, set *constraints.Set, cfg Config) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	x, graph := s.x, s.graph
+	workers := par.Workers(cfg.Workers)
+	ev := constraints.NewEvaluatorCached(x, set, cfg.Policy, s.attrs)
+	dc := s.Calc(cfg.Policy)
+
+	// Step 1: candidate computation.
+	t0 := time.Now()
+	var cr candidates.Result
+	if cfg.CustomCandidates != nil {
+		groups, err := cfg.CustomCandidates(x, graph)
+		if err != nil {
+			return nil, fmt.Errorf("core: custom candidates: %w", err)
+		}
+		cr = candidates.Result{Groups: groups}
+	} else {
+		switch cfg.Mode {
+		case Exhaustive:
+			cr = candidates.ExhaustiveCtx(ctx, x, ev, cfg.Budget, workers)
+		case DFGUnbounded:
+			cr = candidates.DFGBasedCtx(ctx, x, ev, dc, graph, -1, cfg.Budget, workers)
+		case DFGBeam:
+			k := cfg.BeamWidth
+			if k <= 0 {
+				k = 5 * x.NumClasses()
+			}
+			cr = candidates.DFGBasedCtx(ctx, x, ev, dc, graph, k, cfg.Budget, workers)
+		default:
+			return nil, fmt.Errorf("core: unknown mode %d", cfg.Mode)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: candidates: %w", err)
+	}
+	groups := cr.Groups
+	if !cfg.SkipExclusiveMerge && cfg.CustomCandidates == nil {
+		groups = candidates.ExclusiveMerge(x, ev, graph, groups)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: candidates: %w", err)
+	}
+	candTime := time.Since(t0)
+
+	// Step 2: optimal grouping. The candidate costs (Eq. 1 per group) are
+	// the distance hot path: evaluate them across the worker pool; the memo
+	// guarantees exactly-once evaluation, so the costs vector is identical
+	// for any worker count.
+	t1 := time.Now()
+	costs := make([]float64, len(groups))
+	par.For(workers, len(groups), func(i int) {
+		costs[i] = dc.Group(groups[i])
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: costs: %w", err)
+	}
+	minG, maxG := set.GroupBounds()
+	prob := &cover.Problem{
+		NumClasses: x.NumClasses(),
+		Candidates: groups,
+		Costs:      costs,
+		MinGroups:  minG,
+		MaxGroups:  maxG,
+	}
+	solveOnce := func() (cover.Result, error) {
+		if err := ctx.Err(); err != nil {
+			return cover.Result{}, fmt.Errorf("core: solve: %w", err)
+		}
+		switch cfg.Solver {
+		case SolverBB:
+			return cover.SolveBBCtx(ctx, prob, cfg.SolverTimeout), nil
+		case SolverMIP:
+			r, _ := cover.SolveMIPCtx(ctx, prob, mip.Options{TimeLimit: cfg.SolverTimeout})
+			return r, nil
+		default:
+			return cover.Result{}, fmt.Errorf("core: unknown solver %d", cfg.Solver)
+		}
+	}
+	res, err := solveOnce()
+	if err != nil {
+		return nil, err
+	}
+	// Verification pass: the paper's monotonic pruning admits supergroups
+	// of satisfying groups without re-validation, which is unsound when a
+	// superset gains new instances in previously-vacuous traces. Re-check
+	// the selected groups and re-solve without any violating candidate so
+	// the returned grouping always genuinely satisfies R.
+	// Each round invalidates at least one selected candidate, so the loop
+	// terminates; the cap keeps worst-case Step 2 time bounded when a
+	// SolverTimeout is set.
+	maxRounds := len(groups)
+	if cfg.SolverTimeout > 0 && maxRounds > 16 {
+		maxRounds = 16
+	}
+	clean := false
+	for round := 0; res.Feasible && round < maxRounds; round++ {
+		violating := false
+		for _, gi := range res.Selected {
+			if !ev.HoldsClass(groups[gi]) || !ev.HoldsInstance(groups[gi]) {
+				costs[gi] = math.Inf(1)
+				violating = true
+			}
+		}
+		if !violating {
+			clean = true
+			break
+		}
+		if res, err = solveOnce(); err != nil {
+			return nil, err
+		}
+	}
+	if res.Feasible && !clean {
+		// The round cap was hit with violations outstanding: declare the
+		// problem unsolved rather than return a constraint-violating
+		// grouping. (Requires adversarial candidate sets; not observed in
+		// practice.)
+		res.Feasible = false
+	}
+	// Global grouping-instance constraints (§VIII future work, implemented
+	// here): enforced by no-good cuts — each violating optimum is excluded
+	// and the next-best grouping is sought.
+	if len(set.GlobalConstraints()) > 0 {
+		for round := 0; res.Feasible && round < 64; round++ {
+			sel := make([]bitset.Set, len(res.Selected))
+			for i, gi := range res.Selected {
+				sel[i] = groups[gi]
+			}
+			if ev.HoldsGlobal(sel) {
+				break
+			}
+			prob.Forbidden = append(prob.Forbidden, append([]int(nil), res.Selected...))
+			if res, err = solveOnce(); err != nil {
+				return nil, err
+			}
+			if round == 63 {
+				res.Feasible = false // exhausted the cut budget
+			}
+		}
+	}
+	solveTime := time.Since(t1)
+	// A solver cut short by cancellation may still report its incumbent as
+	// feasible; the caller asked us to stop, so surface the cancellation
+	// rather than a half-optimised grouping.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: solve: %w", err)
+	}
+
+	out := &Result{
+		NumCandidates:      len(groups),
+		CandidatesTimedOut: cr.TimedOut,
+		ConstraintChecks:   ev.Checks(),
+		Timings:            Timings{Candidates: candTime, Solve: solveTime},
+	}
+	if !res.Feasible {
+		out.Abstracted = s.log
+		out.Diagnostics = ev.Diagnose()
+		return out, nil
+	}
+
+	// Step 3: abstraction.
+	t2 := time.Now()
+	selected := make([]bitset.Set, len(res.Selected))
+	for i, gi := range res.Selected {
+		selected[i] = groups[gi]
+	}
+	sortByFirstOccurrence(x, selected)
+	names := a.names(cfg, x, selected)
+	grouping := abstraction.Grouping{Groups: selected, Names: names}
+	abstracted, err := abstraction.Apply(x, grouping, cfg.Strategy, cfg.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("core: abstraction: %w", err)
+	}
+	out.Timings.Abstract = time.Since(t2)
+	out.Feasible = true
+	out.Grouping = grouping
+	out.Distance = res.Cost
+	out.SolverNodes = res.Nodes
+	out.Abstracted = abstracted
+	out.GroupClasses = make([][]string, len(selected))
+	for i, g := range selected {
+		out.GroupClasses[i] = x.GroupNames(g)
+	}
+	return out, nil
+}

@@ -48,6 +48,10 @@ func (c *Calc) SetWorkers(n int) { c.workers = par.Workers(n) }
 // accounting of §VI).
 func (c *Calc) Evals() int { return int(c.evals.Load()) }
 
+// MemoLen reports the number of memoised group distances. Long-lived
+// holders (a serving session on a hot log) use it to bound memo growth.
+func (c *Calc) MemoLen() int { return c.cache.Len() }
+
 // Group computes dist(g, L) per Eq. 1. Groups with no instances in the log
 // (which only arise for never-occurring class combinations) score +Inf.
 func (c *Calc) Group(g bitset.Set) float64 {

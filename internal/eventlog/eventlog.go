@@ -6,8 +6,8 @@
 package eventlog
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -53,13 +53,16 @@ func Bool(b bool) Value { return Value{Kind: KindBool, Bool: b} }
 func (v Value) IsNumeric() bool { return v.Kind == KindFloat || v.Kind == KindInt }
 
 // AsString renders the value for use as a categorical key (silently lossy
-// for numerics, which are rendered with %g).
+// for numerics, which use the shortest round-trippable decimal form —
+// strconv.FormatFloat 'g'/-1, the same text fmt's %g would print, without
+// the reflection and interface boxing of Sprintf: this sits on the hot
+// categorical-attribute path inside constraint evaluation).
 func (v Value) AsString() string {
 	switch v.Kind {
 	case KindString:
 		return v.Str
 	case KindFloat, KindInt:
-		return fmt.Sprintf("%g", v.Num)
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
 	case KindTime:
 		return v.Time.Format(time.RFC3339)
 	case KindBool:

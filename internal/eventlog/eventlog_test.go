@@ -1,6 +1,7 @@
 package eventlog
 
 import (
+	"fmt"
 	"testing"
 	"time"
 )
@@ -74,6 +75,22 @@ func TestValueConversions(t *testing.T) {
 	}
 	if Bool(true).AsString() != "true" {
 		t.Error("bool AsString")
+	}
+}
+
+// TestValueAsStringFloatMatchesSprintfG pins the strconv.FormatFloat
+// rendering of numeric values to the %g text it replaced: the string is a
+// categorical cache/constraint key, so changing it would silently split or
+// merge attribute categories (and cache entries) across releases.
+func TestValueAsStringFloatMatchesSprintfG(t *testing.T) {
+	for _, f := range []float64{0, 1, -1, 1.5, 0.1, 2.0 / 3.0, 1e21, 1e-7, -3.25e8, 12345678901234567} {
+		want := fmt.Sprintf("%g", f)
+		if got := Float(f).AsString(); got != want {
+			t.Errorf("Float(%v).AsString() = %q, want %q", f, got, want)
+		}
+	}
+	if Int(-7).AsString() != "-7" {
+		t.Errorf("Int(-7).AsString() = %q", Int(-7).AsString())
 	}
 }
 

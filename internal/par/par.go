@@ -131,6 +131,19 @@ func (c *Memo[V]) Do(key string, compute func() V) V {
 	return cl.v
 }
 
+// Len reports the number of completed memoised entries, for callers that
+// bound a memo's growth (e.g. the serving layer's session cache).
+func (c *Memo[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
 // Get returns the memoised value for key, if its computation has completed.
 func (c *Memo[V]) Get(key string) (V, bool) {
 	s := &c.shards[shardOf(key)]

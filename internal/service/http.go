@@ -35,6 +35,14 @@ type AbstractRequest struct {
 	Log string `json:"log"`
 	// Constraints holds newline-separated constraint declarations.
 	Constraints string `json:"constraints"`
+	// ConstraintSets, when non-empty, turns the request into a batch: each
+	// entry is a full constraint set (newline-separated declarations), and
+	// all of them are solved against the one uploaded log — the log is
+	// parsed once and the solves share a live session, so set 2..N start
+	// with the log's index and a warm distance memo. Mutually exclusive
+	// with Constraints and Async. In the raw-body form, repeat the
+	// constraints query parameter instead.
+	ConstraintSets []string `json:"constraintSets,omitempty"`
 	// Mode is "exh", "dfg" (default), or "dfgk".
 	Mode string `json:"mode,omitempty"`
 	// BeamWidth tunes dfgk; 0 means the paper's 5·|C_L|.
@@ -83,6 +91,22 @@ type AbstractResponse struct {
 	} `json:"timingsMs"`
 }
 
+// BatchItem is one constraint set's outcome within a batch response.
+type BatchItem struct {
+	// Constraints echoes the set this item answers, so clients need not
+	// rely on ordering alone.
+	Constraints string `json:"constraints"`
+	AbstractResponse
+	// Error is set when this set's pipeline run failed; the other items are
+	// unaffected.
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse is the JSON result of a batch POST /abstract.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
 type errorResponse struct {
 	Error string `json:"error"`
 }
@@ -121,6 +145,10 @@ func handleAbstract(s *Service, w http.ResponseWriter, r *http.Request) {
 	env, err := decodeAbstractRequest(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(env.ConstraintSets) > 0 {
+		handleBatch(s, w, r, env)
 		return
 	}
 	req, format, err := buildRequest(env)
@@ -182,6 +210,66 @@ func handleAbstract(s *Service, w http.ResponseWriter, r *http.Request) {
 	resp.Coalesced = meta.CoalescedInto
 	resp.JobID = meta.JobID
 	resp.State = string(StateDone)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBatch solves every constraint set of the envelope against the one
+// uploaded log. The log is parsed once; the solves run sequentially through
+// the ordinary job machinery, so each can hit the result cache, coalesce
+// with identical in-flight requests, and — crucially — sets 2..N reuse the
+// live session the first solve admitted, skipping re-indexing and starting
+// with a warm distance memo. Per-set failures are reported in place; they
+// do not abort the rest of the batch.
+func handleBatch(s *Service, w http.ResponseWriter, r *http.Request, env *AbstractRequest) {
+	if env.Async {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch requests cannot be async; poll per-set jobs individually instead"))
+		return
+	}
+	if strings.TrimSpace(env.Constraints) != "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("use either constraints or constraintSets, not both"))
+		return
+	}
+	base, format, err := buildRequest(env)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Hash the uploaded log once for the whole batch; every per-set request
+	// copy inherits the digest, so N sets cost one SHA-256 pass, not N.
+	base.logDigest()
+	// Parse every set up front: a malformed set is the client's mistake and
+	// fails the whole batch with 400 before any pipeline run is paid for.
+	sets := make([]*constraints.Set, len(env.ConstraintSets))
+	for i, text := range env.ConstraintSets {
+		set, err := constraints.ParseSet(text)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("constraint set %d: %w", i+1, err))
+			return
+		}
+		sets[i] = set
+	}
+	resp := BatchResponse{Results: make([]BatchItem, len(sets))}
+	for i, set := range sets {
+		item := &resp.Results[i]
+		item.Constraints = env.ConstraintSets[i]
+		req := base
+		req.Constraints = set
+		res, meta, err := s.Do(r.Context(), req)
+		if err != nil {
+			item.Error = err.Error()
+			continue
+		}
+		built, err := buildResponse(res, format)
+		if err != nil {
+			item.Error = err.Error()
+			continue
+		}
+		built.Cached = meta.Cached
+		built.Coalesced = meta.CoalescedInto
+		built.JobID = meta.JobID
+		built.State = string(StateDone)
+		item.AbstractResponse = *built
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -281,6 +369,12 @@ func decodeAbstractRequest(r *http.Request) (*AbstractRequest, error) {
 		NamePrefix:      q.Get("namePrefix"),
 		NameByClassAttr: q.Get("nameByClassAttr"),
 		Async:           q.Get("async") == "true",
+	}
+	// A repeated constraints parameter is the raw-body batch form: each
+	// value is a full constraint set, all solved against the one body.
+	if cons := q["constraints"]; len(cons) > 1 {
+		env.Constraints = ""
+		env.ConstraintSets = cons
 	}
 	// Malformed numbers are a 400, not a silent zero: maxChecks=10k
 	// falling back to 0 would mean *unlimited* budget.

@@ -306,3 +306,108 @@ func getJSON(t *testing.T, u string, v any) {
 		t.Fatalf("GET %s: %v", u, err)
 	}
 }
+
+// TestHTTPBatchAbstract exercises the batch form of POST /abstract: several
+// constraint sets against one uploaded log, via both the JSON envelope and
+// the repeated-query-parameter raw form. The solves share the log's live
+// session, observable as session hits on /stats.
+func TestHTTPBatchAbstract(t *testing.T) {
+	srv, svc := newTestServer(t, Options{})
+	logXES := runningExampleXES(t)
+
+	// JSON envelope.
+	env := map[string]any{
+		"format":         "xes",
+		"log":            logXES,
+		"constraintSets": []string{"distinct(role) <= 1", "distinct(role) <= 1\n|g| <= 2", "|g| <= 3"},
+	}
+	body, _ := json.Marshal(env)
+	resp, err := http.Post(srv.URL+"/abstract", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var batch BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(batch.Results))
+	}
+	for i, item := range batch.Results {
+		if item.Error != "" {
+			t.Fatalf("item %d error: %s", i, item.Error)
+		}
+		if !item.Feasible {
+			t.Fatalf("item %d infeasible", i)
+		}
+		if item.Abstracted == "" {
+			t.Fatalf("item %d missing abstracted log", i)
+		}
+	}
+	if batch.Results[0].Constraints != "distinct(role) <= 1" {
+		t.Fatalf("item 0 echoes %q", batch.Results[0].Constraints)
+	}
+	st := svc.Stats()
+	if st.Sessions.Misses != 1 || st.Sessions.Hits != 2 {
+		t.Fatalf("session stats after batch = %+v, want 1 miss + 2 hits", st.Sessions)
+	}
+
+	// Raw body + repeated constraints parameters; the second set repeats a
+	// set from the JSON batch, so it must come from the result cache.
+	u := srv.URL + "/abstract?" + url.Values{"constraints": {"|g| <= 2", "|g| <= 3"}}.Encode()
+	resp2, err := http.Post(u, "application/xml", strings.NewReader(logXES))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("raw batch status = %d", resp2.StatusCode)
+	}
+	var batch2 BatchResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&batch2); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch2.Results) != 2 {
+		t.Fatalf("raw batch results = %d, want 2", len(batch2.Results))
+	}
+	if batch2.Results[0].Error != "" || !batch2.Results[0].Feasible {
+		t.Fatalf("raw batch item 0: %+v", batch2.Results[0])
+	}
+	if !batch2.Results[1].Cached {
+		t.Fatal("repeated set should be served from the result cache")
+	}
+}
+
+// TestHTTPBatchValidation pins the batch error paths: async is rejected,
+// a malformed set fails the whole batch with 400, and mixing constraints
+// with constraintSets is ambiguous.
+func TestHTTPBatchValidation(t *testing.T) {
+	srv, _ := newTestServer(t, Options{})
+	logXES := runningExampleXES(t)
+	post := func(env map[string]any) *http.Response {
+		t.Helper()
+		body, _ := json.Marshal(env)
+		resp, err := http.Post(srv.URL+"/abstract", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	if resp := post(map[string]any{"log": logXES, "format": "xes",
+		"constraintSets": []string{"|g| <= 2"}, "async": true}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("async batch status = %d, want 400", resp.StatusCode)
+	}
+	if resp := post(map[string]any{"log": logXES, "format": "xes",
+		"constraintSets": []string{"|g| <= 2", "not a constraint !!"}}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed set status = %d, want 400", resp.StatusCode)
+	}
+	if resp := post(map[string]any{"log": logXES, "format": "xes", "constraints": "|g| <= 2",
+		"constraintSets": []string{"|g| <= 3"}}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mixed constraints status = %d, want 400", resp.StatusCode)
+	}
+}

@@ -51,6 +51,23 @@ type Options struct {
 	// result; cacheable ones remain servable from the LRU by re-POSTing.
 	// <= 0 means 64.
 	MaxRetainedResults int
+	// SessionCapacity bounds the LRU of live per-log sessions (index, DFG,
+	// warm distance memo) kept under the result cache, so a repeat log with
+	// fresh constraints skips the constraint-independent analysis. Each
+	// session pins its parsed log and memos in memory. <= 0 means 16; use
+	// NoSessions to disable.
+	SessionCapacity int
+	// NoSessions disables the session cache: every job rebuilds its log's
+	// analysis state from scratch, as before the session engine.
+	NoSessions bool
+	// SessionMemoLimit retires a live session once its distance memo holds
+	// more than this many entries. The memo grows with every distinct
+	// candidate group ever costed and is never evicted — the price of warm
+	// solves — so without a bound, a hot log's session on a long-running
+	// server would grow monotonically. A retired session is simply dropped;
+	// the next request on that log rebuilds a fresh one. <= 0 means the
+	// default (1<<18 ≈ 262k entries, tens of MB on typical class counts).
+	SessionMemoLimit int
 	// DefaultWorkers is the per-job worker count applied when a request
 	// leaves Config.Workers at 0; 0 keeps the pipeline default (all CPUs).
 	DefaultWorkers int
@@ -75,6 +92,15 @@ func (o Options) withDefaults() Options {
 	if o.MaxRetainedResults <= 0 {
 		o.MaxRetainedResults = 64
 	}
+	if o.SessionCapacity <= 0 {
+		o.SessionCapacity = 16
+	}
+	if o.NoSessions {
+		o.SessionCapacity = 0
+	}
+	if o.SessionMemoLimit <= 0 {
+		o.SessionMemoLimit = 1 << 18
+	}
 	return o
 }
 
@@ -90,6 +116,19 @@ type Request struct {
 	// keep the first submitter's tag (HTTP pollers can override with
 	// ?format=). It does not participate in the cache key.
 	Tag string
+	// digest memoises LogDigest(Log) so a batch solving N constraint sets
+	// against one log hashes it once, not N times. Filled lazily inside the
+	// service; external callers leave it empty.
+	digest string
+}
+
+// logDigest returns the request's memoised log digest, computing it on
+// first use.
+func (r *Request) logDigest() string {
+	if r.digest == "" {
+		r.digest = LogDigest(r.Log)
+	}
+	return r.digest
 }
 
 // JobState enumerates a job's lifecycle.
@@ -173,15 +212,20 @@ type JobStats struct {
 // Stats is the /stats payload.
 type Stats struct {
 	Cache CacheStats `json:"cache"`
-	Jobs  JobStats   `json:"jobs"`
+	// Sessions reports the session-cache layer under the result cache: hits
+	// are jobs that reused a live per-log session (warm index and distance
+	// memo) instead of rebuilding it.
+	Sessions SessionStats `json:"sessions"`
+	Jobs     JobStats     `json:"jobs"`
 }
 
 // Service runs abstraction jobs with bounded concurrency, caching, and
 // request coalescing. Create with New; Close cancels everything.
 type Service struct {
-	opts  Options
-	cache *Cache
-	sem   chan struct{}
+	opts     Options
+	cache    *Cache
+	sessions *sessionCache // nil when NoSessions
+	sem      chan struct{}
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -206,9 +250,14 @@ type Service struct {
 func New(opts Options) *Service {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	var sessions *sessionCache
+	if opts.SessionCapacity > 0 {
+		sessions = newSessionCache(opts.SessionCapacity)
+	}
 	return &Service{
 		opts:       opts,
 		cache:      NewCache(opts.CacheCapacity),
+		sessions:   sessions,
 		sem:        make(chan struct{}, opts.MaxConcurrent),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -248,12 +297,12 @@ func (s *Service) Do(ctx context.Context, req Request) (*JobResult, Meta, error)
 	}
 	key := ""
 	if Cacheable(req.Config) {
-		key = requestKey(LogDigest(req.Log), req.Constraints, req.Config)
+		key = requestKey(req.logDigest(), req.Constraints, req.Config)
 		if res, ok := s.cache.Get(key); ok {
 			return res, Meta{Cached: true}, nil
 		}
 	}
-	job, joined, cached, err := s.startOrJoin(key, req, false)
+	job, joined, cached, err := s.startOrJoin(key, &req, false)
 	if err != nil {
 		return nil, Meta{}, err
 	}
@@ -274,14 +323,14 @@ func (s *Service) Submit(req Request) (JobSnapshot, error) {
 	}
 	key := ""
 	if Cacheable(req.Config) {
-		key = requestKey(LogDigest(req.Log), req.Constraints, req.Config)
+		key = requestKey(req.logDigest(), req.Constraints, req.Config)
 		if res, ok := s.cache.Get(key); ok {
 			// Synthesise an already-done job so the client's poll loop is
 			// uniform; it is retained like any other finished job.
 			return s.adoptCached(key, req.Tag, res), nil
 		}
 	}
-	job, _, cached, err := s.startOrJoin(key, req, true)
+	job, _, cached, err := s.startOrJoin(key, &req, true)
 	if err != nil {
 		return JobSnapshot{}, err
 	}
@@ -344,6 +393,9 @@ func (s *Service) Busy() bool {
 // Stats snapshots cache and job counters.
 func (s *Service) Stats() Stats {
 	st := Stats{Cache: s.cache.Stats()}
+	if s.sessions != nil {
+		st.Sessions = s.sessions.Stats()
+	}
 	st.Jobs = JobStats{
 		Started:   s.started.Load(),
 		Completed: s.completed.Load(),
@@ -380,7 +432,7 @@ func validate(req Request) error {
 // coalescing joins are exempt, as they add no queued work. A non-nil
 // cached return means an identical job finished between the caller's
 // lock-free cache check and this locked one; no job was started.
-func (s *Service) startOrJoin(key string, req Request, detached bool) (job *Job, joined bool, cached *JobResult, err error) {
+func (s *Service) startOrJoin(key string, req *Request, detached bool) (job *Job, joined bool, cached *JobResult, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -428,7 +480,7 @@ func (s *Service) startOrJoin(key string, req Request, detached bool) (job *Job,
 	s.queued++
 	s.started.Add(1)
 	s.active.Add(1)
-	go s.run(ctx, job, req)
+	go s.run(ctx, job, *req)
 	return job, false, nil, nil
 }
 
@@ -454,8 +506,31 @@ func (s *Service) run(ctx context.Context, job *Job, req Request) {
 	if cfg.Workers == 0 && s.opts.DefaultWorkers > 0 {
 		cfg.Workers = s.opts.DefaultWorkers
 	}
-	res, err := core.RunContext(ctx, req.Log, req.Constraints, cfg)
+	res, err := s.solve(ctx, req, cfg)
 	s.finish(job, res, err)
+}
+
+// solve runs the pipeline, reusing (or admitting) a live session for the
+// log when the session cache is enabled. Session reuse never changes the
+// result — only the constraint-independent work a job pays for — so it is
+// safe for cacheable and non-cacheable requests alike.
+func (s *Service) solve(ctx context.Context, req Request, cfg core.Config) (*JobResult, error) {
+	if s.sessions == nil {
+		return core.RunContext(ctx, req.Log, req.Constraints, cfg)
+	}
+	sess, err := s.sessions.getOrCreate(req.logDigest(), req.Log)
+	if err != nil {
+		return nil, err
+	}
+	res, solveErr := sess.Solve(ctx, req.Constraints, cfg)
+	// Memo-growth bound: retire the session once its distance memo exceeds
+	// the limit, so a hot log on a long-running server cannot accumulate
+	// memory without end. The current result is unaffected; the next
+	// request on this log rebuilds a fresh session.
+	if sess.MemoSize() > s.opts.SessionMemoLimit {
+		s.sessions.drop(req.logDigest(), sess)
+	}
+	return res, solveErr
 }
 
 // finish publishes a job outcome, fills the cache, and wakes waiters.

@@ -1,0 +1,121 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"gecco/internal/core"
+	"gecco/internal/eventlog"
+)
+
+// SessionStats aggregates the session cache's counters for /stats. A hit
+// means a request on a known log skipped parsing-independent analysis
+// (indexing, DFG construction) and started with a warm distance memo.
+type SessionStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+}
+
+// sessionEntry is one cached live session. The once gate coalesces
+// concurrent first requests for the same log onto a single index build;
+// latecomers block in getOrCreate until the builder finishes.
+type sessionEntry struct {
+	digest  string
+	once    sync.Once
+	session *core.Session
+	err     error
+}
+
+// sessionCache is an LRU of live core.Sessions keyed by log digest. It sits
+// *under* the result cache: a result hit never reaches it, a result miss on
+// a known log reuses the session's frozen artifacts and warm distance memo.
+// Unlike the sharded result cache it is a single-segment LRU — entries are
+// few (each pins a parsed log, its index, and its memos) and lookups are
+// amortised by a full pipeline run, so exact LRU order beats shard-level
+// concurrency here.
+type sessionCache struct {
+	mu        sync.Mutex
+	cap       int
+	entries   map[string]*list.Element
+	order     *list.List // front = most recently used
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+func newSessionCache(capacity int) *sessionCache {
+	return &sessionCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// getOrCreate returns the live session for the log digest, building and
+// caching it on first use. Concurrent callers for the same new digest share
+// one build. A build error is not cached: the entry is removed so the next
+// request retries.
+func (c *sessionCache) getOrCreate(digest string, log *eventlog.Log) (*core.Session, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[digest]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		e := el.Value.(*sessionEntry)
+		c.mu.Unlock()
+		e.once.Do(func() {}) // wait for an in-flight first build
+		return e.session, e.err
+	}
+	c.misses++
+	e := &sessionEntry{digest: digest}
+	c.entries[digest] = c.order.PushFront(e)
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*sessionEntry).digest)
+		c.evictions++
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() { e.session, e.err = core.NewSession(log) })
+	if e.err != nil {
+		c.mu.Lock()
+		if el, ok := c.entries[digest]; ok && el.Value.(*sessionEntry) == e {
+			c.order.Remove(el)
+			delete(c.entries, digest)
+		}
+		c.mu.Unlock()
+	}
+	return e.session, e.err
+}
+
+// drop removes the digest's entry if it still holds the given session (a
+// fresh session may already have replaced it), counting the removal as an
+// eviction. Used to retire sessions whose memos outgrew the configured
+// bound.
+func (c *sessionCache) drop(digest string, sess *core.Session) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[digest]
+	if !ok || el.Value.(*sessionEntry).session != sess {
+		return
+	}
+	c.order.Remove(el)
+	delete(c.entries, digest)
+	c.evictions++
+}
+
+// Stats snapshots the session cache counters.
+func (c *sessionCache) Stats() SessionStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return SessionStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.entries),
+		Capacity:  c.cap,
+	}
+}

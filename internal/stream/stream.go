@@ -13,6 +13,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 
 	"gecco/internal/abstraction"
@@ -142,7 +143,15 @@ func (a *Abstractor) drifted() bool {
 
 func (a *Abstractor) regroup() error {
 	log := &eventlog.Log{Name: "window", Traces: a.window}
-	res, err := core.Run(log, a.set, a.cfg.Pipeline)
+	// One session per regrouping: the window changed, so no artifacts carry
+	// over between regroupings, but within one the session's index is shared
+	// between the pipeline run and the class-mapping pass below (previously
+	// two independent NewIndex builds over the window).
+	sess, err := core.NewSession(log)
+	if err != nil {
+		return fmt.Errorf("stream: regroup: %w", err)
+	}
+	res, err := sess.Solve(context.Background(), a.set, a.cfg.Pipeline)
 	if err != nil {
 		return fmt.Errorf("stream: regroup: %w", err)
 	}
@@ -159,7 +168,7 @@ func (a *Abstractor) regroup() error {
 	a.grouping = res.Grouping
 	a.groupingOK = true
 	a.classToGroup = make(map[string]int)
-	x := eventlog.NewIndex(log)
+	x := sess.Index()
 	for gi, g := range res.Grouping.Groups {
 		g.ForEach(func(c int) bool {
 			a.classToGroup[x.Classes[c]] = gi

@@ -35,6 +35,13 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// sessionBuildFailure is the score for a problem whose log the pipeline
+// could not analyse at all: applicable but unsolved, so failing logs count
+// against the solved rate instead of silently vanishing from the tables.
+func sessionBuildFailure() Measures {
+	return Measures{Applicable: true}
+}
+
 // Measures are the §VI-A evaluation measures for one abstraction problem.
 type Measures struct {
 	Applicable bool
@@ -69,7 +76,7 @@ func evaluate(sess *core.Session, res *core.Result, elapsed time.Duration) Measu
 func RunProblem(log *eventlog.Log, id SetID, mode core.Mode, opts Options) Measures {
 	sess, err := core.NewSession(log)
 	if err != nil {
-		return Measures{}
+		return sessionBuildFailure()
 	}
 	return RunProblemSession(sess, id, mode, opts)
 }
@@ -137,7 +144,7 @@ func (p *sessionPool) get(log *eventlog.Log) *core.Session {
 func (p *sessionPool) run(log *eventlog.Log, id SetID, mode core.Mode, opts Options) Measures {
 	sess := p.get(log)
 	if sess == nil {
-		return Measures{}
+		return sessionBuildFailure()
 	}
 	m := RunProblemSession(sess, id, mode, opts)
 	if m.Solved {
@@ -286,7 +293,7 @@ func withLabel(r Row, label string) Row {
 
 func runBaselineQ(sess *core.Session, id SetID, opts Options) Measures {
 	if sess == nil {
-		return Measures{}
+		return sessionBuildFailure()
 	}
 	set, ok := BuildSet(id, sess.Index())
 	if !ok {
@@ -303,7 +310,7 @@ func runBaselineQ(sess *core.Session, id SetID, opts Options) Measures {
 
 func runBaselineP(sess *core.Session, opts Options) Measures {
 	if sess == nil {
-		return Measures{}
+		return sessionBuildFailure()
 	}
 	n := sess.Index().NumClasses() / 2
 	if n < 1 {
@@ -320,7 +327,7 @@ func runBaselineP(sess *core.Session, opts Options) Measures {
 
 func runBaselineG(sess *core.Session, id SetID, opts Options) Measures {
 	if sess == nil {
-		return Measures{}
+		return sessionBuildFailure()
 	}
 	set, ok := BuildSet(id, sess.Index())
 	if !ok {

@@ -2,6 +2,7 @@ package service
 
 import (
 	"container/list"
+	"errors"
 	"sync"
 
 	"gecco/internal/core"
@@ -19,12 +20,15 @@ type SessionStats struct {
 	Capacity  int   `json:"capacity"`
 }
 
-// sessionEntry is one cached live session. The once gate coalesces
-// concurrent first requests for the same log onto a single index build;
-// latecomers block in getOrCreate until the builder finishes.
+// sessionEntry is one cached live session. The done channel coalesces
+// concurrent first requests for the same log onto a single index build: the
+// creator closes it after the build, latecomers block on it in getOrCreate.
+// Only the creator writes session/err — under the cache mutex (drop reads
+// session under the same mutex) and before closing done, so latecomers that
+// return from the receive see a consistent pair.
 type sessionEntry struct {
 	digest  string
-	once    sync.Once
+	done    chan struct{}
 	session *core.Session
 	err     error
 }
@@ -65,11 +69,11 @@ func (c *sessionCache) getOrCreate(digest string, log *eventlog.Log) (*core.Sess
 		c.hits++
 		e := el.Value.(*sessionEntry)
 		c.mu.Unlock()
-		e.once.Do(func() {}) // wait for an in-flight first build
+		<-e.done // wait for an in-flight first build
 		return e.session, e.err
 	}
 	c.misses++
-	e := &sessionEntry{digest: digest}
+	e := &sessionEntry{digest: digest, done: make(chan struct{})}
 	c.entries[digest] = c.order.PushFront(e)
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
@@ -79,16 +83,33 @@ func (c *sessionCache) getOrCreate(digest string, log *eventlog.Log) (*core.Sess
 	}
 	c.mu.Unlock()
 
-	e.once.Do(func() { e.session, e.err = core.NewSession(log) })
-	if e.err != nil {
+	return c.build(e, digest, log)
+}
+
+// build constructs the session for a fresh entry and publishes the outcome.
+// The deferred publish runs even if NewSession panics (converting the panic
+// into an error for latecomers before it propagates), so a caller that
+// recovers — net/http handler recovery, say — cannot strand other
+// goroutines blocked on the entry's done channel. A failed build is removed
+// from the cache so the next request retries; the identity check guards
+// against the entry having been evicted and replaced meanwhile.
+func (c *sessionCache) build(e *sessionEntry, digest string, log *eventlog.Log) (sess *core.Session, err error) {
+	defer func() {
+		if sess == nil && err == nil {
+			err = errors.New("service: session build panicked")
+		}
 		c.mu.Lock()
-		if el, ok := c.entries[digest]; ok && el.Value.(*sessionEntry) == e {
-			c.order.Remove(el)
-			delete(c.entries, digest)
+		e.session, e.err = sess, err
+		if err != nil {
+			if el, ok := c.entries[digest]; ok && el.Value.(*sessionEntry) == e {
+				c.order.Remove(el)
+				delete(c.entries, digest)
+			}
 		}
 		c.mu.Unlock()
-	}
-	return e.session, e.err
+		close(e.done)
+	}()
+	return core.NewSession(log)
 }
 
 // drop removes the digest's entry if it still holds the given session (a

@@ -155,6 +155,41 @@ func TestSessionCacheConcurrentSameLog(t *testing.T) {
 	}
 }
 
+// TestGetOrCreateNeverReturnsNilSession hammers getOrCreate directly with
+// concurrent callers racing the first build. Every caller — creator or
+// latecomer — must block until the build finishes and receive the same
+// non-nil session; a nil (session, err) pair means a latecomer slipped past
+// the build gate. Run under -race via `make race`.
+func TestGetOrCreateNeverReturnsNilSession(t *testing.T) {
+	log := procgen.RunningExampleTable1()
+	for round := 0; round < 20; round++ {
+		c := newSessionCache(4)
+		var wg sync.WaitGroup
+		sessions := make([]*core.Session, 16)
+		for i := range sessions {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sess, err := c.getOrCreate("digest", log)
+				if err != nil {
+					t.Errorf("getOrCreate: %v", err)
+					return
+				}
+				sessions[i] = sess
+			}(i)
+		}
+		wg.Wait()
+		for i, sess := range sessions {
+			if sess == nil {
+				t.Fatalf("round %d: caller %d got a nil session with nil error", round, i)
+			}
+			if sess != sessions[0] {
+				t.Fatalf("round %d: caller %d got a different session than caller 0", round, i)
+			}
+		}
+	}
+}
+
 // TestSessionMemoLimitRetiresSession pins the memo-growth bound: with a
 // limit of 1 entry, every solve outgrows the session, so each request on
 // the same log rebuilds a fresh one (a session miss + an eviction) instead

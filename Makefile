@@ -7,8 +7,9 @@ BASELINE  ?= BENCH_baseline.json
 MAX_REGRESS ?= 0.25
 # The one definition of the gate's measurement configs: bench, bench-gate and
 # bench-baseline all expand it, so the checked-in baseline cannot drift from
-# what the gate measures.
-BENCH_FLAGS = -table 6 -quick
+# what the gate measures. -stream-bench adds the online abstractor's
+# per-arrival rows, so the gate also guards streaming cost regressions.
+BENCH_FLAGS = -table 6 -quick -stream-bench
 
 .PHONY: build test race vet fmt-check bench bench-gate bench-baseline serve examples all
 
@@ -21,7 +22,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/par/ ./internal/candidates/ ./internal/distance/ ./internal/constraints/ ./internal/core/ ./internal/service/ .
+	$(GO) test -race ./internal/par/ ./internal/candidates/ ./internal/distance/ ./internal/constraints/ ./internal/core/ ./internal/service/ ./internal/stream/ .
 
 vet:
 	$(GO) vet ./...

@@ -10,10 +10,12 @@
 //	gecco-bench -figures -out figs/ # DOT files for the figures
 //	gecco-bench -table none -session-bench
 //	                                # cold vs warm constraint sweep (session reuse)
+//	gecco-bench -table none -stream-bench
+//	                                # online per-arrival cost, flat in window size
 //
 // CI benchmark gate:
 //
-//	gecco-bench -table 6 -quick -json BENCH_pr.json -baseline BENCH_baseline.json
+//	gecco-bench -table 6 -quick -stream-bench -json BENCH_pr.json -baseline BENCH_baseline.json
 //
 // -json writes the measured rows (per-config wall-time and distance) in a
 // machine-readable report; -baseline compares them against a checked-in
@@ -33,10 +35,12 @@ import (
 	"time"
 
 	"gecco"
+	"gecco/internal/constraints"
 	"gecco/internal/core"
 	"gecco/internal/eventlog"
 	"gecco/internal/experiments"
 	"gecco/internal/procgen"
+	"gecco/internal/stream"
 )
 
 // benchReport is the machine-readable format of -json; rows are keyed by
@@ -45,6 +49,7 @@ type benchReport struct {
 	Table   string            `json:"table"`
 	Quick   bool              `json:"quick"`
 	Budget  int               `json:"budget"`
+	Stream  bool              `json:"streamBench"`
 	GOOS    string            `json:"goos"`
 	GOARCH  string            `json:"goarch"`
 	NumCPU  int               `json:"numCPU"`
@@ -63,6 +68,7 @@ func main() {
 		timeout    = flag.Duration("solver-timeout", 0, "Step 2 limit per problem (0 = default)")
 		workers    = flag.Int("workers", 0, "worker threads per problem (0 = all cores, 1 = the paper's sequential runs)")
 		sessions   = flag.Bool("session-bench", false, "measure the fixed loan-log refinement sweep: cold (pipeline per set) vs warm (one session)")
+		streams    = flag.Bool("stream-bench", false, "measure the online abstractor's per-arrival cost at window sizes 200 and 2000 (rows feed -json/-baseline; fails if the cost is not flat in the window)")
 		jsonOut    = flag.String("json", "", "write the measured rows as a JSON bench report to this file")
 		baseline   = flag.String("baseline", "", "compare the measured rows against this JSON bench report and fail on regression")
 		maxRegress = flag.Float64("max-regress", 0.25, "maximum tolerated per-config wall-time regression vs -baseline (0.25 = +25%)")
@@ -111,11 +117,20 @@ func main() {
 			experiments.PrintRows(os.Stdout, "Table VII", rows, experiments.PaperTable7)
 		})
 	}
+	if *streams {
+		rows, err := streamBench(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gecco-bench:", err)
+			os.Exit(1)
+		}
+		measured = append(measured, rows...)
+	}
 	if *jsonOut != "" {
 		report := benchReport{
 			Table:   *table,
 			Quick:   *quick,
 			Budget:  opts.MaxChecks,
+			Stream:  *streams,
 			GOOS:    runtime.GOOS,
 			GOARCH:  runtime.GOARCH,
 			NumCPU:  runtime.NumCPU(),
@@ -129,7 +144,7 @@ func main() {
 		fmt.Printf("bench report written to %s\n", *jsonOut)
 	}
 	if *baseline != "" {
-		current := benchReport{Table: *table, Quick: *quick, Budget: opts.MaxChecks, Workers: *workers}
+		current := benchReport{Table: *table, Quick: *quick, Budget: opts.MaxChecks, Stream: *streams, Workers: *workers}
 		if err := gate(*baseline, current, measured, *maxRegress); err != nil {
 			fmt.Fprintln(os.Stderr, "gecco-bench: REGRESSION GATE FAILED:", err)
 			os.Exit(1)
@@ -192,10 +207,11 @@ func gate(baselinePath string, current benchReport, measured []experiments.Row, 
 	// wall-times are incomparable and the gate refuses rather than
 	// reporting a spurious verdict.
 	if base.Table != current.Table || base.Quick != current.Quick ||
-		base.Budget != current.Budget || base.Workers != current.Workers {
-		return fmt.Errorf("run settings (table=%s quick=%t budget=%d workers=%d) do not match baseline (table=%s quick=%t budget=%d workers=%d); rerun with the baseline's flags or regenerate it",
-			current.Table, current.Quick, current.Budget, current.Workers,
-			base.Table, base.Quick, base.Budget, base.Workers)
+		base.Budget != current.Budget || base.Workers != current.Workers ||
+		base.Stream != current.Stream {
+		return fmt.Errorf("run settings (table=%s quick=%t budget=%d workers=%d stream=%t) do not match baseline (table=%s quick=%t budget=%d workers=%d stream=%t); rerun with the baseline's flags or regenerate it",
+			current.Table, current.Quick, current.Budget, current.Workers, current.Stream,
+			base.Table, base.Quick, base.Budget, base.Workers, base.Stream)
 	}
 	if base.GOOS != runtime.GOOS || base.GOARCH != runtime.GOARCH || base.NumCPU != runtime.NumCPU() {
 		fmt.Printf("gate WARNING: baseline recorded on %s/%s numCPU=%d, this run is %s/%s numCPU=%d — wall-times are only roughly comparable\n",
@@ -330,6 +346,66 @@ func sessionBench(opts experiments.Options) error {
 			float64(coldTotal-coldTimes[0])/float64(warmTotal-warmTimes[0]))
 	}
 	return nil
+}
+
+// streamBench measures the online abstractor's steady-state per-arrival
+// cost at two window sizes an order of magnitude apart, on the same trace
+// stream. Drift detection is disabled and the refresh cadence pushed out of
+// reach so the measurement isolates the arrival path — ring-buffer
+// insertion, edge-refcount maintenance, the O(1) drift check, and the
+// per-trace rewrite — which must be O(|trace|), independent of the window.
+// The two rows feed the -json report and the -baseline gate; a per-arrival
+// cost that grows with the window (the pre-incremental implementation
+// rescanned the whole window per Push, ~10× here) fails immediately.
+func streamBench(opts experiments.Options) ([]experiments.Row, error) {
+	const (
+		warmup   = 2000 // fills the larger window before timing starts
+		arrivals = 6000 // timed steady-state arrivals, same for both windows
+	)
+	set := constraints.NewSet(constraints.MustParse("distinct(role) <= 1"))
+	traces := procgen.RunningExample(warmup+arrivals, 41).Traces
+
+	fmt.Printf("online abstractor — steady-state per-arrival cost over %d arrivals:\n", arrivals)
+	rows := make([]experiments.Row, 0, 2)
+	perArrival := make([]float64, 0, 2)
+	for _, window := range []int{200, 2000} {
+		a := stream.New(set, stream.Config{
+			WindowSize:     window,
+			RefreshEvery:   1 << 30,
+			DriftThreshold: -1, // sentinel: drift detection off
+			Pipeline:       core.Config{Mode: core.DFGUnbounded, Workers: opts.Workers},
+		})
+		for _, tr := range traces[:warmup] {
+			if _, err := a.Push(tr); err != nil {
+				return nil, fmt.Errorf("stream bench warmup (W=%d): %w", window, err)
+			}
+		}
+		start := time.Now()
+		for _, tr := range traces[warmup:] {
+			if _, err := a.Push(tr); err != nil {
+				return nil, fmt.Errorf("stream bench (W=%d): %w", window, err)
+			}
+		}
+		elapsed := time.Since(start)
+		per := elapsed.Seconds() / arrivals
+		perArrival = append(perArrival, per)
+		rows = append(rows, experiments.Row{
+			Label:   fmt.Sprintf("Stream/W=%d", window),
+			Seconds: elapsed.Seconds(),
+			N:       arrivals,
+		})
+		fmt.Printf("  W=%-5d %8.2f µs/arrival (%v total, %d regroupings)\n",
+			window, per*1e6, elapsed.Round(time.Millisecond), a.Regroupings)
+	}
+	ratio := perArrival[1] / perArrival[0]
+	fmt.Printf("  per-arrival cost ratio W=2000 / W=200: %.2fx (flat within noise expected)\n", ratio)
+	// A generous bound: genuine O(|trace|) arrivals stay near 1× with
+	// scheduler jitter; the old per-Push window rescan sat near the window
+	// ratio (10×).
+	if ratio > 3 {
+		return nil, fmt.Errorf("per-arrival cost is not flat in the window size: %.2fx at 10x the window", ratio)
+	}
+	return rows, nil
 }
 
 func run(title string, fn func()) {

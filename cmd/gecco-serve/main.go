@@ -1,17 +1,21 @@
 // Command gecco-serve exposes the GECCO pipeline as a concurrent HTTP
 // service with a sharded result cache and cooperative cancellation: a
 // disconnected client or a shutdown signal stops in-flight pipeline runs
-// mid-frontier.
+// mid-frontier. POST /stream serves the online workload: NDJSON traces in,
+// abstracted NDJSON out, with named per-stream abstractor state kept in a
+// bounded LRU across requests.
 //
 // Usage:
 //
-//	gecco-serve -addr :8080 -max-jobs 4 -cache-size 256
+//	gecco-serve -addr :8080 -max-jobs 4 -cache-size 256 -max-streams 64
 //
 //	curl -s "localhost:8080/abstract?constraints=distinct(role)%20%3C%3D%201" \
 //	     -X POST --data-binary @events.xes
+//	curl -sN "localhost:8080/stream?stream=orders&constraints=distinct(role)%20%3C%3D%201" \
+//	     -X POST --data-binary @traces.ndjson
 //	curl -s localhost:8080/stats
 //
-// See the README's Serving section for the full API.
+// See the README's Serving and Streaming sections for the full API.
 package main
 
 import (
@@ -34,6 +38,7 @@ func main() {
 		maxJobs   = flag.Int("max-jobs", 0, "maximum concurrent pipeline runs (0 = one per CPU)")
 		cacheSize = flag.Int("cache-size", 256, "result cache capacity in entries (0 = disable)")
 		sessions  = flag.Int("session-cache", 16, "live per-log sessions kept for cross-request reuse (0 = disable)")
+		streams   = flag.Int("max-streams", 64, "named online streams kept live for POST /stream (0 = disable streaming)")
 		workers   = flag.Int("workers", 0, "default worker threads per job (0 = all cores)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown window before in-flight jobs are cut")
 	)
@@ -45,13 +50,15 @@ func main() {
 		NoCache:         *cacheSize <= 0,
 		SessionCapacity: *sessions,
 		NoSessions:      *sessions <= 0,
+		MaxStreams:      *streams,
+		NoStreams:       *streams <= 0,
 		DefaultWorkers:  *workers,
 	})
 	srv := &http.Server{Addr: *addr, Handler: service.Handler(svc)}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("gecco-serve listening on %s (max-jobs=%d cache-size=%d)\n", *addr, *maxJobs, *cacheSize)
+	fmt.Printf("gecco-serve listening on %s (max-jobs=%d cache-size=%d max-streams=%d)\n", *addr, *maxJobs, *cacheSize, *streams)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -85,6 +85,12 @@ type Config struct {
 	// Budget are ignored). Used by the graph-querying baseline BL_Q, which
 	// substitutes its own candidate computation while keeping Steps 2–3.
 	CustomCandidates func(x *eventlog.Index, graph *dfg.Graph) ([]bitset.Set, error)
+	// GroupingOnly skips Step 3 (rewriting the log): the result carries the
+	// selected grouping, names and distance, but Result.Abstracted stays nil
+	// on feasible runs. Callers that only consume the grouping — the online
+	// abstractor regroups a window but rewrites traces itself, one arrival at
+	// a time — avoid paying an O(window) abstraction pass per regroup.
+	GroupingOnly bool
 }
 
 // Timings records per-step wall-clock durations.

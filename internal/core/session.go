@@ -269,7 +269,13 @@ func (s *Session) Solve(ctx context.Context, set *constraints.Set, cfg Config) (
 		Timings:            Timings{Candidates: candTime, Solve: solveTime},
 	}
 	if !res.Feasible {
-		out.Abstracted = s.log
+		if !cfg.GroupingOnly {
+			// The paper's offline prescription: infeasible runs return the
+			// original log. Grouping-only callers consume no log at all, and
+			// skipping the alias keeps cached window results from pinning
+			// window memory.
+			out.Abstracted = s.log
+		}
 		out.Diagnostics = ev.Diagnose()
 		return out, nil
 	}
@@ -283,16 +289,18 @@ func (s *Session) Solve(ctx context.Context, set *constraints.Set, cfg Config) (
 	sortByFirstOccurrence(x, selected)
 	names := a.names(cfg, x, selected)
 	grouping := abstraction.Grouping{Groups: selected, Names: names}
-	abstracted, err := abstraction.Apply(x, grouping, cfg.Strategy, cfg.Policy)
-	if err != nil {
-		return nil, fmt.Errorf("core: abstraction: %w", err)
+	if !cfg.GroupingOnly {
+		abstracted, err := abstraction.Apply(x, grouping, cfg.Strategy, cfg.Policy)
+		if err != nil {
+			return nil, fmt.Errorf("core: abstraction: %w", err)
+		}
+		out.Abstracted = abstracted
 	}
 	out.Timings.Abstract = time.Since(t2)
 	out.Feasible = true
 	out.Grouping = grouping
 	out.Distance = res.Cost
 	out.SolverNodes = res.Nodes
-	out.Abstracted = abstracted
 	out.GroupClasses = make([][]string, len(selected))
 	for i, g := range selected {
 		out.GroupClasses[i] = x.GroupNames(g)

@@ -116,9 +116,21 @@ const (
 )
 
 // Trace is a single process execution: an ordered sequence of events.
+// Attrs holds trace-level context attributes (beyond the identifying
+// concept:name, which is ID); abstraction never consults them, but they
+// round-trip through the XES reader/writer.
 type Trace struct {
 	ID     string
 	Events []Event
+	Attrs  map[string]Value
+}
+
+// SetAttr sets a trace-level attribute, allocating the map if needed.
+func (t *Trace) SetAttr(name string, v Value) {
+	if t.Attrs == nil {
+		t.Attrs = make(map[string]Value, 4)
+	}
+	t.Attrs[name] = v
 }
 
 // Variant returns the trace's class sequence joined by ",", identifying its
@@ -134,10 +146,21 @@ func (t *Trace) Variant() string {
 	return b.String()
 }
 
-// Log is an event log: a named collection of traces.
+// Log is an event log: a named collection of traces. Attrs holds log-level
+// attributes (beyond concept:name, which is Name); like trace attributes
+// they are carried for round-tripping, not consulted by abstraction.
 type Log struct {
 	Name   string
 	Traces []Trace
+	Attrs  map[string]Value
+}
+
+// SetAttr sets a log-level attribute, allocating the map if needed.
+func (l *Log) SetAttr(name string, v Value) {
+	if l.Attrs == nil {
+		l.Attrs = make(map[string]Value, 4)
+	}
+	l.Attrs[name] = v
 }
 
 // NumEvents returns the total number of events across all traces.
@@ -213,24 +236,30 @@ func (l *Log) ComputeStats() Stats {
 	}
 }
 
-// Clone returns a deep copy of the log (events and attribute maps included).
+// Clone returns a deep copy of the log (events and all attribute maps —
+// event-, trace-, and log-level — included).
 func (l *Log) Clone() *Log {
-	out := &Log{Name: l.Name, Traces: make([]Trace, len(l.Traces))}
+	out := &Log{Name: l.Name, Traces: make([]Trace, len(l.Traces)), Attrs: cloneAttrs(l.Attrs)}
 	for i := range l.Traces {
 		src := &l.Traces[i]
-		dst := Trace{ID: src.ID, Events: make([]Event, len(src.Events))}
+		dst := Trace{ID: src.ID, Events: make([]Event, len(src.Events)), Attrs: cloneAttrs(src.Attrs)}
 		for j := range src.Events {
 			e := src.Events[j]
-			if e.Attrs != nil {
-				m := make(map[string]Value, len(e.Attrs))
-				for k, v := range e.Attrs {
-					m[k] = v
-				}
-				e.Attrs = m
-			}
+			e.Attrs = cloneAttrs(e.Attrs)
 			dst.Events[j] = e
 		}
 		out.Traces[i] = dst
+	}
+	return out
+}
+
+func cloneAttrs(m map[string]Value) map[string]Value {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]Value, len(m))
+	for k, v := range m {
+		out[k] = v
 	}
 	return out
 }

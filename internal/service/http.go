@@ -113,17 +113,25 @@ type errorResponse struct {
 
 // Handler returns the service's HTTP API:
 //
-//	POST /abstract          run (or serve from cache) an abstraction
-//	GET  /jobs/{id}         poll a job
-//	POST /jobs/{id}/cancel  cancel a queued or running job (asynchronous:
-//	                        the response may still show it running; poll)
-//	GET  /healthz           liveness
-//	GET  /stats             cache and job counters
+//	POST /abstract             run (or serve from cache) an abstraction
+//	GET  /jobs/{id}            poll a job
+//	POST /jobs/{id}/cancel     cancel a queued or running job (asynchronous:
+//	                           the response may still show it running; poll)
+//	POST /stream               online abstraction: NDJSON traces in,
+//	                           abstracted NDJSON out; ?stream= names a
+//	                           persistent stream (create-or-append)
+//	GET  /stream/{name}        snapshot a named stream
+//	POST /stream/{name}/close  drop a named stream's state
+//	GET  /healthz              liveness
+//	GET  /stats                cache, session, stream, and job counters
 func Handler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /abstract", func(w http.ResponseWriter, r *http.Request) { handleAbstract(s, w, r) })
 	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) { handleJob(s, w, r) })
 	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) { handleCancel(s, w, r) })
+	mux.HandleFunc("POST /stream", func(w http.ResponseWriter, r *http.Request) { handleStream(s, w, r) })
+	mux.HandleFunc("GET /stream/{name}", func(w http.ResponseWriter, r *http.Request) { handleStreamGet(s, w, r) })
+	mux.HandleFunc("POST /stream/{name}/close", func(w http.ResponseWriter, r *http.Request) { handleStreamClose(s, w, r) })
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -432,15 +440,9 @@ func buildRequest(env *AbstractRequest) (Request, string, error) {
 		NamePrefix:      env.NamePrefix,
 		NameByClassAttr: env.NameByClassAttr,
 	}
-	switch strings.ToLower(env.Mode) {
-	case "", "dfg", "dfg-unbounded":
-		cfg.Mode = core.DFGUnbounded
-	case "exh", "exhaustive":
-		cfg.Mode = core.Exhaustive
-	case "dfgk", "beam", "dfg-beam":
-		cfg.Mode = core.DFGBeam
-	default:
-		return Request{}, "", fmt.Errorf("unknown mode %q (want exh, dfg, or dfgk)", env.Mode)
+	cfg.Mode, err = parseMode(env.Mode)
+	if err != nil {
+		return Request{}, "", err
 	}
 	switch strings.ToLower(env.Strategy) {
 	case "", "completion":
@@ -467,6 +469,20 @@ func buildRequest(env *AbstractRequest) (Request, string, error) {
 		return Request{}, "", fmt.Errorf("unknown solver %q (want bb or mip)", env.Solver)
 	}
 	return Request{Log: log, Constraints: set, Config: cfg, Tag: format}, format, nil
+}
+
+// parseMode maps the wire spelling of a candidate mode onto core.Mode.
+func parseMode(s string) (core.Mode, error) {
+	switch strings.ToLower(s) {
+	case "", "dfg", "dfg-unbounded":
+		return core.DFGUnbounded, nil
+	case "exh", "exhaustive":
+		return core.Exhaustive, nil
+	case "dfgk", "beam", "dfg-beam":
+		return core.DFGBeam, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want exh, dfg, or dfgk)", s)
+	}
 }
 
 func buildResponse(res *JobResult, format string) (*AbstractResponse, error) {

@@ -25,7 +25,9 @@ import (
 // wire format the log arrived in (XES and CSV uploads of the same events
 // collide, as they should) — which is also why log.Name is excluded: XES
 // carries a log-level concept:name while CSV cannot, and the name only
-// decorates the output (a cache hit echoes the first run's name).
+// decorates the output (a cache hit echoes the first run's name). Trace-
+// and log-level attributes are excluded for the same reason: constraints
+// and distance read only event data, so they cannot change the result.
 func LogDigest(log *eventlog.Log) string {
 	h := sha256.New()
 	writeInt(h, len(log.Traces))
@@ -81,11 +83,11 @@ func canonicalConstraints(set *constraints.Set) string {
 // Budget.TimeLimit is included because a wall-clock cut makes the outcome
 // depend on it (and on luck — see Cacheable).
 func canonicalConfig(cfg core.Config) string {
-	return fmt.Sprintf("mode=%d beam=%d strategy=%d policy=%d maxchecks=%d timelimit=%d solver=%d solvertimeout=%d skipmerge=%t prefix=%q byattr=%q",
+	return fmt.Sprintf("mode=%d beam=%d strategy=%d policy=%d maxchecks=%d timelimit=%d solver=%d solvertimeout=%d skipmerge=%t prefix=%q byattr=%q groupingonly=%t",
 		cfg.Mode, cfg.BeamWidth, cfg.Strategy, cfg.Policy,
 		cfg.Budget.MaxChecks, cfg.Budget.TimeLimit,
 		cfg.Solver, cfg.SolverTimeout, cfg.SkipExclusiveMerge,
-		cfg.NamePrefix, cfg.NameByClassAttr)
+		cfg.NamePrefix, cfg.NameByClassAttr, cfg.GroupingOnly)
 }
 
 // Cacheable reports whether a request's result is deterministic and so safe

@@ -68,6 +68,13 @@ type Options struct {
 	// the next request on that log rebuilds a fresh one. <= 0 means the
 	// default (1<<18 ≈ 262k entries, tens of MB on typical class counts).
 	SessionMemoLimit int
+	// MaxStreams bounds the named online-abstractor states kept live for
+	// POST /stream (each pins a window of traces plus its grouping).
+	// Creating a stream beyond the bound evicts the least recently used
+	// one. <= 0 means 64; use NoStreams to disable the endpoint.
+	MaxStreams int
+	// NoStreams disables the streaming workload entirely.
+	NoStreams bool
 	// DefaultWorkers is the per-job worker count applied when a request
 	// leaves Config.Workers at 0; 0 keeps the pipeline default (all CPUs).
 	DefaultWorkers int
@@ -100,6 +107,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SessionMemoLimit <= 0 {
 		o.SessionMemoLimit = 1 << 18
+	}
+	if o.MaxStreams <= 0 {
+		o.MaxStreams = 64
+	}
+	if o.NoStreams {
+		o.MaxStreams = 0
 	}
 	return o
 }
@@ -216,7 +229,10 @@ type Stats struct {
 	// are jobs that reused a live per-log session (warm index and distance
 	// memo) instead of rebuilding it.
 	Sessions SessionStats `json:"sessions"`
-	Jobs     JobStats     `json:"jobs"`
+	// Streams reports the online workload: live named streams, lifecycle
+	// counts, and arrival/regrouping totals across all streams ever served.
+	Streams StreamStats `json:"streams"`
+	Jobs    JobStats    `json:"jobs"`
 }
 
 // Service runs abstraction jobs with bounded concurrency, caching, and
@@ -224,7 +240,8 @@ type Stats struct {
 type Service struct {
 	opts     Options
 	cache    *Cache
-	sessions *sessionCache // nil when NoSessions
+	sessions *sessionCache  // nil when NoSessions
+	streams  *streamManager // nil when NoStreams
 	sem      chan struct{}
 
 	baseCtx    context.Context
@@ -254,10 +271,15 @@ func New(opts Options) *Service {
 	if opts.SessionCapacity > 0 {
 		sessions = newSessionCache(opts.SessionCapacity)
 	}
+	var streams *streamManager
+	if opts.MaxStreams > 0 {
+		streams = newStreamManager(opts.MaxStreams)
+	}
 	return &Service{
 		opts:       opts,
 		cache:      NewCache(opts.CacheCapacity),
 		sessions:   sessions,
+		streams:    streams,
 		sem:        make(chan struct{}, opts.MaxConcurrent),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -273,6 +295,12 @@ func (s *Service) Close() {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
+	if s.streams != nil {
+		// Drain the streaming workload: retire every live stream and
+		// reject new /stream requests; in-flight regroups are cancelled by
+		// the base context below.
+		s.streams.closeAll()
+	}
 	s.baseCancel()
 	s.active.Wait()
 }
@@ -395,6 +423,9 @@ func (s *Service) Stats() Stats {
 	st := Stats{Cache: s.cache.Stats()}
 	if s.sessions != nil {
 		st.Sessions = s.sessions.Stats()
+	}
+	if s.streams != nil {
+		st.Streams = s.streams.Stats()
 	}
 	st.Jobs = JobStats{
 		Started:   s.started.Load(),

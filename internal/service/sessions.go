@@ -112,6 +112,31 @@ func (c *sessionCache) build(e *sessionEntry, digest string, log *eventlog.Log) 
 	return core.NewSession(log)
 }
 
+// peek returns the digest's live session when one exists, bumping recency,
+// without admitting an entry on miss — the streaming workload's regroup
+// windows are almost always fresh digests, and inserting each would churn
+// the /abstract workload's few, expensive entries out of the LRU. Neither a
+// miss nor a hit disturbs the hit/miss counters' meaning: a peek hit is a
+// genuine session reuse and is counted; a miss is not a failed admission
+// and is not.
+func (c *sessionCache) peek(digest string) (*core.Session, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[digest]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	e := el.Value.(*sessionEntry)
+	c.mu.Unlock()
+	<-e.done // wait for an in-flight first build
+	if e.err != nil || e.session == nil {
+		return nil, false
+	}
+	return e.session, true
+}
+
 // drop removes the digest's entry if it still holds the given session (a
 // fresh session may already have replaced it), counting the removal as an
 // eviction. Used to retire sessions whose memos outgrew the configured

@@ -2,26 +2,37 @@
 // lifting GECCO to online settings, where traces arrive one at a time and
 // the grouping is dynamically adapted to new arrivals.
 //
-// The Abstractor maintains a sliding window of recent traces. On every
-// arrival it updates the window incrementally; the grouping is recomputed
-// (a full GECCO run on the window) only when a drift signal fires — the
-// directly-follows relation of recent traces diverges from the relation
-// the current grouping was computed on — or after a configurable number of
-// arrivals. Between recomputations, arrivals are abstracted with the
-// current grouping at O(trace length) cost, so the expensive optimisation
-// runs amortised-rarely, which is what makes the approach online.
+// The Abstractor maintains a sliding window of the most recent traces in a
+// ring buffer, together with a reference-counted multiset of the window's
+// directly-follows edges that is updated as traces enter and leave. The
+// drift signal — the Jaccard distance between the window's current edge set
+// and the edge set the grouping was computed on — is maintained from those
+// edge deltas, so each arrival costs O(|trace|): ring-buffer insertion,
+// edge refcount updates, an O(1) drift check, and the O(|trace|) rewrite of
+// the arriving trace under the current grouping. The expensive grouping
+// recomputation (a full GECCO run on the window) runs only when the drift
+// signal fires or after RefreshEvery arrivals, i.e. amortised-rarely, which
+// is what makes the approach online.
 package stream
 
 import (
 	"context"
 	"fmt"
+	"sort"
 
-	"gecco/internal/abstraction"
 	"gecco/internal/constraints"
 	"gecco/internal/core"
 	"gecco/internal/eventlog"
 	"gecco/internal/instances"
 )
+
+// PipelineFunc runs one full GECCO pipeline over the current window. The
+// Abstractor calls it on every regrouping; the default implementation
+// builds a fresh core.Session per window. A serving layer can substitute a
+// function that shares sessions and results across streams (identical
+// windows — replayed streams, identical parallel streams — then skip the
+// pipeline entirely).
+type PipelineFunc func(ctx context.Context, window *eventlog.Log, set *constraints.Set, cfg core.Config) (*core.Result, error)
 
 // Config tunes the online abstractor.
 type Config struct {
@@ -31,44 +42,87 @@ type Config struct {
 	// without drift (default 100).
 	RefreshEvery int
 	// DriftThreshold is the Jaccard distance between the current DFG edge
-	// set and the grouping-time edge set above which a regrouping fires
-	// (default 0.25).
+	// set and the grouping-time edge set above which a regrouping fires.
+	// Zero (the zero value) means maximally sensitive — any divergence
+	// fires; a negative value disables drift detection entirely, leaving
+	// only the RefreshEvery cadence. DefaultDriftThreshold is a reasonable
+	// explicit choice.
 	DriftThreshold float64
 	// Pipeline is the configuration for the underlying GECCO runs; its
 	// zero value uses DFG-based candidates, which suits repeated online
 	// recomputation.
 	Pipeline core.Config
+	// RunPipeline overrides how regroupings execute the pipeline (nil uses
+	// a fresh core.Session per window). See PipelineFunc.
+	RunPipeline PipelineFunc
 }
 
+// DefaultDriftThreshold is the drift sensitivity used by the serving layer
+// when a stream does not declare one. It is not applied by New: a zero
+// Config.DriftThreshold deliberately means "fire on any drift".
+const DefaultDriftThreshold = 0.25
+
 func (c Config) withDefaults() Config {
-	if c.WindowSize == 0 {
+	if c.WindowSize <= 0 {
 		c.WindowSize = 200
 	}
-	if c.RefreshEvery == 0 {
+	if c.RefreshEvery <= 0 {
 		c.RefreshEvery = 100
-	}
-	if c.DriftThreshold == 0 {
-		c.DriftThreshold = 0.25
 	}
 	return c
 }
 
-// Abstractor consumes traces and emits their abstracted counterparts under
-// a grouping that adapts to the stream.
-type Abstractor struct {
-	cfg    Config
-	set    *constraints.Set
-	window []eventlog.Trace
+// edge is one directly-follows pair of event classes.
+type edge = [2]string
 
-	grouping     abstraction.Grouping
+// regroupReason records why a regrouping fired, so drift accounting cannot
+// be polluted by refreshes or by retries after an infeasible solve.
+type regroupReason int
+
+const (
+	regroupNone regroupReason = iota
+	regroupInitial
+	regroupRefresh
+	regroupDrift
+)
+
+// Abstractor consumes traces and emits their abstracted counterparts under
+// a grouping that adapts to the stream. It is not safe for concurrent use;
+// callers pushing from multiple goroutines must serialise externally (the
+// serving layer holds one mutex per named stream).
+type Abstractor struct {
+	cfg Config
+	set *constraints.Set
+
+	// ring is the sliding window: a fixed-capacity ring buffer. While the
+	// window is filling, slots 0..count-1 hold the traces in arrival order;
+	// once full, head is the oldest slot and is overwritten on arrival.
+	ring  []eventlog.Trace
+	head  int
+	count int
+
+	// edges is the reference-counted directly-follows edge multiset of the
+	// window: the count is the number of adjacent occurrences across all
+	// windowed traces, and an edge leaves the map when its count hits zero.
+	edges map[edge]int
+
+	// basis is the window's distinct edge set at the last regrouping.
+	// inter and curOnly maintain the Jaccard comparison incrementally:
+	// inter = |current ∩ basis|, curOnly = |current \ basis|, so the union
+	// is len(basis) + curOnly and no per-arrival scan is needed.
+	basis   map[edge]struct{}
+	inter   int
+	curOnly int
+
 	groupingOK   bool
-	classToGroup map[string]int
-	basisEdges   map[[2]string]struct{}
+	names        []string       // activity name per group
+	classToGroup map[string]int // event class -> index into names
 	sinceRefresh int
 
 	// Regroupings counts how often the grouping was recomputed.
 	Regroupings int
-	// Drifts counts regroupings triggered by the drift signal.
+	// Drifts counts regroupings triggered by the drift signal (refreshes
+	// and post-infeasibility retries are not drifts).
 	Drifts int
 }
 
@@ -78,38 +132,101 @@ func New(set *constraints.Set, cfg Config) *Abstractor {
 	if cfg.Pipeline.Mode == core.Exhaustive {
 		cfg.Pipeline.Mode = core.DFGUnbounded
 	}
-	return &Abstractor{cfg: cfg, set: set}
+	// The regrouping consumes only the grouping; the window's own
+	// abstracted log would be discarded, so skip Step 3 entirely.
+	cfg.Pipeline.GroupingOnly = true
+	return &Abstractor{
+		cfg:   cfg,
+		set:   set,
+		ring:  make([]eventlog.Trace, cfg.WindowSize),
+		edges: make(map[edge]int),
+	}
 }
 
-// Grouping returns the current grouping's class lists, or nil before the
-// first successful regrouping.
+// WindowLen returns the number of traces currently in the window.
+func (a *Abstractor) WindowLen() int { return a.count }
+
+// Config returns the abstractor's effective configuration (defaults
+// applied); it is immutable after New.
+func (a *Abstractor) Config() Config { return a.cfg }
+
+// DriftScore returns the current Jaccard distance between the window's edge
+// set and the grouping-time edge set (0 before the first regrouping).
+func (a *Abstractor) DriftScore() float64 {
+	if a.basis == nil {
+		return 0
+	}
+	union := len(a.basis) + a.curOnly
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(a.inter)/float64(union)
+}
+
+// Grouping returns the current grouping's class lists in group order, each
+// list sorted, or nil before the first successful regrouping.
 func (a *Abstractor) Grouping() [][]string {
 	if !a.groupingOK {
 		return nil
 	}
-	out := make([][]string, len(a.grouping.Groups))
-	byGroup := make(map[int][]string)
+	out := make([][]string, len(a.names))
 	for c, g := range a.classToGroup {
-		byGroup[g] = append(byGroup[g], c)
+		out[g] = append(out[g], c)
 	}
-	for g, classes := range byGroup {
-		out[g] = classes
+	for _, classes := range out {
+		sort.Strings(classes)
 	}
 	return out
 }
 
-// Push consumes one trace and returns its abstraction under the current
-// grouping. The first call (and every regrouping) runs the full pipeline
-// on the window; subsequent calls are O(|trace|).
-func (a *Abstractor) Push(tr eventlog.Trace) (eventlog.Trace, error) {
-	a.window = append(a.window, tr)
-	if len(a.window) > a.cfg.WindowSize {
-		a.window = a.window[len(a.window)-a.cfg.WindowSize:]
+// ActivityNames returns the current grouping's activity names in group
+// order (aligned with Grouping), or nil before the first successful
+// regrouping.
+func (a *Abstractor) ActivityNames() []string {
+	if !a.groupingOK {
+		return nil
 	}
+	return append([]string(nil), a.names...)
+}
+
+// Push consumes one trace and returns its abstraction under the current
+// grouping; it is PushContext under context.Background().
+func (a *Abstractor) Push(tr eventlog.Trace) (eventlog.Trace, error) {
+	return a.PushContext(context.Background(), tr)
+}
+
+// PushContext consumes one trace and returns its abstraction under the
+// current grouping. The first call (and every regrouping) runs the full
+// pipeline on the window under ctx; all other arrivals cost O(|trace|).
+func (a *Abstractor) PushContext(ctx context.Context, tr eventlog.Trace) (eventlog.Trace, error) {
+	if a.count == len(a.ring) {
+		a.removeEdges(a.ring[a.head])
+		a.ring[a.head] = tr
+		a.head++
+		if a.head == len(a.ring) {
+			a.head = 0
+		}
+	} else {
+		a.ring[a.count] = tr
+		a.count++
+	}
+	a.addEdges(tr)
 	a.sinceRefresh++
 
-	if !a.groupingOK || a.sinceRefresh >= a.cfg.RefreshEvery || a.drifted() {
-		if err := a.regroup(); err != nil {
+	reason := regroupNone
+	switch {
+	case a.basis == nil:
+		reason = regroupInitial
+	case a.sinceRefresh >= a.cfg.RefreshEvery:
+		reason = regroupRefresh
+	case a.drifted():
+		reason = regroupDrift
+	}
+	// An infeasible grouping does not retrigger the pipeline per arrival:
+	// the abstractor backs off and passes traces through until the next
+	// refresh or drift signal, when the window has genuinely changed.
+	if reason != regroupNone {
+		if err := a.regroup(ctx, reason); err != nil {
 			return eventlog.Trace{}, err
 		}
 	}
@@ -121,61 +238,115 @@ func (a *Abstractor) Push(tr eventlog.Trace) (eventlog.Trace, error) {
 	return a.abstractOne(tr), nil
 }
 
-// drifted compares the window's DFG edge set with the grouping-time one.
-func (a *Abstractor) drifted() bool {
-	if a.basisEdges == nil {
-		return false
-	}
-	current := edgeSet(a.window)
-	inter, union := 0, len(a.basisEdges)
-	for e := range current {
-		if _, ok := a.basisEdges[e]; ok {
-			inter++
-		} else {
-			union++
+// addEdges adds the trace's directly-follows edges to the window multiset,
+// updating the incremental Jaccard terms on 0→1 count transitions.
+func (a *Abstractor) addEdges(tr eventlog.Trace) {
+	ev := tr.Events
+	for j := 1; j < len(ev); j++ {
+		e := edge{ev[j-1].Class, ev[j].Class}
+		n := a.edges[e]
+		a.edges[e] = n + 1
+		if n == 0 {
+			if _, ok := a.basis[e]; ok {
+				a.inter++
+			} else {
+				a.curOnly++
+			}
 		}
 	}
-	if union == 0 {
-		return false
-	}
-	return 1-float64(inter)/float64(union) > a.cfg.DriftThreshold
 }
 
-func (a *Abstractor) regroup() error {
-	log := &eventlog.Log{Name: "window", Traces: a.window}
-	// One session per regrouping: the window changed, so no artifacts carry
-	// over between regroupings, but within one the session's index is shared
-	// between the pipeline run and the class-mapping pass below (previously
-	// two independent NewIndex builds over the window).
+// removeEdges removes an evicted trace's edges, updating the incremental
+// Jaccard terms on 1→0 count transitions.
+func (a *Abstractor) removeEdges(tr eventlog.Trace) {
+	ev := tr.Events
+	for j := 1; j < len(ev); j++ {
+		e := edge{ev[j-1].Class, ev[j].Class}
+		if n := a.edges[e]; n > 1 {
+			a.edges[e] = n - 1
+		} else {
+			delete(a.edges, e)
+			if _, ok := a.basis[e]; ok {
+				a.inter--
+			} else {
+				a.curOnly--
+			}
+		}
+	}
+}
+
+// drifted reports whether the maintained Jaccard distance exceeds the
+// threshold; O(1) per check.
+func (a *Abstractor) drifted() bool {
+	if a.basis == nil || a.cfg.DriftThreshold < 0 {
+		return false
+	}
+	return a.DriftScore() > a.cfg.DriftThreshold
+}
+
+// windowLog materialises the ring buffer as a log in arrival order
+// (oldest first); O(window), paid only at regroupings.
+func (a *Abstractor) windowLog() *eventlog.Log {
+	traces := make([]eventlog.Trace, 0, a.count)
+	if a.count < len(a.ring) {
+		traces = append(traces, a.ring[:a.count]...)
+	} else {
+		traces = append(traces, a.ring[a.head:]...)
+		traces = append(traces, a.ring[:a.head]...)
+	}
+	return &eventlog.Log{Name: "window", Traces: traces}
+}
+
+// runPipeline executes one GECCO run over the window, through the
+// configured hook when present.
+func (a *Abstractor) runPipeline(ctx context.Context, log *eventlog.Log) (*core.Result, error) {
+	if a.cfg.RunPipeline != nil {
+		return a.cfg.RunPipeline(ctx, log, a.set, a.cfg.Pipeline)
+	}
 	sess, err := core.NewSession(log)
 	if err != nil {
-		return fmt.Errorf("stream: regroup: %w", err)
+		return nil, err
 	}
-	res, err := sess.Solve(context.Background(), a.set, a.cfg.Pipeline)
+	return sess.Solve(ctx, a.set, a.cfg.Pipeline)
+}
+
+func (a *Abstractor) regroup(ctx context.Context, reason regroupReason) error {
+	res, err := a.runPipeline(ctx, a.windowLog())
 	if err != nil {
 		return fmt.Errorf("stream: regroup: %w", err)
 	}
 	a.Regroupings++
-	if a.basisEdges != nil && a.sinceRefresh < a.cfg.RefreshEvery {
+	if reason == regroupDrift {
 		a.Drifts++
 	}
 	a.sinceRefresh = 0
-	a.basisEdges = edgeSet(a.window)
+	a.rebaseline()
 	if !res.Feasible {
 		a.groupingOK = false
 		return nil
 	}
-	a.grouping = res.Grouping
 	a.groupingOK = true
+	a.names = res.Grouping.Names
 	a.classToGroup = make(map[string]int)
-	x := sess.Index()
-	for gi, g := range res.Grouping.Groups {
-		g.ForEach(func(c int) bool {
-			a.classToGroup[x.Classes[c]] = gi
-			return true
-		})
+	for gi, classes := range res.GroupClasses {
+		for _, c := range classes {
+			a.classToGroup[c] = gi
+		}
 	}
 	return nil
+}
+
+// rebaseline snapshots the window's distinct edge set as the new drift
+// basis and resets the incremental Jaccard terms (identical sets: the
+// intersection is the whole basis, nothing is current-only).
+func (a *Abstractor) rebaseline() {
+	basis := make(map[edge]struct{}, len(a.edges))
+	for e := range a.edges {
+		basis[e] = struct{}{}
+	}
+	a.basis = basis
+	a.inter = len(basis)
+	a.curOnly = 0
 }
 
 // abstractOne rewrites a single trace with the current grouping using the
@@ -203,7 +374,7 @@ func (a *Abstractor) abstractOne(tr eventlog.Trace) eventlog.Trace {
 		markers = append(markers, struct {
 			pos   int
 			class string
-		}{st.lastPos, a.grouping.Names[gi]})
+		}{st.lastPos, a.names[gi]})
 		delete(open, gi)
 	}
 	for pos, ev := range tr.Events {
@@ -230,7 +401,9 @@ func (a *Abstractor) abstractOne(tr eventlog.Trace) eventlog.Trace {
 	for gi := range open {
 		flush(gi)
 	}
-	// Emit in completion order.
+	// Emit in completion order. Marker positions are distinct (each event
+	// position completes at most one instance), so the sort is a total
+	// order and the output is deterministic despite the map flush above.
 	for i := 1; i < len(markers); i++ {
 		for j := i; j > 0 && markers[j].pos < markers[j-1].pos; j-- {
 			markers[j], markers[j-1] = markers[j-1], markers[j]
@@ -242,18 +415,6 @@ func (a *Abstractor) abstractOne(tr eventlog.Trace) eventlog.Trace {
 			ev.SetAttr(eventlog.AttrTimestamp, eventlog.Time(ts))
 		}
 		out.Events = append(out.Events, ev)
-	}
-	return out
-}
-
-// edgeSet returns the directly-follows edges of the traces.
-func edgeSet(traces []eventlog.Trace) map[[2]string]struct{} {
-	out := make(map[[2]string]struct{})
-	for i := range traces {
-		ev := traces[i].Events
-		for j := 1; j < len(ev); j++ {
-			out[[2]string{ev[j-1].Class, ev[j].Class}] = struct{}{}
-		}
 	}
 	return out
 }

@@ -27,15 +27,23 @@ type xmlEvent struct {
 	Attrs []attribute `xml:",any"`
 }
 
+// xmlTrace captures a trace's events plus its attributes of every kind:
+// the named Events field takes the <event> children, the ",any" field all
+// remaining elements (string, int, float, date, boolean, id, ...).
+// Matching only "string" here used to silently drop every non-string
+// trace-level attribute.
 type xmlTrace struct {
-	Attrs  []attribute `xml:"string"`
+	Attrs  []attribute `xml:",any"`
 	Events []xmlEvent  `xml:"event"`
 }
 
 type xmlLog struct {
-	XMLName xml.Name    `xml:"log"`
-	Attrs   []attribute `xml:"string"`
-	Traces  []xmlTrace  `xml:"trace"`
+	XMLName xml.Name `xml:"log"`
+	// Attrs likewise captures log-level attributes of every kind. It also
+	// receives non-attribute header elements (<extension>, <global>,
+	// <classifier>), which carry no key attribute and are skipped on read.
+	Attrs  []attribute `xml:",any"`
+	Traces []xmlTrace  `xml:"trace"`
 }
 
 // conceptName is the XES attribute carrying names of logs, traces & events.
@@ -57,15 +65,33 @@ func Read(r io.Reader) (*eventlog.Log, error) {
 	}
 	log := &eventlog.Log{}
 	for _, a := range doc.Attrs {
-		if a.Key == conceptName {
+		switch {
+		case a.Key == "":
+			// Header elements (extension, global, classifier) are not
+			// attributes; they are intentionally skipped.
+		case a.Key == conceptName:
 			log.Name = a.Value
+		default:
+			v, err := decodeValue(a)
+			if err != nil {
+				return nil, fmt.Errorf("xes: log attr %q: %w", a.Key, err)
+			}
+			log.SetAttr(a.Key, v)
 		}
 	}
 	for ti, t := range doc.Traces {
 		trace := eventlog.Trace{ID: fmt.Sprintf("t%d", ti)}
 		for _, a := range t.Attrs {
-			if a.Key == conceptName {
+			switch {
+			case a.Key == "":
+			case a.Key == conceptName:
 				trace.ID = a.Value
+			default:
+				v, err := decodeValue(a)
+				if err != nil {
+					return nil, fmt.Errorf("xes: trace %d attr %q: %w", ti, a.Key, err)
+				}
+				trace.SetAttr(a.Key, v)
 			}
 		}
 		for ei, e := range t.Events {
@@ -144,15 +170,21 @@ func Write(w io.Writer, log *eventlog.Log) error {
 	bw.printf("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n")
 	bw.printf("<log xes.version=\"1.0\" xes.features=\"\">\n")
 	bw.printf("  <string key=\"concept:name\" value=%q/>\n", log.Name)
+	for _, k := range sortedAttrKeys(log.Attrs) {
+		writeAttr(bw, "  ", k, log.Attrs[k])
+	}
 	for i := range log.Traces {
 		tr := &log.Traces[i]
 		bw.printf("  <trace>\n    <string key=\"concept:name\" value=%q/>\n", tr.ID)
+		for _, k := range sortedAttrKeys(tr.Attrs) {
+			writeAttr(bw, "    ", k, tr.Attrs[k])
+		}
 		for j := range tr.Events {
 			ev := &tr.Events[j]
 			bw.printf("    <event>\n")
 			bw.printf("      <string key=\"concept:name\" value=%q/>\n", ev.Class)
 			for _, k := range sortedAttrKeys(ev.Attrs) {
-				writeAttr(bw, k, ev.Attrs[k])
+				writeAttr(bw, "      ", k, ev.Attrs[k])
 			}
 			bw.printf("    </event>\n")
 		}
@@ -162,7 +194,7 @@ func Write(w io.Writer, log *eventlog.Log) error {
 	return bw.err
 }
 
-func writeAttr(bw *errWriter, key string, v eventlog.Value) {
+func writeAttr(bw *errWriter, indent, key string, v eventlog.Value) {
 	xkey := key
 	switch key {
 	case eventlog.AttrTimestamp:
@@ -172,15 +204,15 @@ func writeAttr(bw *errWriter, key string, v eventlog.Value) {
 	}
 	switch v.Kind {
 	case eventlog.KindString:
-		bw.printf("      <string key=%q value=%q/>\n", xkey, v.Str)
+		bw.printf("%s<string key=%q value=%q/>\n", indent, xkey, v.Str)
 	case eventlog.KindInt:
-		bw.printf("      <int key=%q value=\"%d\"/>\n", xkey, int64(v.Num))
+		bw.printf("%s<int key=%q value=\"%d\"/>\n", indent, xkey, int64(v.Num))
 	case eventlog.KindFloat:
-		bw.printf("      <float key=%q value=\"%g\"/>\n", xkey, v.Num)
+		bw.printf("%s<float key=%q value=\"%g\"/>\n", indent, xkey, v.Num)
 	case eventlog.KindTime:
-		bw.printf("      <date key=%q value=%q/>\n", xkey, v.Time.Format(time.RFC3339Nano))
+		bw.printf("%s<date key=%q value=%q/>\n", indent, xkey, v.Time.Format(time.RFC3339Nano))
 	case eventlog.KindBool:
-		bw.printf("      <boolean key=%q value=\"%t\"/>\n", xkey, v.Bool)
+		bw.printf("%s<boolean key=%q value=\"%t\"/>\n", indent, xkey, v.Bool)
 	}
 }
 

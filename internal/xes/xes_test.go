@@ -112,6 +112,104 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTraceAndLogAttributeKinds pins the satellite fix: trace- and
+// log-level attributes of every kind (not just <string>) are captured on
+// read, survive a write/read round trip, and non-attribute header elements
+// are still skipped.
+func TestTraceAndLogAttributeKinds(t *testing.T) {
+	const src = `<?xml version="1.0" encoding="UTF-8"?>
+<log xes.version="1.0">
+  <extension name="Concept" prefix="concept" uri="http://www.xes-standard.org/concept.xesext"/>
+  <classifier name="Activity" keys="concept:name"/>
+  <string key="concept:name" value="attributed"/>
+  <date key="exported" value="2022-03-01T12:00:00Z"/>
+  <int key="version" value="7"/>
+  <trace>
+    <string key="concept:name" value="case-9"/>
+    <int key="priority" value="3"/>
+    <float key="amount" value="99.5"/>
+    <boolean key="escalated" value="true"/>
+    <date key="opened" value="2022-03-01T08:30:00Z"/>
+    <event>
+      <string key="concept:name" value="register"/>
+    </event>
+  </trace>
+</log>`
+	log, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Name != "attributed" {
+		t.Errorf("name = %q", log.Name)
+	}
+	if v := log.Attrs["exported"]; v.Kind != eventlog.KindTime || !v.Time.Equal(time.Date(2022, 3, 1, 12, 0, 0, 0, time.UTC)) {
+		t.Errorf("log exported = %+v", v)
+	}
+	if v := log.Attrs["version"]; v.Kind != eventlog.KindInt || v.Num != 7 {
+		t.Errorf("log version = %+v", v)
+	}
+	tr := &log.Traces[0]
+	if tr.ID != "case-9" {
+		t.Errorf("trace id = %q", tr.ID)
+	}
+	if v := tr.Attrs["priority"]; v.Kind != eventlog.KindInt || v.Num != 3 {
+		t.Errorf("priority = %+v", v)
+	}
+	if v := tr.Attrs["amount"]; v.Kind != eventlog.KindFloat || v.Num != 99.5 {
+		t.Errorf("amount = %+v", v)
+	}
+	if v := tr.Attrs["escalated"]; v.Kind != eventlog.KindBool || !v.Bool {
+		t.Errorf("escalated = %+v", v)
+	}
+	if v := tr.Attrs["opened"]; v.Kind != eventlog.KindTime {
+		t.Errorf("opened = %+v", v)
+	}
+	if _, ok := tr.Attrs[conceptName]; ok {
+		t.Error("concept:name leaked into trace attrs")
+	}
+	if len(log.Attrs) != 2 {
+		t.Errorf("log attrs = %+v (header elements must be skipped)", log.Attrs)
+	}
+
+	// Round trip: write and re-read, then compare every layer.
+	var buf bytes.Buffer
+	if err := Write(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-reading written log: %v\n%s", err, buf.String())
+	}
+	assertAttrsEqual(t, "log", log.Attrs, back.Attrs)
+	if len(back.Traces) != 1 || back.Traces[0].ID != "case-9" {
+		t.Fatalf("round-tripped traces = %+v", back.Traces)
+	}
+	assertAttrsEqual(t, "trace", tr.Attrs, back.Traces[0].Attrs)
+}
+
+func assertAttrsEqual(t *testing.T, layer string, want, got map[string]eventlog.Value) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s attrs: %d != %d (%+v vs %+v)", layer, len(got), len(want), got, want)
+	}
+	for k, wv := range want {
+		gv, ok := got[k]
+		if !ok {
+			t.Fatalf("%s attr %q lost in round trip", layer, k)
+		}
+		if gv.Kind != wv.Kind {
+			t.Fatalf("%s attr %q kind %v != %v", layer, k, gv.Kind, wv.Kind)
+		}
+		if wv.Kind == eventlog.KindTime {
+			if !gv.Time.Equal(wv.Time) {
+				t.Fatalf("%s attr %q time %v != %v", layer, k, gv.Time, wv.Time)
+			}
+		} else if gv != wv {
+			t.Fatalf("%s attr %q %+v != %+v", layer, k, gv, wv)
+		}
+	}
+}
+
 func TestTimestampFormats(t *testing.T) {
 	for _, s := range []string{
 		"2021-06-01T08:00:00Z",

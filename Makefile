@@ -8,10 +8,12 @@ MAX_REGRESS ?= 0.25
 # The one definition of the gate's measurement configs: bench, bench-gate and
 # bench-baseline all expand it, so the checked-in baseline cannot drift from
 # what the gate measures. -stream-bench adds the online abstractor's
-# per-arrival rows, so the gate also guards streaming cost regressions.
-BENCH_FLAGS = -table 6 -quick -stream-bench
+# per-arrival rows, so the gate also guards streaming cost regressions;
+# -index-bench adds columnar index build-throughput and bytes/event rows, so
+# it also guards the event-log core's memory layout.
+BENCH_FLAGS = -table 6 -quick -stream-bench -index-bench
 
-.PHONY: build test race vet fmt-check bench bench-gate bench-baseline serve examples all
+.PHONY: build test race vet staticcheck fmt-check bench bench-gate bench-baseline serve examples all
 
 all: build vet fmt-check test
 
@@ -26,6 +28,19 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. CI installs the pinned version below; locally
+# the target uses whatever staticcheck is on PATH and tells you how to get
+# one if none is found (it does not download anything itself, so offline
+# builds stay offline).
+STATICCHECK         ?= staticcheck
+STATICCHECK_VERSION ?= 2024.1.1
+staticcheck:
+	@command -v $(STATICCHECK) >/dev/null 2>&1 || { \
+		echo "staticcheck not found; install with:" >&2; \
+		echo "  go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)" >&2; \
+		exit 1; }
+	$(STATICCHECK) ./...
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

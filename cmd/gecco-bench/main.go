@@ -50,6 +50,7 @@ type benchReport struct {
 	Quick   bool              `json:"quick"`
 	Budget  int               `json:"budget"`
 	Stream  bool              `json:"streamBench"`
+	Index   bool              `json:"indexBench"`
 	GOOS    string            `json:"goos"`
 	GOARCH  string            `json:"goarch"`
 	NumCPU  int               `json:"numCPU"`
@@ -69,6 +70,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker threads per problem (0 = all cores, 1 = the paper's sequential runs)")
 		sessions   = flag.Bool("session-bench", false, "measure the fixed loan-log refinement sweep: cold (pipeline per set) vs warm (one session)")
 		streams    = flag.Bool("stream-bench", false, "measure the online abstractor's per-arrival cost at window sizes 200 and 2000 (rows feed -json/-baseline; fails if the cost is not flat in the window)")
+		indexes    = flag.Bool("index-bench", false, "measure columnar index construction: build throughput (events/s) and estimated bytes/event vs the pointer-heavy *Log (rows feed -json/-baseline; fails unless the index is at least 2x smaller)")
 		jsonOut    = flag.String("json", "", "write the measured rows as a JSON bench report to this file")
 		baseline   = flag.String("baseline", "", "compare the measured rows against this JSON bench report and fail on regression")
 		maxRegress = flag.Float64("max-regress", 0.25, "maximum tolerated per-config wall-time regression vs -baseline (0.25 = +25%)")
@@ -125,12 +127,21 @@ func main() {
 		}
 		measured = append(measured, rows...)
 	}
+	if *indexes {
+		rows, err := indexBench()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gecco-bench:", err)
+			os.Exit(1)
+		}
+		measured = append(measured, rows...)
+	}
 	if *jsonOut != "" {
 		report := benchReport{
 			Table:   *table,
 			Quick:   *quick,
 			Budget:  opts.MaxChecks,
 			Stream:  *streams,
+			Index:   *indexes,
 			GOOS:    runtime.GOOS,
 			GOARCH:  runtime.GOARCH,
 			NumCPU:  runtime.NumCPU(),
@@ -144,7 +155,7 @@ func main() {
 		fmt.Printf("bench report written to %s\n", *jsonOut)
 	}
 	if *baseline != "" {
-		current := benchReport{Table: *table, Quick: *quick, Budget: opts.MaxChecks, Stream: *streams, Workers: *workers}
+		current := benchReport{Table: *table, Quick: *quick, Budget: opts.MaxChecks, Stream: *streams, Index: *indexes, Workers: *workers}
 		if err := gate(*baseline, current, measured, *maxRegress); err != nil {
 			fmt.Fprintln(os.Stderr, "gecco-bench: REGRESSION GATE FAILED:", err)
 			os.Exit(1)
@@ -208,10 +219,10 @@ func gate(baselinePath string, current benchReport, measured []experiments.Row, 
 	// reporting a spurious verdict.
 	if base.Table != current.Table || base.Quick != current.Quick ||
 		base.Budget != current.Budget || base.Workers != current.Workers ||
-		base.Stream != current.Stream {
-		return fmt.Errorf("run settings (table=%s quick=%t budget=%d workers=%d stream=%t) do not match baseline (table=%s quick=%t budget=%d workers=%d stream=%t); rerun with the baseline's flags or regenerate it",
-			current.Table, current.Quick, current.Budget, current.Workers, current.Stream,
-			base.Table, base.Quick, base.Budget, base.Workers, base.Stream)
+		base.Stream != current.Stream || base.Index != current.Index {
+		return fmt.Errorf("run settings (table=%s quick=%t budget=%d workers=%d stream=%t index=%t) do not match baseline (table=%s quick=%t budget=%d workers=%d stream=%t index=%t); rerun with the baseline's flags or regenerate it",
+			current.Table, current.Quick, current.Budget, current.Workers, current.Stream, current.Index,
+			base.Table, base.Quick, base.Budget, base.Workers, base.Stream, base.Index)
 	}
 	if base.GOOS != runtime.GOOS || base.GOARCH != runtime.GOARCH || base.NumCPU != runtime.NumCPU() {
 		fmt.Printf("gate WARNING: baseline recorded on %s/%s numCPU=%d, this run is %s/%s numCPU=%d — wall-times are only roughly comparable\n",
@@ -249,6 +260,14 @@ func gate(baselinePath string, current benchReport, measured []experiments.Row, 
 		if math.Abs(got.Dist-b.Dist) > 1e-6 {
 			fmt.Printf("gate %-14s WARNING: mean distance %.6f differs from baseline %.6f — pipeline output changed\n",
 				b.Label, got.Dist, b.Dist)
+		}
+		// Memory gate: index-bench rows also carry bytes/event. Unlike
+		// wall-time it is deterministic, so no absolute slack is needed.
+		if b.BytesPerEvent > 0 && got.BytesPerEvent > b.BytesPerEvent*(1+maxRegress) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.1f bytes/event vs baseline %.1f (%.0f%% over)",
+					b.Label, got.BytesPerEvent, b.BytesPerEvent,
+					(got.BytesPerEvent/b.BytesPerEvent-1)*100))
 		}
 	}
 	if len(missing) > 0 {
@@ -404,6 +423,51 @@ func streamBench(opts experiments.Options) ([]experiments.Row, error) {
 	// ratio (10×).
 	if ratio > 3 {
 		return nil, fmt.Errorf("per-arrival cost is not flat in the window size: %.2fx at 10x the window", ratio)
+	}
+	return rows, nil
+}
+
+// indexBench measures the columnar event-log core: how fast NewIndex turns
+// a parsed *Log into the arena-plus-columns layout (events/second), and how
+// much smaller that layout is than the pointer-heavy Log it replaces
+// (estimated bytes/event, same allocation model on both sides — see
+// eventlog.EstimateLogBytes). The rows feed the -json report and the
+// -baseline gate; the ≥2x size improvement the columnar refactor exists for
+// is asserted here directly, so a layout regression fails even before a
+// baseline comparison.
+func indexBench() ([]experiments.Row, error) {
+	const reps = 5
+	benchLogs := []*eventlog.Log{
+		procgen.LoanLog(1000, 17),
+		procgen.RunningExample(2000, 7),
+	}
+	fmt.Println("columnar index — build throughput and footprint:")
+	rows := make([]experiments.Row, 0, len(benchLogs))
+	for _, log := range benchLogs {
+		events := log.NumEvents()
+		start := time.Now()
+		var x *eventlog.Index
+		for r := 0; r < reps; r++ {
+			x = eventlog.NewIndex(log)
+		}
+		elapsed := time.Since(start)
+		idxBytes := x.EstimatedBytes()
+		logBytes := eventlog.EstimateLogBytes(log)
+		perEvent := float64(idxBytes) / float64(events)
+		naivePerEvent := float64(logBytes) / float64(events)
+		evPerSec := float64(reps*events) / elapsed.Seconds()
+		fmt.Printf("  %-22s %8.2f Mevents/s build   %6.1f bytes/event (log: %6.1f, %4.1fx smaller)\n",
+			log.Name, evPerSec/1e6, perEvent, naivePerEvent, naivePerEvent/perEvent)
+		if float64(idxBytes)*2 > float64(logBytes) {
+			return nil, fmt.Errorf("index of %s is only %.2fx smaller than the log (%d vs %d bytes); the columnar layout must stay >= 2x smaller",
+				log.Name, naivePerEvent/perEvent, idxBytes, logBytes)
+		}
+		rows = append(rows, experiments.Row{
+			Label:         "Index/" + log.Name,
+			Seconds:       elapsed.Seconds(),
+			N:             reps * events,
+			BytesPerEvent: perEvent,
+		})
 	}
 	return rows, nil
 }

@@ -160,7 +160,9 @@ type Session struct {
 }
 
 // NewSession indexes the log and freezes the constraint-independent
-// artifacts. The log must not be mutated while the session is in use.
+// artifacts into a self-contained columnar store. The session keeps no
+// reference to the log: callers may release (or mutate) it once NewSession
+// returns — later mutations are not reflected in the session.
 func NewSession(log *Log) (*Session, error) {
 	s, err := core.NewSession(log)
 	if err != nil {
@@ -169,7 +171,11 @@ func NewSession(log *Log) (*Session, error) {
 	return &Session{s: s}, nil
 }
 
-// Log returns the log the session is bound to.
+// Log returns a log equivalent to the one the session was built from (same
+// name, trace ids, event order and attribute values, serialising
+// byte-identically) — not the original *Log pointer, which the session
+// releases at construction. The copy is materialised from the columnar
+// index on first use and cached for the session's lifetime.
 func (s *Session) Log() *Log { return s.s.Log() }
 
 // Solve runs the pipeline on the session's log under textual constraints.

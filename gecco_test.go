@@ -37,8 +37,17 @@ func TestPublicAPISession(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sess.Log() != log {
-		t.Fatal("Log() should return the bound log")
+	// The session releases the parsed log at construction; Log() materialises
+	// an equivalent one that must serialise byte-identically.
+	var orig, materialised bytes.Buffer
+	if err := gecco.WriteXES(&orig, log); err != nil {
+		t.Fatal(err)
+	}
+	if err := gecco.WriteXES(&materialised, sess.Log()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig.Bytes(), materialised.Bytes()) {
+		t.Fatal("Log() must serialise identically to the log the session was built from")
 	}
 	cfg := gecco.Config{Mode: gecco.ModeDFGUnbounded}
 	first, err := sess.Solve("distinct(role) <= 1", cfg)

@@ -85,9 +85,10 @@ func Apply(x *eventlog.Index, grouping Grouping, strategy Strategy, policy insta
 		}
 	}
 
-	out := &eventlog.Log{Name: x.Log.Name + " (abstracted)"}
-	for t := range x.Log.Traces {
-		src := &x.Log.Traces[t]
+	out := &eventlog.Log{Name: x.Name + " (abstracted)"}
+	timeCol := x.Column(eventlog.AttrTimestamp)
+	for t := 0; t < x.NumTraces(); t++ {
+		base := x.TraceStart(t)
 		// Collect all activity instances of all groups in this trace
 		// (I_σ = union over groups of inst(σ, g)).
 		type marker struct {
@@ -110,11 +111,13 @@ func Apply(x *eventlog.Index, grouping Grouping, strategy Strategy, policy insta
 			}
 		}
 		sort.Slice(markers, func(i, j int) bool { return markers[i].pos < markers[j].pos })
-		tr := eventlog.Trace{ID: src.ID, Events: make([]eventlog.Event, 0, len(markers))}
+		tr := eventlog.Trace{ID: x.TraceID(t), Events: make([]eventlog.Event, 0, len(markers))}
 		for _, m := range markers {
 			ev := eventlog.Event{Class: grouping.Names[m.group] + m.kind}
-			if ts, ok := src.Events[m.src].Timestamp(); ok {
-				ev.SetAttr(eventlog.AttrTimestamp, eventlog.Time(ts))
+			if timeCol != nil {
+				if ts, ok := timeCol.Time(base + m.src); ok {
+					ev.SetAttr(eventlog.AttrTimestamp, eventlog.Time(ts))
+				}
 			}
 			// XES-standard lifecycle annotation alongside the suffix, so
 			// exported logs interoperate with lifecycle-aware tooling.

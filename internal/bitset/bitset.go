@@ -23,6 +23,22 @@ func New(n int) Set {
 	return Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
 }
 
+// GrowAdd inserts i, growing the set's capacity as needed — for builders
+// that accumulate membership before the universe size is known. Unlike Add
+// it may reallocate the backing words, so it needs a pointer receiver and
+// must not be used on a set that other Set values alias.
+func (s *Set) GrowAdd(i int) {
+	w := i / wordBits
+	for len(s.words) <= w {
+		s.words = append(s.words, 0)
+	}
+	s.words[w] |= 1 << (uint(i) % wordBits)
+}
+
+// Bytes returns the heap footprint of the set's backing words, for memory
+// accounting.
+func (s Set) Bytes() int { return len(s.words) * 8 }
+
 // FromSlice returns a set over [0, n) containing the given elements.
 func FromSlice(n int, elems []int) Set {
 	s := New(n)

@@ -8,6 +8,7 @@ package constraints
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"gecco/internal/bitset"
 	"gecco/internal/eventlog"
@@ -342,40 +343,38 @@ func (c InstanceAggregate) String() string {
 	return fmt.Sprintf("%s(%s) %s %g", c.AggFn, c.Attr, c.Op, c.Threshold)
 }
 
-// holdsOne checks the constraint for a single instance.
-func (c InstanceAggregate) holdsOne(ctx *InstanceContext, inst *instances.Instance) bool {
-	tr := &ctx.X.Log.Traces[inst.Trace]
+// holdsOne checks the constraint for a single instance, reading the
+// attribute's column at the instance's global event positions — typed array
+// loads gated by a presence bitset, no per-event map probe.
+func (c InstanceAggregate) holdsOne(ctx *InstanceContext, col *eventlog.Column, inst *instances.Instance) bool {
+	base := ctx.X.TraceStart(inst.Trace)
 	switch c.AggFn {
 	case Count:
 		return c.Op.Cmp(float64(len(inst.Positions)), c.Threshold)
 	case Distinct:
-		seen := make(map[string]struct{}, len(inst.Positions))
-		for _, pos := range inst.Positions {
-			if v, ok := tr.Events[pos].Attrs[c.Attr]; ok {
-				seen[v.AsString()] = struct{}{}
-			}
-		}
-		return c.Op.Cmp(float64(len(seen)), c.Threshold)
+		return c.Op.Cmp(float64(distinctValues(col, base, inst.Positions)), c.Threshold)
 	}
 	sum, n := 0.0, 0
 	mn, mx := 0.0, 0.0
-	for _, pos := range inst.Positions {
-		v, ok := tr.Events[pos].Attrs[c.Attr]
-		if !ok || !v.IsNumeric() {
-			continue
-		}
-		if n == 0 {
-			mn, mx = v.Num, v.Num
-		} else {
-			if v.Num < mn {
-				mn = v.Num
+	if col != nil {
+		for _, pos := range inst.Positions {
+			v, ok := col.Num(base + pos)
+			if !ok {
+				continue
 			}
-			if v.Num > mx {
-				mx = v.Num
+			if n == 0 {
+				mn, mx = v, v
+			} else {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
 			}
+			sum += v
+			n++
 		}
-		sum += v.Num
-		n++
 	}
 	if n == 0 {
 		return true // no values: vacuously satisfied
@@ -393,9 +392,58 @@ func (c InstanceAggregate) holdsOne(ctx *InstanceContext, inst *instances.Instan
 	return true
 }
 
+// distinctValues counts the distinct categorical keys of the attribute over
+// the instance's events. Pure-string columns compare dictionary codes with a
+// linear scan over the (small) instance — no string hashing at all; other
+// columns fall back to AsString-equivalent keys.
+func distinctValues(col *eventlog.Column, base int, positions []int) int {
+	if col == nil {
+		return 0
+	}
+	if col.StringsOnly() {
+		if len(positions) <= 64 {
+			// Typical instances are short: a linear scan over seen codes
+			// beats any hashing.
+			codes := make([]uint32, 0, len(positions))
+			for _, pos := range positions {
+				code, ok := col.Code(base + pos)
+				if !ok {
+					continue
+				}
+				dup := false
+				for _, seen := range codes {
+					if seen == code {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					codes = append(codes, code)
+				}
+			}
+			return len(codes)
+		}
+		seen := make(map[uint32]struct{}, len(positions))
+		for _, pos := range positions {
+			if code, ok := col.Code(base + pos); ok {
+				seen[code] = struct{}{}
+			}
+		}
+		return len(seen)
+	}
+	seen := make(map[string]struct{}, len(positions))
+	for _, pos := range positions {
+		if key, ok := col.Key(base + pos); ok {
+			seen[key] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
 func (c InstanceAggregate) HoldsInstances(ctx *InstanceContext, _ bitset.Set, insts []instances.Instance) bool {
+	col := ctx.X.Column(c.Attr)
 	for i := range insts {
-		if !c.holdsOne(ctx, &insts[i]) {
+		if !c.holdsOne(ctx, col, &insts[i]) {
 			return false
 		}
 	}
@@ -411,20 +459,24 @@ func (MaxGap) Monotonicity() Monotonicity { return AntiMonotonic }
 func (c MaxGap) String() string           { return fmt.Sprintf("gap <= %g", c.Seconds) }
 
 func (c MaxGap) HoldsInstances(ctx *InstanceContext, _ bitset.Set, insts []instances.Instance) bool {
+	col := ctx.X.Column(eventlog.AttrTimestamp)
+	if col == nil {
+		return true
+	}
 	for i := range insts {
 		inst := &insts[i]
-		tr := &ctx.X.Log.Traces[inst.Trace]
-		var prev eventlog.Value
+		base := ctx.X.TraceStart(inst.Trace)
+		var prev time.Time
 		havePrev := false
 		for _, pos := range inst.Positions {
-			v, ok := tr.Events[pos].Attrs[eventlog.AttrTimestamp]
-			if !ok || v.Kind != eventlog.KindTime {
+			t, ok := col.Time(base + pos)
+			if !ok {
 				continue
 			}
-			if havePrev && v.Time.Sub(prev.Time).Seconds() > c.Seconds {
+			if havePrev && t.Sub(prev).Seconds() > c.Seconds {
 				return false
 			}
-			prev, havePrev = v, true
+			prev, havePrev = t, true
 		}
 	}
 	return true
@@ -494,8 +546,12 @@ func (c InstanceSpan) Monotonicity() Monotonicity { return boundMonotonicity(c.O
 func (c InstanceSpan) String() string             { return fmt.Sprintf("span %s %g", c.Op, c.Seconds) }
 
 func (c InstanceSpan) HoldsInstances(ctx *InstanceContext, _ bitset.Set, insts []instances.Instance) bool {
+	col := ctx.X.Column(eventlog.AttrTimestamp)
+	if col == nil {
+		return true
+	}
 	for i := range insts {
-		if s, ok := spanSeconds(ctx, &insts[i]); ok && !c.Op.Cmp(s, c.Seconds) {
+		if s, ok := spanSeconds(ctx.X, col, &insts[i]); ok && !c.Op.Cmp(s, c.Seconds) {
 			return false
 		}
 	}
@@ -515,9 +571,13 @@ func (AvgInstanceSpan) Monotonicity() Monotonicity { return NonMonotonic }
 func (c AvgInstanceSpan) String() string           { return fmt.Sprintf("avgspan %s %g", c.Op, c.Seconds) }
 
 func (c AvgInstanceSpan) HoldsInstances(ctx *InstanceContext, _ bitset.Set, insts []instances.Instance) bool {
+	col := ctx.X.Column(eventlog.AttrTimestamp)
+	if col == nil {
+		return true
+	}
 	sum, n := 0.0, 0
 	for i := range insts {
-		if s, ok := spanSeconds(ctx, &insts[i]); ok {
+		if s, ok := spanSeconds(ctx.X, col, &insts[i]); ok {
 			sum += s
 			n++
 		}
@@ -528,11 +588,14 @@ func (c AvgInstanceSpan) HoldsInstances(ctx *InstanceContext, _ bitset.Set, inst
 	return c.Op.Cmp(sum/float64(n), c.Seconds)
 }
 
-func spanSeconds(ctx *InstanceContext, inst *instances.Instance) (float64, bool) {
-	tr := &ctx.X.Log.Traces[inst.Trace]
+// spanSeconds computes the instance's wall-clock duration from the
+// timestamp column; callers resolve (and nil-check) the column once per
+// constraint check, not per instance.
+func spanSeconds(x *eventlog.Index, col *eventlog.Column, inst *instances.Instance) (float64, bool) {
+	base := x.TraceStart(inst.Trace)
 	first, last := inst.Span()
-	tf, okF := tr.Events[first].Timestamp()
-	tl, okL := tr.Events[last].Timestamp()
+	tf, okF := col.Time(base + first)
+	tl, okL := col.Time(base + last)
 	if !okF || !okL {
 		return 0, false
 	}

@@ -147,7 +147,10 @@ func RunContext(ctx context.Context, log *eventlog.Log, set *constraints.Set, cf
 	if err != nil {
 		return nil, err
 	}
-	return s.Solve(ctx, set, cfg)
+	// Passing the log through preserves the historical contract that an
+	// infeasible one-shot run returns the caller's exact *Log — without the
+	// session materialising a copy only to have it discarded.
+	return s.solve(ctx, set, cfg, log)
 }
 
 // sortByFirstOccurrence orders groups by the position at which any of their
@@ -159,10 +162,10 @@ func sortByFirstOccurrence(x *eventlog.Index, groups []bitset.Set) {
 		first[i] = 1 << 30
 	}
 	pos := 0
-	for _, seq := range x.Seqs {
-		for _, c := range seq {
+	for t := 0; t < x.NumTraces(); t++ {
+		for _, c := range x.Seq(t) {
 			for gi, g := range groups {
-				if first[gi] > pos && g.Contains(c) {
+				if first[gi] > pos && g.Contains(int(c)) {
 					first[gi] = pos
 				}
 			}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gecco/internal/abstraction"
@@ -36,8 +37,13 @@ import (
 // artifacts behind sharded locks, and because every memoised value is a
 // deterministic function of the log alone, sharing never changes results —
 // only how often they are recomputed.
+//
+// A Session does not retain the *Log it was built from: the columnar Index
+// is self-contained (class arena, attribute columns, trace ids and
+// attributes), so once NewSession returns, the pointer-heavy parsed log is
+// garbage-collectable — which is what keeps the serving layer's session and
+// stream LRUs small. Log() materialises an equivalent log on demand.
 type Session struct {
-	log   *eventlog.Log
 	x     *eventlog.Index
 	graph *dfg.Graph
 	attrs *constraints.AttrCache
@@ -47,27 +53,64 @@ type Session struct {
 	// session's lifetime and is shared across all solves under that policy.
 	mu    sync.Mutex
 	calcs map[instances.Policy]*distance.Calc
+
+	// indexBytes is the index footprint, computed once at construction so
+	// EstimatedBytes is O(1) — /stats polls it for every live session.
+	indexBytes int64
+
+	logOnce sync.Once
+	logCopy *eventlog.Log
+	// logBytes is the estimated footprint of the materialised log copy
+	// (zero until Log is first called); it counts towards EstimatedBytes so
+	// the serving layer's accounting reflects what the session really pins.
+	logBytes atomic.Int64
 }
 
 // NewSession indexes the log and builds its DFG — the expensive
-// constraint-independent phase. The log must not be mutated afterwards; the
-// session aliases it.
+// constraint-independent phase. The session keeps no reference to the log;
+// callers may release it once NewSession returns.
 func NewSession(log *eventlog.Log) (*Session, error) {
 	if len(log.Traces) == 0 {
 		return nil, fmt.Errorf("core: empty log")
 	}
-	x := eventlog.NewIndex(log)
+	return NewSessionFromIndex(eventlog.NewIndex(log))
+}
+
+// NewSessionFromIndex builds a session directly on a columnar index — the
+// entry point for loaders that stream into an eventlog.Builder without ever
+// materialising a *Log. The index must not be mutated afterwards.
+func NewSessionFromIndex(x *eventlog.Index) (*Session, error) {
+	if x.NumTraces() == 0 {
+		return nil, fmt.Errorf("core: empty log")
+	}
 	return &Session{
-		log:   log,
-		x:     x,
-		graph: dfg.Build(x),
-		attrs: constraints.NewAttrCache(x),
-		calcs: make(map[instances.Policy]*distance.Calc),
+		x:          x,
+		graph:      dfg.Build(x),
+		attrs:      constraints.NewAttrCache(x),
+		calcs:      make(map[instances.Policy]*distance.Calc),
+		indexBytes: x.EstimatedBytes(),
 	}, nil
 }
 
-// Log returns the log the session is bound to.
-func (s *Session) Log() *eventlog.Log { return s.log }
+// Log returns a log equivalent to the one the session was built from —
+// same name, trace ids, event order, and attribute values, serialising
+// byte-identically — materialised from the index on first use and cached
+// for the session's lifetime. (The original *Log is released at
+// construction; see the Session doc.)
+func (s *Session) Log() *eventlog.Log {
+	s.logOnce.Do(func() {
+		s.logCopy = s.x.ReconstructLog()
+		s.logBytes.Store(eventlog.EstimateLogBytes(s.logCopy))
+	})
+	return s.logCopy
+}
+
+// EstimatedBytes reports the approximate heap footprint the session pins:
+// the columnar index (arenas, offset tables, bitsets, attribute columns and
+// dictionaries) plus, once an infeasible solve or a Log() call has
+// materialised the log copy, that copy too. Both components are computed
+// once, so this is O(1) — the serving layer polls it for /stats.
+func (s *Session) EstimatedBytes() int64 { return s.indexBytes + s.logBytes.Load() }
 
 // Index returns the session's interned view of the log.
 func (s *Session) Index() *eventlog.Index { return s.x }
@@ -114,6 +157,14 @@ func (s *Session) MemoSize() int {
 // computed. Per-solve accounting (ConstraintChecks, timings) starts from
 // zero on every call.
 func (s *Session) Solve(ctx context.Context, set *constraints.Set, cfg Config) (*Result, error) {
+	return s.solve(ctx, set, cfg, nil)
+}
+
+// solve is Solve with an optional original log: one-shot callers
+// (RunContext) still hold the *Log the session was built from and pass it
+// through, so an infeasible run returns that exact pointer instead of
+// paying for a materialised copy the caller would discard.
+func (s *Session) solve(ctx context.Context, set *constraints.Set, cfg Config, origLog *eventlog.Log) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -271,10 +322,16 @@ func (s *Session) Solve(ctx context.Context, set *constraints.Set, cfg Config) (
 	if !res.Feasible {
 		if !cfg.GroupingOnly {
 			// The paper's offline prescription: infeasible runs return the
-			// original log. Grouping-only callers consume no log at all, and
-			// skipping the alias keeps cached window results from pinning
-			// window memory.
-			out.Abstracted = s.log
+			// original log — the caller's own when it still holds one,
+			// otherwise materialised once from the index (the session no
+			// longer retains the parsed log). Grouping-only callers consume
+			// no log at all, and skipping it keeps cached window results
+			// from pinning window memory.
+			if origLog != nil {
+				out.Abstracted = origLog
+			} else {
+				out.Abstracted = s.Log()
+			}
 		}
 		out.Diagnostics = ev.Diagnose()
 		return out, nil

@@ -161,3 +161,68 @@ func TestSessionSolveCancelled(t *testing.T) {
 		t.Fatal("Solve under a cancelled context should fail")
 	}
 }
+
+// TestSessionFromIndexMatchesNewSession pins the loader-direct entry point:
+// a session built on an index streamed through eventlog.Builder solves
+// identically to one built from the equivalent *Log.
+func TestSessionFromIndexMatchesNewSession(t *testing.T) {
+	m := procgen.RunningExampleModel()
+	log := m.Simulate(60, 3)
+	fromLog, err := NewSession(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromIndex, err := NewSessionFromIndex(m.SimulateIndex(60, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := sessionSet(t, "distinct(role) <= 1")
+	cfg := Config{Mode: DFGUnbounded}
+	a, err := fromLog.Solve(context.Background(), set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fromIndex.Solve(context.Background(), set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resultFingerprint(a), resultFingerprint(b)) {
+		t.Fatalf("index-built session diverged: %v vs %v", resultFingerprint(b), resultFingerprint(a))
+	}
+	if _, err := NewSessionFromIndex(eventlog.NewIndex(&eventlog.Log{})); err == nil {
+		t.Fatal("expected empty-log error")
+	}
+}
+
+// TestSessionInfeasibleMaterialisesLog: the session releases the parsed log,
+// so an infeasible solve returns the materialised equivalent — same traces,
+// classes, and event count — and repeated infeasible solves share the one
+// materialisation.
+func TestSessionInfeasibleMaterialisesLog(t *testing.T) {
+	log := procgen.RunningExampleTable1()
+	sess, err := NewSession(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := sessionSet(t, "|g| <= 1\n|G| <= 3")
+	res, err := sess.Solve(context.Background(), set, Config{Mode: Exhaustive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("expected infeasible")
+	}
+	if res.Abstracted == nil || res.Abstracted == log {
+		t.Fatal("infeasible session solve must return a materialised log, not nil or the alias")
+	}
+	if res.Abstracted.NumEvents() != log.NumEvents() || len(res.Abstracted.Traces) != len(log.Traces) {
+		t.Fatal("materialised log shape differs from the original")
+	}
+	res2, err := sess.Solve(context.Background(), set, Config{Mode: Exhaustive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Abstracted != res.Abstracted {
+		t.Fatal("repeated infeasible solves must share the memoised materialisation")
+	}
+}

@@ -37,15 +37,27 @@ func (o *Options) withDefaults() Options {
 	return out
 }
 
-// Read parses CSV event data into a Log. Rows are grouped into traces by the
-// case column, preserving row order within each case.
-func Read(r io.Reader, opts Options) (*eventlog.Log, error) {
+// attrKV is one parsed attribute of a CSV row.
+type attrKV struct {
+	name string
+	v    eventlog.Value
+}
+
+// row is one parsed event row, grouped by case before emission.
+type row struct {
+	class string
+	attrs []attrKV
+}
+
+// readRows parses the CSV body into per-case event rows, preserving row
+// order within each case and first-appearance order across cases.
+func readRows(r io.Reader, opts Options) (caseOrder []string, byCase map[string][]row, err error) {
 	opts = opts.withDefaults()
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("csvlog: read header: %w", err)
+		return nil, nil, fmt.Errorf("csvlog: read header: %w", err)
 	}
 	col := make(map[string]int, len(header))
 	for i, h := range header {
@@ -53,28 +65,27 @@ func Read(r io.Reader, opts Options) (*eventlog.Log, error) {
 	}
 	caseIdx, ok := col[opts.CaseColumn]
 	if !ok {
-		return nil, fmt.Errorf("csvlog: missing case column %q", opts.CaseColumn)
+		return nil, nil, fmt.Errorf("csvlog: missing case column %q", opts.CaseColumn)
 	}
 	actIdx, ok := col[opts.ActivityColumn]
 	if !ok {
-		return nil, fmt.Errorf("csvlog: missing activity column %q", opts.ActivityColumn)
+		return nil, nil, fmt.Errorf("csvlog: missing activity column %q", opts.ActivityColumn)
 	}
 
-	byCase := make(map[string][]eventlog.Event)
-	var caseOrder []string
+	byCase = make(map[string][]row)
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("csvlog: line %d: %w", line, err)
+			return nil, nil, fmt.Errorf("csvlog: line %d: %w", line, err)
 		}
 		if caseIdx >= len(rec) || actIdx >= len(rec) {
-			return nil, fmt.Errorf("csvlog: line %d: too few fields", line)
+			return nil, nil, fmt.Errorf("csvlog: line %d: too few fields", line)
 		}
 		caseID := rec[caseIdx]
-		ev := eventlog.Event{Class: rec[actIdx]}
+		ev := row{class: rec[actIdx]}
 		for i, h := range header {
 			if i == caseIdx || i == actIdx || i >= len(rec) || rec[i] == "" {
 				continue
@@ -83,18 +94,59 @@ func Read(r io.Reader, opts Options) (*eventlog.Log, error) {
 			if h == opts.TimeColumn {
 				name = eventlog.AttrTimestamp
 			}
-			ev.SetAttr(name, inferValue(rec[i]))
+			ev.attrs = append(ev.attrs, attrKV{name: name, v: inferValue(rec[i])})
 		}
 		if _, seen := byCase[caseID]; !seen {
 			caseOrder = append(caseOrder, caseID)
 		}
 		byCase[caseID] = append(byCase[caseID], ev)
 	}
+	return caseOrder, byCase, nil
+}
+
+// Read parses CSV event data into a Log. Rows are grouped into traces by the
+// case column, preserving row order within each case.
+func Read(r io.Reader, opts Options) (*eventlog.Log, error) {
+	caseOrder, byCase, err := readRows(r, opts)
+	if err != nil {
+		return nil, err
+	}
 	log := &eventlog.Log{}
 	for _, id := range caseOrder {
-		log.Traces = append(log.Traces, eventlog.Trace{ID: id, Events: byCase[id]})
+		rows := byCase[id]
+		tr := eventlog.Trace{ID: id, Events: make([]eventlog.Event, len(rows))}
+		for i, rw := range rows {
+			tr.Events[i].Class = rw.class
+			for _, a := range rw.attrs {
+				tr.Events[i].SetAttr(a.name, a.v)
+			}
+		}
+		log.Traces = append(log.Traces, tr)
 	}
 	return log, nil
+}
+
+// ReadIndex parses CSV event data straight into a columnar eventlog.Index,
+// feeding an eventlog.Builder trace by trace (rows are buffered per case
+// first, since CSV rows of different cases may interleave). The result is
+// identical to eventlog.NewIndex(Read(r, opts)) without the intermediate
+// *Log's per-event attribute maps.
+func ReadIndex(r io.Reader, opts Options) (*eventlog.Index, error) {
+	caseOrder, byCase, err := readRows(r, opts)
+	if err != nil {
+		return nil, err
+	}
+	b := eventlog.NewBuilder()
+	for _, id := range caseOrder {
+		b.StartTrace(id)
+		for _, rw := range byCase[id] {
+			b.AddEvent(rw.class)
+			for _, a := range rw.attrs {
+				b.SetEventAttr(a.name, a.v)
+			}
+		}
+	}
+	return b.Build(), nil
 }
 
 func inferValue(s string) eventlog.Value {

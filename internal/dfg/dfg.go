@@ -42,7 +42,8 @@ func Build(x *eventlog.Index) *Graph {
 	for a := range g.Freq {
 		g.Freq[a] = make([]int, n)
 	}
-	for _, seq := range x.Seqs {
+	for t := 0; t < x.NumTraces(); t++ {
+		seq := x.Seq(t)
 		if len(seq) == 0 {
 			continue
 		}

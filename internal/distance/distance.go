@@ -68,7 +68,7 @@ func (c *Calc) Group(g bitset.Set) float64 {
 // the floating-point result is bit-identical no matter how many workers
 // evaluate the variants.
 func (c *Calc) compute(g bitset.Set) float64 {
-	nv := len(c.X.VariantSeqs)
+	nv := c.X.NumVariants()
 	sum := 0.0
 	numInsts := 0
 	if c.workers > 1 && nv >= parallelVariantThreshold {
@@ -101,14 +101,14 @@ func (c *Calc) variantTerm(g bitset.Set, v int) (sum float64, numInsts int) {
 	if !c.X.VariantClasses[v].Intersects(g) {
 		return 0, 0
 	}
-	seq := c.X.VariantSeqs[v]
+	seq := c.X.VariantSeq(v)
 	size := float64(g.Len())
 	weight := float64(c.X.VariantCount[v])
 	for _, positions := range instances.Segments(seq, c.X.NumClasses(), g, c.Policy) {
 		first, last := positions[0], positions[len(positions)-1]
 		interrupts := (last - first + 1) - len(positions)
 		present := 0
-		seen := make(map[int]struct{}, len(positions))
+		seen := make(map[uint32]struct{}, len(positions))
 		for _, pos := range positions {
 			if _, ok := seen[seq[pos]]; !ok {
 				seen[seq[pos]] = struct{}{}

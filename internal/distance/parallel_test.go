@@ -40,8 +40,8 @@ func manyVariantLog(nVariants int) *eventlog.Log {
 func TestParallelVariantLoopBitIdentical(t *testing.T) {
 	log := manyVariantLog(4 * parallelVariantThreshold)
 	x := eventlog.NewIndex(log)
-	if len(x.VariantSeqs) < parallelVariantThreshold {
-		t.Fatalf("fixture has %d variants, need >= %d", len(x.VariantSeqs), parallelVariantThreshold)
+	if x.NumVariants() < parallelVariantThreshold {
+		t.Fatalf("fixture has %d variants, need >= %d", x.NumVariants(), parallelVariantThreshold)
 	}
 	seq := NewCalc(x, instances.SplitOnRepeat)
 	parc := NewCalc(x, instances.SplitOnRepeat)

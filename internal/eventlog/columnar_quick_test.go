@@ -1,0 +1,101 @@
+package eventlog_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"gecco/internal/eventlog"
+	"gecco/internal/procgen"
+)
+
+// naiveClassAttrValues is the straightforward per-event map scan the
+// columnar ClassAttrValues replaced: probe every event's attribute map and
+// collect AsString keys per class.
+func naiveClassAttrValues(log *eventlog.Log, x *eventlog.Index, attr string) []map[string]struct{} {
+	out := make([]map[string]struct{}, x.NumClasses())
+	for c := range out {
+		out[c] = make(map[string]struct{})
+	}
+	for t := range log.Traces {
+		for j := range log.Traces[t].Events {
+			ev := &log.Traces[t].Events[j]
+			if v, ok := ev.Attrs[attr]; ok {
+				out[x.ClassID[ev.Class]][v.AsString()] = struct{}{}
+			}
+		}
+	}
+	return out
+}
+
+// TestColumnarMatchesNaiveScan is the property test for the columnar
+// refactor: over randomly seeded procgen logs, the column-backed reads —
+// ClassAttrValues and every per-event attribute access (Value, Num, Key,
+// presence) — must agree exactly with a per-event scan of the original
+// log's attribute maps.
+func TestColumnarMatchesNaiveScan(t *testing.T) {
+	attrs := []string{
+		eventlog.AttrRole, eventlog.AttrOrg, eventlog.AttrDuration,
+		eventlog.AttrCost, eventlog.AttrTimestamp, "doc", "absent-attr",
+	}
+	check := func(seed int64, traces uint8) bool {
+		n := int(traces%40) + 1
+		log := procgen.LoanLog(n, seed)
+		x := eventlog.NewIndex(log)
+
+		for _, attr := range attrs {
+			if !reflect.DeepEqual(x.ClassAttrValues(attr), naiveClassAttrValues(log, x, attr)) {
+				t.Logf("seed=%d n=%d: ClassAttrValues(%q) diverged", seed, n, attr)
+				return false
+			}
+		}
+
+		for tr := range log.Traces {
+			base := x.TraceStart(tr)
+			for j := range log.Traces[tr].Events {
+				ev := &log.Traces[tr].Events[j]
+				pos := base + j
+				if x.Classes[x.Seq(tr)[j]] != ev.Class {
+					t.Logf("seed=%d: class mismatch at (%d,%d)", seed, tr, j)
+					return false
+				}
+				for _, attr := range attrs {
+					want, wantOK := ev.Attrs[attr]
+					col := x.Column(attr)
+					if col == nil {
+						if wantOK {
+							t.Logf("seed=%d: column %q missing", seed, attr)
+							return false
+						}
+						continue
+					}
+					got, gotOK := col.Value(pos)
+					if gotOK != wantOK || got != want {
+						t.Logf("seed=%d: Value(%q) at (%d,%d): got %v,%v want %v,%v",
+							seed, attr, tr, j, got, gotOK, want, wantOK)
+						return false
+					}
+					if !wantOK {
+						continue
+					}
+					if key, ok := col.Key(pos); !ok || key != want.AsString() {
+						t.Logf("seed=%d: Key(%q) at (%d,%d) = %q, want %q",
+							seed, attr, tr, j, key, want.AsString())
+						return false
+					}
+					num, numOK := col.Num(pos)
+					if numOK != want.IsNumeric() || (numOK && num != want.Num) {
+						t.Logf("seed=%d: Num(%q) at (%d,%d) diverged", seed, attr, tr, j)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 12, Rand: rand.New(rand.NewSource(99))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,8 +1,17 @@
 // Package eventlog defines the event model of GECCO (§III-A of the paper):
 // events with a class and typed context attributes, traces as event
-// sequences, and logs as collections of traces. It also provides an indexed
-// view of a log in which event classes are interned as small integers, which
-// the candidate-computation and distance machinery operates on.
+// sequences, and logs as collections of traces — plus the columnar Index
+// every inner loop operates on. The Log/Trace/Event types remain the public
+// construction and round-tripping API; the Index interns event classes as
+// dense integers in a flat trace-major arena, interns attribute names, and
+// stores attribute values in per-attribute Columns (typed arrays gated by
+// presence bitsets, with dictionary-encoded strings), so candidate
+// computation, constraint checking, and the Eq. 1 distance never touch a
+// map[string]Value per event. An Index is self-contained: it carries the
+// log name, trace ids and trace/log attributes, and can reconstruct an
+// equivalent Log, letting long-lived holders release the original. Build an
+// Index from a Log with NewIndex, or stream one directly from a loader with
+// Builder.
 package eventlog
 
 import (
@@ -53,15 +62,27 @@ func Bool(b bool) Value { return Value{Kind: KindBool, Bool: b} }
 func (v Value) IsNumeric() bool { return v.Kind == KindFloat || v.Kind == KindInt }
 
 // AsString renders the value for use as a categorical key (silently lossy
-// for numerics, which use the shortest round-trippable decimal form —
+// for floats, which use the shortest round-trippable decimal form —
 // strconv.FormatFloat 'g'/-1, the same text fmt's %g would print, without
 // the reflection and interface boxing of Sprintf: this sits on the hot
 // categorical-attribute path inside constraint evaluation).
+//
+// Integer values are rendered in plain decimal via FormatInt: the 'g' form
+// switches to exponent notation at 1e21, which would render distinct large
+// integers identically (and differently from their decimal wire form),
+// splitting and colliding categorical keys. Values whose float64 payload
+// falls outside the int64 range cannot be printed digit-exactly anyway and
+// keep the float rendering.
 func (v Value) AsString() string {
 	switch v.Kind {
 	case KindString:
 		return v.Str
-	case KindFloat, KindInt:
+	case KindInt:
+		if v.Num >= -9.223372036854775808e18 && v.Num < 9.223372036854775808e18 {
+			return strconv.FormatInt(int64(v.Num), 10)
+		}
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	case KindFloat:
 		return strconv.FormatFloat(v.Num, 'g', -1, 64)
 	case KindTime:
 		return v.Time.Format(time.RFC3339)

@@ -94,6 +94,38 @@ func TestValueAsStringFloatMatchesSprintfG(t *testing.T) {
 	}
 }
 
+// TestValueAsStringLargeIntegers pins the FormatInt rendering of integer
+// values: the former FormatFloat 'g' path switched to exponent notation at
+// 1e21 and rounded past 2^53, so distinct large integers (database ids,
+// nanosecond epochs) collided on one categorical key. Values outside the
+// int64 range keep the float rendering — they cannot be printed
+// digit-exactly anyway.
+func TestValueAsStringLargeIntegers(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(1 << 60), "1152921504606846976"},
+		{Int(-(1 << 60)), "-1152921504606846976"},
+		{Int(1<<53 + 2), "9007199254740994"},
+		{Int(0), "0"},
+		// The float64 payload of 2^53+1 rounds to 2^53 at construction;
+		// AsString prints that stored value exactly, not in exponent form.
+		{Int(1<<53 + 1), "9007199254740992"},
+		// Outside int64: fall back to the float form.
+		{Value{Kind: KindInt, Num: 1e21}, "1e+21"},
+		{Value{Kind: KindInt, Num: -2e19}, "-2e+19"},
+	}
+	for _, tc := range cases {
+		if got := tc.v.AsString(); got != tc.want {
+			t.Errorf("AsString(%v) = %q, want %q", tc.v.Num, got, tc.want)
+		}
+	}
+	if got, want := Int(1<<60).AsString(), Int(1<<60+512).AsString(); got == want {
+		t.Errorf("distinct large integers must not collide: both render %q", got)
+	}
+}
+
 func TestEventAttrHelpers(t *testing.T) {
 	e := Event{Class: "a"}
 	if _, ok := e.Attr("missing"); ok {

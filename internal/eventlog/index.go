@@ -4,16 +4,24 @@ import (
 	"gecco/internal/bitset"
 )
 
-// Index is an interned, read-only view of a Log. Event classes are mapped to
-// dense integer ids so that groups of classes can be represented as bit sets
-// and traces as int slices. All of GECCO's inner loops operate on an Index.
+// Index is the columnar, self-contained store GECCO's inner loops operate
+// on. Event classes are interned as dense ids; every event's class id lives
+// in one flat trace-major arena addressed through per-trace offsets, and the
+// distinct control-flow variants live in a second arena. Event attributes
+// are held in per-attribute Columns (typed arrays + presence bitsets, with
+// dictionary-encoded strings), so constraint evaluation reads small-int
+// columns instead of hashing a map[string]Value per event.
+//
+// An Index carries everything abstraction and serialisation need — log
+// name, trace ids, trace- and log-level attributes — so holders (notably
+// core.Session and the serving layer's session LRU) can release the
+// pointer-heavy *Log it was built from; ReconstructLog materialises an
+// equivalent Log on demand. Build one with NewIndex or stream one with
+// Builder; an Index is immutable afterwards and safe for concurrent use.
 type Index struct {
-	Log     *Log
+	Name    string         // log name (Log.Name carry-over)
 	Classes []string       // id -> class name, sorted
 	ClassID map[string]int // class name -> id
-
-	// Seqs[t][j] is the class id of the j-th event of trace t.
-	Seqs [][]int
 
 	// ClassTraces[c] is the set of trace indices containing class c, used
 	// for the occurs() co-occurrence check of Algorithms 1 and 2.
@@ -22,77 +30,99 @@ type Index struct {
 	// ClassFreq[c] is the total number of events of class c.
 	ClassFreq []int
 
-	// Variant compaction: VariantSeqs holds the distinct class-id
-	// sequences, VariantCount their trace multiplicities, and TraceVariant
-	// maps each trace to its variant. Computations that depend only on
-	// control flow (notably the distance measure) iterate variants instead
-	// of traces, which is a large win on logs with few variants.
-	VariantSeqs  [][]int
+	// Variant compaction: VariantCount holds each distinct class-id
+	// sequence's trace multiplicity and TraceVariant maps each trace to its
+	// variant. Computations that depend only on control flow (notably the
+	// distance measure) iterate variants instead of traces, which is a large
+	// win on logs with few variants. The sequences themselves live in
+	// variantArena, exposed through VariantSeq.
 	VariantCount []int
 	TraceVariant []int
 
 	// VariantClasses[v] is the set of class ids occurring in variant v.
 	VariantClasses []bitset.Set
+
+	// arena[traceOff[t]+j] is the class id of the j-th event of trace t;
+	// traceOff has one extra trailing entry so Seq is a two-load slice.
+	arena    []uint32
+	traceOff []int
+
+	variantArena []uint32
+	variantOff   []int
+
+	traceIDs   []string
+	traceAttrs []map[string]Value // round-tripping only; nil when absent
+	logAttrs   map[string]Value
+
+	cols  []*Column
+	colID map[string]int
 }
 
-// NewIndex builds an Index for the log.
+// NewIndex builds an Index for the log by feeding a Builder — the same
+// construction path the streaming loaders use.
 func NewIndex(l *Log) *Index {
-	classes := l.Classes()
-	id := make(map[string]int, len(classes))
-	for i, c := range classes {
-		id[c] = i
+	b := NewBuilder()
+	b.SetName(l.Name)
+	for name, v := range l.Attrs {
+		b.SetLogAttr(name, v)
 	}
-	idx := &Index{
-		Log:         l,
-		Classes:     classes,
-		ClassID:     id,
-		Seqs:        make([][]int, len(l.Traces)),
-		ClassTraces: make([]bitset.Set, len(classes)),
-		ClassFreq:   make([]int, len(classes)),
-	}
-	for c := range classes {
-		idx.ClassTraces[c] = bitset.New(len(l.Traces))
-	}
-	idx.TraceVariant = make([]int, len(l.Traces))
-	variantID := make(map[string]int)
 	for t := range l.Traces {
-		ev := l.Traces[t].Events
-		seq := make([]int, len(ev))
-		key := make([]byte, 0, len(ev)*2)
-		for j := range ev {
-			c := id[ev[j].Class]
-			seq[j] = c
-			idx.ClassTraces[c].Add(t)
-			idx.ClassFreq[c]++
-			key = append(key, byte(c), byte(c>>8))
+		tr := &l.Traces[t]
+		b.StartTrace(tr.ID)
+		for name, v := range tr.Attrs {
+			b.SetTraceAttr(name, v)
 		}
-		idx.Seqs[t] = seq
-		v, ok := variantID[string(key)]
-		if !ok {
-			v = len(idx.VariantSeqs)
-			variantID[string(key)] = v
-			idx.VariantSeqs = append(idx.VariantSeqs, seq)
-			idx.VariantCount = append(idx.VariantCount, 0)
-			present := bitset.New(len(classes))
-			for _, c := range seq {
-				present.Add(c)
+		for j := range tr.Events {
+			ev := &tr.Events[j]
+			b.AddEvent(ev.Class)
+			for name, v := range ev.Attrs {
+				b.SetEventAttr(name, v)
 			}
-			idx.VariantClasses = append(idx.VariantClasses, present)
 		}
-		idx.VariantCount[v]++
-		idx.TraceVariant[t] = v
 	}
-	return idx
+	return b.Build()
 }
 
 // NumClasses returns the size of the class universe.
 func (x *Index) NumClasses() int { return len(x.Classes) }
 
 // NumTraces returns the number of traces.
-func (x *Index) NumTraces() int { return len(x.Seqs) }
+func (x *Index) NumTraces() int { return len(x.traceIDs) }
 
-// Event returns the original event at position pos of trace t.
-func (x *Index) Event(t, pos int) *Event { return &x.Log.Traces[t].Events[pos] }
+// NumEvents returns the total number of events.
+func (x *Index) NumEvents() int { return len(x.arena) }
+
+// NumVariants returns the number of distinct control-flow variants.
+func (x *Index) NumVariants() int { return len(x.VariantCount) }
+
+// Seq returns trace t's class-id sequence: a view into the shared arena that
+// must not be modified.
+func (x *Index) Seq(t int) []uint32 { return x.arena[x.traceOff[t]:x.traceOff[t+1]] }
+
+// TraceStart returns the global event position of trace t's first event;
+// global positions address the attribute Columns.
+func (x *Index) TraceStart(t int) int { return x.traceOff[t] }
+
+// TraceLen returns the number of events of trace t.
+func (x *Index) TraceLen(t int) int { return x.traceOff[t+1] - x.traceOff[t] }
+
+// TraceID returns trace t's identifier (XES concept:name).
+func (x *Index) TraceID(t int) string { return x.traceIDs[t] }
+
+// VariantSeq returns variant v's class-id sequence: a view into the shared
+// variant arena that must not be modified.
+func (x *Index) VariantSeq(v int) []uint32 {
+	return x.variantArena[x.variantOff[v]:x.variantOff[v+1]]
+}
+
+// Column returns the column of the named attribute, or nil when no event
+// carries it.
+func (x *Index) Column(attr string) *Column {
+	if i, ok := x.colID[attr]; ok {
+		return x.cols[i]
+	}
+	return nil
+}
 
 // Occurs reports whether all classes of g co-occur in at least one trace
 // (the occurs(g, L) predicate of Algorithms 1 and 2).
@@ -171,19 +201,138 @@ func (x *Index) GroupFromNames(names []string) (bitset.Set, []string) {
 
 // ClassAttrValues returns, for each class id, the set of distinct values of
 // the named attribute over that class's events (the class-level attribute
-// view used by class-based constraints such as |g.origin| <= 1).
+// view used by class-based constraints such as |g.origin| <= 1). It scans
+// the attribute's column — presence bitset plus typed payload arrays —
+// instead of probing a per-event attribute map; for string attributes the
+// keys come straight out of the dictionary, with no formatting.
 func (x *Index) ClassAttrValues(attr string) []map[string]struct{} {
 	out := make([]map[string]struct{}, x.NumClasses())
 	for c := range out {
 		out[c] = make(map[string]struct{})
 	}
-	for t := range x.Log.Traces {
-		ev := x.Log.Traces[t].Events
-		for j := range ev {
-			if v, ok := ev[j].Attrs[attr]; ok {
-				out[x.Seqs[t][j]][v.AsString()] = struct{}{}
+	col := x.Column(attr)
+	if col == nil {
+		return out
+	}
+	if col.StringsOnly() {
+		// Dedupe on (class, code) pairs so each distinct string is hashed
+		// into the result map once per class, not once per event.
+		seen := make(map[uint64]struct{})
+		col.present.ForEach(func(pos int) bool {
+			code := col.codes[pos]
+			k := uint64(x.arena[pos])<<32 | uint64(code)
+			if _, ok := seen[k]; !ok {
+				seen[k] = struct{}{}
+				out[x.arena[pos]][col.dict[code]] = struct{}{}
+			}
+			return true
+		})
+		return out
+	}
+	col.present.ForEach(func(pos int) bool {
+		if key, ok := col.Key(pos); ok {
+			out[x.arena[pos]][key] = struct{}{}
+		}
+		return true
+	})
+	return out
+}
+
+// ReconstructLog materialises a Log equivalent to the one the Index was
+// built from: same name, trace ids, event order, classes, and attribute
+// values at every level, so it serialises byte-identically. Used to honour
+// the paper's "infeasible runs return the original log" contract after the
+// original *Log has been released.
+func (x *Index) ReconstructLog() *Log {
+	log := &Log{Name: x.Name, Attrs: cloneAttrs(x.logAttrs)}
+	log.Traces = make([]Trace, x.NumTraces())
+	for t := range log.Traces {
+		n := x.TraceLen(t)
+		tr := Trace{ID: x.traceIDs[t], Events: make([]Event, n), Attrs: cloneAttrs(x.traceAttrs[t])}
+		base := x.traceOff[t]
+		for j := 0; j < n; j++ {
+			ev := &tr.Events[j]
+			ev.Class = x.Classes[x.arena[base+j]]
+			for _, col := range x.cols {
+				if v, ok := col.Value(base + j); ok {
+					ev.SetAttr(col.name, v)
+				}
 			}
 		}
+		log.Traces[t] = tr
 	}
-	return out
+	return log
+}
+
+// EstimatedBytes returns the Index's approximate heap footprint: arenas,
+// offset tables, per-class bitsets, and attribute columns with their
+// dictionaries. Surfaced on the serving layer's /stats so operators can see
+// what the session LRU pins.
+func (x *Index) EstimatedBytes() int64 {
+	n := len(x.arena)*4 + len(x.variantArena)*4 +
+		len(x.traceOff)*8 + len(x.variantOff)*8 +
+		len(x.ClassFreq)*8 + len(x.TraceVariant)*8 + len(x.VariantCount)*8
+	for _, s := range x.Classes {
+		n += 2 * (16 + len(s)) // Classes + the ClassID key
+	}
+	n += len(x.Classes) * 8 // ClassID values (approximate map payload)
+	for _, s := range x.traceIDs {
+		n += 16 + len(s)
+	}
+	for _, b := range x.ClassTraces {
+		n += b.Bytes()
+	}
+	for _, b := range x.VariantClasses {
+		n += b.Bytes()
+	}
+	for _, m := range x.traceAttrs {
+		n += attrMapBytes(m)
+	}
+	n += attrMapBytes(x.logAttrs)
+	for _, col := range x.cols {
+		n += col.estimatedBytes()
+	}
+	return int64(n)
+}
+
+// attrMapBytes estimates the footprint of one attribute map using the same
+// per-entry model as EstimateLogBytes.
+func attrMapBytes(m map[string]Value) int {
+	if m == nil {
+		return 0
+	}
+	n := mapBaseBytes
+	for k := range m {
+		n += mapEntryOverheadBytes + 16 + len(k) + valueBytes
+	}
+	return n
+}
+
+// Rough per-allocation constants for the memory model shared by
+// EstimatedBytes and EstimateLogBytes: a Go map header plus bucket
+// amortisation, per-entry bucket overhead, and the size of a Value struct
+// (kind + string header + float + time.Time + bool, padded).
+const (
+	mapBaseBytes          = 48
+	mapEntryOverheadBytes = 16
+	valueBytes            = 64
+)
+
+// EstimateLogBytes estimates the heap footprint of a pointer-heavy *Log:
+// trace and event structs, class string headers, and one map[string]Value
+// per attributed event. It uses the same allocation model as
+// Index.EstimatedBytes, so the two are comparable; gecco-bench reports the
+// ratio as the columnar layout's bytes-per-event improvement.
+func EstimateLogBytes(l *Log) int64 {
+	n := 16 + len(l.Name) + attrMapBytes(l.Attrs)
+	for t := range l.Traces {
+		tr := &l.Traces[t]
+		n += 64 + len(tr.ID) + attrMapBytes(tr.Attrs) // Trace struct + slice headers
+		for j := range tr.Events {
+			ev := &tr.Events[j]
+			n += 24 + len(ev.Class) // Event struct: string header + map pointer
+			n += attrMapBytes(ev.Attrs)
+		}
+	}
+	return int64(n)
 }

@@ -1,7 +1,9 @@
 package eventlog
 
 import (
+	"fmt"
 	"testing"
+	"time"
 )
 
 func indexedLog() *Index {
@@ -31,8 +33,12 @@ func TestIndexBasics(t *testing.T) {
 	if x.ClassFreq[x.ClassID["a"]] != 3 {
 		t.Fatalf("freq(a) = %d", x.ClassFreq[x.ClassID["a"]])
 	}
-	if got := x.Event(0, 1).Class; got != "b" {
-		t.Fatalf("Event(0,1) = %q", got)
+	if got := x.Classes[x.Seq(0)[1]]; got != "b" {
+		t.Fatalf("class of event (0,1) = %q", got)
+	}
+	if x.NumEvents() != 9 || x.TraceLen(1) != 2 || x.TraceStart(2) != 5 {
+		t.Fatalf("arena layout: events=%d len(1)=%d start(2)=%d",
+			x.NumEvents(), x.TraceLen(1), x.TraceStart(2))
 	}
 }
 
@@ -100,8 +106,8 @@ func TestClassAttrValues(t *testing.T) {
 
 func TestVariantCompaction(t *testing.T) {
 	x := indexedLog()
-	if len(x.VariantSeqs) != 3 {
-		t.Fatalf("variants = %d, want 3", len(x.VariantSeqs))
+	if x.NumVariants() != 3 {
+		t.Fatalf("variants = %d, want 3", x.NumVariants())
 	}
 	// Multiplicities sum to the trace count.
 	total := 0
@@ -119,11 +125,174 @@ func TestVariantCompaction(t *testing.T) {
 		t.Error("different traces share a variant")
 	}
 	// Variant class sets match the sequences.
-	for v, seq := range x.VariantSeqs {
-		for _, c := range seq {
-			if !x.VariantClasses[v].Contains(c) {
+	for v := 0; v < x.NumVariants(); v++ {
+		for _, c := range x.VariantSeq(v) {
+			if !x.VariantClasses[v].Contains(int(c)) {
 				t.Fatalf("variant %d class set misses class %d", v, c)
 			}
 		}
+	}
+}
+
+// TestVariantKeyFullWidth is the regression test for the 16-bit variant-key
+// truncation: with more than 65535 classes, two single-event traces whose
+// class ids differ only above bit 15 (here 0 and 65536) used to hash to the
+// same variant key and were silently merged.
+func TestVariantKeyFullWidth(t *testing.T) {
+	const numClasses = 1<<16 + 1 // 65537: forces a class id of 65536
+	name := func(i int) string { return fmt.Sprintf("c%05d", i) }
+
+	filler := Trace{ID: "filler"} // covers ids 1..65535 so the probes get ids 0 and 65536
+	for i := 1; i < numClasses-1; i++ {
+		filler.Events = append(filler.Events, Event{Class: name(i)})
+	}
+	log := &Log{Traces: []Trace{
+		{ID: "lo", Events: []Event{{Class: name(0)}}},
+		{ID: "hi", Events: []Event{{Class: name(numClasses - 1)}}},
+		filler,
+	}}
+	x := NewIndex(log)
+	if x.NumClasses() != numClasses {
+		t.Fatalf("classes = %d, want %d", x.NumClasses(), numClasses)
+	}
+	if got := x.ClassID[name(numClasses-1)]; got != numClasses-1 {
+		t.Fatalf("id(%s) = %d, want %d", name(numClasses-1), got, numClasses-1)
+	}
+	if x.NumVariants() != 3 {
+		t.Fatalf("variants = %d, want 3 (lo and hi merged?)", x.NumVariants())
+	}
+	if x.TraceVariant[0] == x.TraceVariant[1] {
+		t.Fatal("traces with class ids 0 and 65536 share a variant")
+	}
+	if x.VariantCount[x.TraceVariant[0]] != 1 || x.VariantCount[x.TraceVariant[1]] != 1 {
+		t.Fatal("probe variants must each have multiplicity 1")
+	}
+}
+
+// TestColumnMixedKindsAndOverwrite exercises the column store's general
+// case: one attribute carrying strings, ints, floats, bools, times, and an
+// overwritten value, reconstructed exactly and keyed identically to
+// Value.AsString.
+func TestColumnMixedKindsAndOverwrite(t *testing.T) {
+	ts := time.Date(2022, 3, 4, 5, 6, 7, 0, time.UTC)
+	vals := []Value{
+		String("x"),
+		Int(5),
+		Float(2.5),
+		Bool(true),
+		Time(ts),
+		String("x"), // repeated: must reuse the dictionary code
+		Bool(false),
+	}
+	tr := Trace{ID: "t"}
+	for _, v := range vals {
+		tr.Events = append(tr.Events, Event{Class: "a", Attrs: map[string]Value{"v": v}})
+	}
+	// One attribute-less event: the column must report absence.
+	tr.Events = append(tr.Events, Event{Class: "a"})
+	x := NewIndex(&Log{Traces: []Trace{tr}})
+
+	col := x.Column("v")
+	if col == nil {
+		t.Fatal("column missing")
+	}
+	if col.StringsOnly() {
+		t.Fatal("mixed column must not report StringsOnly")
+	}
+	for pos, want := range vals {
+		got, ok := col.Value(pos)
+		if !ok {
+			t.Fatalf("pos %d: value absent", pos)
+		}
+		if got != want {
+			t.Fatalf("pos %d: value %+v, want %+v", pos, got, want)
+		}
+		key, ok := col.Key(pos)
+		if !ok || key != want.AsString() {
+			t.Fatalf("pos %d: key %q, want %q", pos, key, want.AsString())
+		}
+	}
+	if col.Has(len(vals)) {
+		t.Fatal("attribute-less event reported present")
+	}
+	if col.NumCodes() != 1 {
+		t.Fatalf("dictionary has %d codes, want 1 (repeated string)", col.NumCodes())
+	}
+	c0, _ := col.Code(0)
+	c5, _ := col.Code(5)
+	if c0 != c5 {
+		t.Fatal("repeated string must share its dictionary code")
+	}
+
+	// Overwrite semantics: the builder keeps the last value, like a map.
+	b := NewBuilder()
+	b.StartTrace("t")
+	b.AddEvent("a")
+	b.SetEventAttr("v", Int(1))
+	b.SetEventAttr("v", String("two"))
+	x2 := b.Build()
+	v, ok := x2.Column("v").Value(0)
+	if !ok || v != String("two") {
+		t.Fatalf("overwritten attr = %+v, want String(two)", v)
+	}
+}
+
+// TestBuilderMatchesNewIndex pins the single-construction-path contract:
+// streaming a log through the Builder yields the same index NewIndex builds,
+// and both reconstruct a log serialising the original's content.
+func TestBuilderMatchesNewIndex(t *testing.T) {
+	log := &Log{Name: "built", Traces: []Trace{
+		{ID: "t1", Events: []Event{
+			{Class: "b", Attrs: map[string]Value{"role": String("r1"), "n": Int(1)}},
+			{Class: "a", Attrs: map[string]Value{"role": String("r2")}},
+		}, Attrs: map[string]Value{"kind": String("gold")}},
+		{ID: "t2", Events: []Event{
+			{Class: "a", Attrs: map[string]Value{"n": Float(2.5)}},
+		}},
+	}, Attrs: map[string]Value{"source": String("unit")}}
+
+	b := NewBuilder()
+	b.SetName(log.Name)
+	b.SetLogAttr("source", String("unit"))
+	b.StartTrace("t1")
+	b.SetTraceAttr("kind", String("gold"))
+	b.AddEvent("b")
+	b.SetEventAttr("role", String("r1"))
+	b.SetEventAttr("n", Int(1))
+	b.AddEvent("a")
+	b.SetEventAttr("role", String("r2"))
+	b.StartTrace("t2")
+	b.AddEvent("a")
+	b.SetEventAttr("n", Float(2.5))
+	streamed := b.Build()
+
+	indexed := NewIndex(log)
+	for _, x := range []*Index{streamed, indexed} {
+		if x.Name != "built" || x.NumTraces() != 2 || x.NumEvents() != 3 {
+			t.Fatalf("shape: name=%q traces=%d events=%d", x.Name, x.NumTraces(), x.NumEvents())
+		}
+		// Class ids are sorted by name regardless of first-seen order.
+		if x.Classes[0] != "a" || x.Classes[1] != "b" {
+			t.Fatalf("classes = %v", x.Classes)
+		}
+		if x.Seq(0)[0] != 1 || x.Seq(0)[1] != 0 || x.Seq(1)[0] != 0 {
+			t.Fatalf("arena = %v %v", x.Seq(0), x.Seq(1))
+		}
+	}
+	// Both reconstruct the same log content.
+	a, bb := streamed.ReconstructLog(), indexed.ReconstructLog()
+	for _, rec := range []*Log{a, bb} {
+		if rec.Name != log.Name || len(rec.Traces) != 2 {
+			t.Fatalf("reconstructed shape: %+v", rec)
+		}
+		if rec.Attrs["source"] != String("unit") || rec.Traces[0].Attrs["kind"] != String("gold") {
+			t.Fatal("reconstructed log/trace attrs differ")
+		}
+		if rec.Traces[0].Events[0].Attrs["n"] != Int(1) || rec.Traces[1].Events[0].Attrs["n"] != Float(2.5) {
+			t.Fatal("reconstructed event attrs differ")
+		}
+	}
+	if streamed.EstimatedBytes() <= 0 {
+		t.Fatal("EstimatedBytes must be positive")
 	}
 }

@@ -63,7 +63,7 @@ func evaluate(sess *core.Session, res *core.Result, elapsed time.Duration) Measu
 	x := sess.Index()
 	m.Solved = true
 	m.SRed = metrics.SizeReduction(len(res.Grouping.Groups), x.NumClasses())
-	m.CRed = metrics.ComplexityReduction(sess.Log(), res.Abstracted, discovery.Options{})
+	m.CRed = metrics.ComplexityReductionFromIndex(x, res.Abstracted, discovery.Options{})
 	m.Sil = metrics.Silhouette(x, res.Grouping.Groups)
 	m.Dist = res.Distance
 	return m
@@ -191,6 +191,10 @@ type Row struct {
 	Seconds float64 `json:"seconds"`
 	Dist    float64 `json:"dist"` // mean grouping distance over solved problems
 	N       int     `json:"n"`    // applicable problems
+	// BytesPerEvent is set only by the index-build benchmark rows: the
+	// columnar index's estimated footprint per event, gated against the
+	// baseline like wall-time.
+	BytesPerEvent float64 `json:"bytesPerEvent,omitempty"`
 }
 
 func (a *aggregate) row(label string) Row {

@@ -118,14 +118,8 @@ func frequentPair(x *eventlog.Index) (string, string) {
 	return all[0].c, all[1].c
 }
 
-// hasClassAttr reports whether any event carries the attribute.
+// hasClassAttr reports whether any event carries the attribute. Columns are
+// only materialised for attributes that occur, so this is a map probe.
 func hasClassAttr(x *eventlog.Index, attr string) bool {
-	for _, tr := range x.Log.Traces {
-		for i := range tr.Events {
-			if _, ok := tr.Events[i].Attrs[attr]; ok {
-				return true
-			}
-		}
-	}
-	return false
+	return x.Column(attr) != nil
 }

@@ -36,11 +36,11 @@ func (i *Instance) Span() (first, last int) {
 	return i.Positions[0], i.Positions[len(i.Positions)-1]
 }
 
-// Segments decomposes a class-id sequence into group instances, returning
-// the position lists. This is the sequence-level core of inst(σ, g), shared
-// by the per-trace view below and by variant-compacted computations such as
-// the distance measure.
-func Segments(seq []int, nClasses int, g bitset.Set, p Policy) [][]int {
+// Segments decomposes a class-id sequence (a view into the Index's arena)
+// into group instances, returning the position lists. This is the
+// sequence-level core of inst(σ, g), shared by the per-trace view below and
+// by variant-compacted computations such as the distance measure.
+func Segments(seq []uint32, nClasses int, g bitset.Set, p Policy) [][]int {
 	var out [][]int
 	var cur []int
 	// seen tracks the classes of the instance under construction; it is
@@ -58,7 +58,8 @@ func Segments(seq []int, nClasses int, g bitset.Set, p Policy) [][]int {
 		}
 		seenList = seenList[:0]
 	}
-	for pos, c := range seq {
+	for pos, cid := range seq {
+		c := int(cid)
 		if !g.Contains(c) {
 			continue
 		}
@@ -80,7 +81,7 @@ func Segments(seq []int, nClasses int, g bitset.Set, p Policy) [][]int {
 // OfTrace returns the instances of group g in trace t of the indexed log.
 // It returns nil when no event of the trace belongs to g.
 func OfTrace(x *eventlog.Index, t int, g bitset.Set, p Policy) []Instance {
-	segs := Segments(x.Seqs[t], x.NumClasses(), g, p)
+	segs := Segments(x.Seq(t), x.NumClasses(), g, p)
 	out := make([]Instance, len(segs))
 	for i, s := range segs {
 		out[i] = Instance{Trace: t, Positions: s}
@@ -110,9 +111,9 @@ func Interrupts(inst *Instance) int {
 // (the missing(ξ, g) of Eq. 1).
 func Missing(x *eventlog.Index, inst *Instance, g bitset.Set) int {
 	present := bitset.New(x.NumClasses())
-	seq := x.Seqs[inst.Trace]
+	seq := x.Seq(inst.Trace)
 	for _, pos := range inst.Positions {
-		present.Add(seq[pos])
+		present.Add(int(seq[pos]))
 	}
 	return g.Len() - present.Len()
 }
@@ -120,9 +121,9 @@ func Missing(x *eventlog.Index, inst *Instance, g bitset.Set) int {
 // DistinctClasses returns the number of distinct classes in the instance.
 func DistinctClasses(x *eventlog.Index, inst *Instance) int {
 	present := bitset.New(x.NumClasses())
-	seq := x.Seqs[inst.Trace]
+	seq := x.Seq(inst.Trace)
 	for _, pos := range inst.Positions {
-		present.Add(seq[pos])
+		present.Add(int(seq[pos]))
 	}
 	return present.Len()
 }
@@ -131,9 +132,9 @@ func DistinctClasses(x *eventlog.Index, inst *Instance) int {
 // of its events (used by per-class cardinality constraints).
 func ClassCounts(x *eventlog.Index, inst *Instance) map[int]int {
 	out := make(map[int]int, len(inst.Positions))
-	seq := x.Seqs[inst.Trace]
+	seq := x.Seq(inst.Trace)
 	for _, pos := range inst.Positions {
-		out[seq[pos]]++
+		out[int(seq[pos])]++
 	}
 	return out
 }

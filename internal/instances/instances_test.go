@@ -125,13 +125,13 @@ func TestSplitInvariantsOnSimulatedLog(t *testing.T) {
 	log := procgen.RunningExample(200, 7)
 	x := eventlog.NewIndex(log)
 	g := group(x, procgen.RCP, procgen.CKC, procgen.CKT, procgen.PRIO)
-	for tr := range x.Seqs {
+	for tr := 0; tr < x.NumTraces(); tr++ {
 		insts := OfTrace(x, tr, g, SplitOnRepeat)
 		var all []int
 		for i := range insts {
 			seen := map[int]bool{}
 			for _, pos := range insts[i].Positions {
-				c := x.Seqs[tr][pos]
+				c := int(x.Seq(tr)[pos])
 				if seen[c] {
 					t.Fatalf("trace %d: class %d repeats within instance", tr, c)
 				}
@@ -141,8 +141,8 @@ func TestSplitInvariantsOnSimulatedLog(t *testing.T) {
 		}
 		// Verify the concatenation equals the projection.
 		want := 0
-		for pos, c := range x.Seqs[tr] {
-			if g.Contains(c) {
+		for pos, c := range x.Seq(tr) {
+			if g.Contains(int(c)) {
 				if want >= len(all) || all[want] != pos {
 					t.Fatalf("trace %d: projected position %d missing from instances", tr, pos)
 				}

@@ -26,7 +26,14 @@ func SizeReduction(numGroups, numClasses int) float64 {
 // 1 - CFC(abstracted)/CFC(original). Non-positive original complexity
 // yields 0.
 func ComplexityReduction(original, abstracted *eventlog.Log, opts discovery.Options) float64 {
-	origCFC := discovery.Discover(eventlog.NewIndex(original), opts).CFC()
+	return ComplexityReductionFromIndex(eventlog.NewIndex(original), abstracted, opts)
+}
+
+// ComplexityReductionFromIndex is ComplexityReduction with the original
+// log's index already built — callers holding a core.Session reuse its
+// frozen index instead of re-interning (or reconstructing) the log.
+func ComplexityReductionFromIndex(original *eventlog.Index, abstracted *eventlog.Log, opts discovery.Options) float64 {
+	origCFC := discovery.Discover(original, opts).CFC()
 	if origCFC <= 0 {
 		return 0
 	}
@@ -51,7 +58,8 @@ func PositionalDistances(x *eventlog.Index) [][]float64 {
 		cnt[i] = make([]int, n)
 	}
 	firstPos := make([]int, n)
-	for _, seq := range x.Seqs {
+	for t := 0; t < x.NumTraces(); t++ {
+		seq := x.Seq(t)
 		if len(seq) < 2 {
 			continue
 		}

@@ -1,10 +1,12 @@
 package procgen
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
 	"gecco/internal/eventlog"
+	"gecco/internal/xes"
 )
 
 func TestTable1Exact(t *testing.T) {
@@ -228,5 +230,29 @@ func TestNoisePreservesClasses(t *testing.T) {
 		if got := len(log.Classes()); got != spec.Classes {
 			t.Fatalf("%s: classes = %d, want %d", spec.Ref, got, spec.Classes)
 		}
+	}
+}
+
+// TestSimulateIndexMatchesSimulate pins the shared-generator contract: the
+// Builder-fed SimulateIndex consumes the RNG identically to Simulate, so the
+// columnar index reconstructs a log serialising byte-identically to the
+// materialised one.
+func TestSimulateIndexMatchesSimulate(t *testing.T) {
+	m := RunningExampleModel()
+	log := m.Simulate(25, 11)
+	x := m.SimulateIndex(25, 11)
+	if x.Name != log.Name || x.NumTraces() != len(log.Traces) || x.NumEvents() != log.NumEvents() {
+		t.Fatalf("shape: %q %d/%d vs %q %d/%d", x.Name, x.NumTraces(), x.NumEvents(),
+			log.Name, len(log.Traces), log.NumEvents())
+	}
+	var fromIndex, fromLog bytes.Buffer
+	if err := xes.Write(&fromIndex, x.ReconstructLog()); err != nil {
+		t.Fatal(err)
+	}
+	if err := xes.Write(&fromLog, log); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromIndex.Bytes(), fromLog.Bytes()) {
+		t.Fatal("SimulateIndex reconstruction differs from Simulate")
 	}
 }

@@ -162,39 +162,79 @@ func uniformWeights(n int) []float64 {
 	return w
 }
 
+// eventSink receives a simulated log trace by trace, event by event. Both
+// eventlog.Builder (for direct columnar-index construction) and the logSink
+// below (for the classic *Log) satisfy it, so every output format shares one
+// generator and one RNG consumption order.
+type eventSink interface {
+	StartTrace(id string)
+	AddEvent(class string)
+	SetEventAttr(name string, v eventlog.Value)
+}
+
+// logSink materialises the simulation into a *Log.
+type logSink struct{ log *eventlog.Log }
+
+func (s *logSink) StartTrace(id string) {
+	s.log.Traces = append(s.log.Traces, eventlog.Trace{ID: id})
+}
+
+func (s *logSink) AddEvent(class string) {
+	tr := &s.log.Traces[len(s.log.Traces)-1]
+	tr.Events = append(tr.Events, eventlog.Event{Class: class})
+}
+
+func (s *logSink) SetEventAttr(name string, v eventlog.Value) {
+	tr := &s.log.Traces[len(s.log.Traces)-1]
+	tr.Events[len(tr.Events)-1].SetAttr(name, v)
+}
+
 // Simulate generates numTraces traces with the given seed. Event attributes
 // (time, role, org, duration, cost, doc) are drawn from the class specs.
 func (m *Model) Simulate(numTraces int, seed int64) *eventlog.Log {
-	rng := rand.New(rand.NewSource(seed))
 	log := &eventlog.Log{Name: m.Name}
+	m.simulateInto(&logSink{log: log}, numTraces, seed)
+	return log
+}
+
+// SimulateIndex generates the same traces as Simulate (identical RNG
+// consumption, hence identical events) but streams them straight into an
+// eventlog.Builder, producing the columnar Index without an intermediate
+// *Log.
+func (m *Model) SimulateIndex(numTraces int, seed int64) *eventlog.Index {
+	b := eventlog.NewBuilder()
+	b.SetName(m.Name)
+	m.simulateInto(b, numTraces, seed)
+	return b.Build()
+}
+
+func (m *Model) simulateInto(sink eventSink, numTraces int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
 	base := time.Date(2021, 6, 1, 8, 0, 0, 0, time.UTC)
 	for i := 0; i < numTraces; i++ {
 		classes := m.walk(m.Root, rng)
-		tr := eventlog.Trace{ID: fmt.Sprintf("case-%d", i)}
+		sink.StartTrace(fmt.Sprintf("case-%d", i))
 		t := base.Add(time.Duration(i) * time.Hour)
 		for _, cl := range classes {
-			ev := eventlog.Event{Class: cl}
+			sink.AddEvent(cl)
 			spec := m.Specs[cl]
 			dur := sample(rng, spec.DurMean)
 			cost := sample(rng, spec.CostMean)
 			t = t.Add(time.Duration(dur * float64(time.Second)))
-			ev.SetAttr(eventlog.AttrTimestamp, eventlog.Time(t))
-			ev.SetAttr(eventlog.AttrDuration, eventlog.Float(dur))
-			ev.SetAttr(eventlog.AttrCost, eventlog.Float(cost))
+			sink.SetEventAttr(eventlog.AttrTimestamp, eventlog.Time(t))
+			sink.SetEventAttr(eventlog.AttrDuration, eventlog.Float(dur))
+			sink.SetEventAttr(eventlog.AttrCost, eventlog.Float(cost))
 			if spec.Role != "" {
-				ev.SetAttr(eventlog.AttrRole, eventlog.String(spec.Role))
+				sink.SetEventAttr(eventlog.AttrRole, eventlog.String(spec.Role))
 			}
 			if spec.Org != "" {
-				ev.SetAttr(eventlog.AttrOrg, eventlog.String(spec.Org))
+				sink.SetEventAttr(eventlog.AttrOrg, eventlog.String(spec.Org))
 			}
 			if spec.Doc != "" {
-				ev.SetAttr("doc", eventlog.String(spec.Doc))
+				sink.SetEventAttr("doc", eventlog.String(spec.Doc))
 			}
-			tr.Events = append(tr.Events, ev)
 		}
-		log.Traces = append(log.Traces, tr)
 	}
-	return log
 }
 
 // sample draws uniformly from [0.5, 1.5]·mean, clamped at a small positive

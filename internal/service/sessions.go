@@ -18,6 +18,13 @@ type SessionStats struct {
 	Evictions int64 `json:"evictions"`
 	Entries   int   `json:"entries"`
 	Capacity  int   `json:"capacity"`
+	// IndexBytes is the summed estimated heap footprint the live sessions
+	// pin: each session's columnar index (class arenas, attribute columns,
+	// dictionaries, bitsets) plus, for sessions that have served an
+	// infeasible solve, the lazily materialised log copy. Sessions release
+	// their parsed *Log at construction, so this is the whole per-log
+	// retention, not an addition to it.
+	IndexBytes int64 `json:"indexBytes"`
 }
 
 // sessionEntry is one cached live session. The done channel coalesces
@@ -153,15 +160,23 @@ func (c *sessionCache) drop(digest string, sess *core.Session) {
 	c.evictions++
 }
 
-// Stats snapshots the session cache counters.
+// Stats snapshots the session cache counters, including the estimated bytes
+// pinned by live indexes. Entries still building (session published under
+// this same mutex) contribute nothing until their build completes.
 func (c *sessionCache) Stats() SessionStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return SessionStats{
+	st := SessionStats{
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
 		Entries:   len(c.entries),
 		Capacity:  c.cap,
 	}
+	for _, el := range c.entries {
+		if e := el.Value.(*sessionEntry); e.session != nil {
+			st.IndexBytes += e.session.EstimatedBytes()
+		}
+	}
+	return st
 }

@@ -53,6 +53,15 @@ func TestSessionReuseAcrossConstraintSets(t *testing.T) {
 	if st.Sessions.Entries != 1 {
 		t.Fatalf("session entries = %d, want 1", st.Sessions.Entries)
 	}
+	// Memory accounting: the live session's columnar index footprint is
+	// surfaced, and it is (much) smaller than the pointer-heavy parsed log
+	// the session released at construction.
+	if st.Sessions.IndexBytes <= 0 {
+		t.Fatalf("session index bytes = %d, want > 0", st.Sessions.IndexBytes)
+	}
+	if naive := eventlog.EstimateLogBytes(log); st.Sessions.IndexBytes >= naive {
+		t.Fatalf("index bytes %d not below the log's estimated %d", st.Sessions.IndexBytes, naive)
+	}
 
 	// The warm-session result must be identical to a cold one-shot run.
 	cold, err := core.Run(log, mustSet(t, "distinct(role) <= 1\n|g| <= 2"), core.Config{Mode: core.DFGUnbounded})

@@ -225,3 +225,51 @@ func TestTimestampFormats(t *testing.T) {
 		t.Error("expected error for junk timestamp")
 	}
 }
+
+// TestReadIndexMatchesRead pins the loader-direct construction path: feeding
+// the Builder straight from the XML decode must yield the same index as
+// NewIndex(Read(...)) — same shape, same columns, and a reconstruction that
+// serialises byte-identically.
+func TestReadIndexMatchesRead(t *testing.T) {
+	log, err := Read(strings.NewReader(sampleXES))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaLog := eventlog.NewIndex(log)
+	direct, err := ReadIndex(strings.NewReader(sampleXES))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Name != viaLog.Name || direct.NumEvents() != viaLog.NumEvents() ||
+		direct.NumTraces() != viaLog.NumTraces() || direct.NumClasses() != viaLog.NumClasses() {
+		t.Fatalf("index shapes differ: direct %d/%d/%d, via log %d/%d/%d",
+			direct.NumTraces(), direct.NumEvents(), direct.NumClasses(),
+			viaLog.NumTraces(), viaLog.NumEvents(), viaLog.NumClasses())
+	}
+	var fromDirect, fromLog bytes.Buffer
+	if err := Write(&fromDirect, direct.ReconstructLog()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&fromLog, viaLog.ReconstructLog()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromDirect.Bytes(), fromLog.Bytes()) {
+		t.Fatalf("reconstructions differ:\n%s\nvs\n%s", fromDirect.String(), fromLog.String())
+	}
+	var orig bytes.Buffer
+	if err := Write(&orig, log); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromDirect.Bytes(), orig.Bytes()) {
+		t.Fatal("loader-direct index does not reconstruct the original document's log")
+	}
+}
+
+// TestReadIndexRejectsClasslessEvent mirrors Read's validation on the
+// loader-direct path.
+func TestReadIndexRejectsClasslessEvent(t *testing.T) {
+	const doc = `<log><trace><event><string key="x" value="y"/></event></trace></log>`
+	if _, err := ReadIndex(strings.NewReader(doc)); err == nil {
+		t.Fatal("expected missing concept:name error")
+	}
+}

@@ -13,9 +13,9 @@ MAX_REGRESS ?= 0.25
 # it also guards the event-log core's memory layout.
 BENCH_FLAGS = -table 6 -quick -stream-bench -index-bench
 
-.PHONY: build test race vet staticcheck fmt-check bench bench-gate bench-baseline serve examples all
+.PHONY: build test race vet lint staticcheck fmt-check bench bench-gate bench-baseline serve examples all
 
-all: build vet fmt-check test
+all: build vet lint fmt-check test
 
 build:
 	$(GO) build ./...
@@ -24,10 +24,16 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/par/ ./internal/candidates/ ./internal/distance/ ./internal/constraints/ ./internal/core/ ./internal/service/ ./internal/stream/ .
+	$(GO) test -race ./internal/par/ ./internal/candidates/ ./internal/distance/ ./internal/constraints/ ./internal/core/ ./internal/service/ ./internal/stream/ ./internal/eventlog/ ./internal/experiments/ .
 
 vet:
 	$(GO) vet ./...
+
+# The repository's own multichecker (internal/analysis): five analyzers
+# enforcing the determinism, wall-clock, context-flow, sync.Once, and
+# hot-path invariants. Built from source — no network-installed tools.
+lint:
+	$(GO) run ./cmd/gecco-vet ./...
 
 # Static analysis beyond vet. CI installs the pinned version below; locally
 # the target uses whatever staticcheck is on PATH and tells you how to get

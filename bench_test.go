@@ -8,6 +8,7 @@
 package gecco_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -101,7 +102,7 @@ func BenchmarkTable5ExhaustivePerConstraintSet(b *testing.B) {
 	logs := collection(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = experiments.Table5(benchOpts(logs))
+		_ = experiments.Table5(context.Background(), benchOpts(logs))
 	}
 }
 
@@ -110,7 +111,7 @@ func BenchmarkTable6Configurations(b *testing.B) {
 	logs := collection(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = experiments.Table6(benchOpts(logs))
+		_ = experiments.Table6(context.Background(), benchOpts(logs))
 	}
 }
 
@@ -120,7 +121,7 @@ func BenchmarkTable7Baselines(b *testing.B) {
 	logs := collection(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = experiments.Table7(benchOpts(logs))
+		_ = experiments.Table7(context.Background(), benchOpts(logs))
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"time"
@@ -77,6 +78,11 @@ func main() {
 	)
 	flag.Parse()
 
+	// One root context for every table run: Ctrl-C aborts the in-flight
+	// solve instead of leaving a long Exh sweep running to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	fmt.Println("generating the synthetic log collection (Table III substitutes)...")
 	start := time.Now()
 	logs := procgen.Collection()
@@ -100,21 +106,21 @@ func main() {
 	var measured []experiments.Row
 	if *table == "5" || *table == "all" {
 		run("Table V — Exh per constraint set", func() {
-			rows := experiments.Table5(opts)
+			rows := experiments.Table5(ctx, opts)
 			measured = append(measured, rows...)
 			experiments.PrintRows(os.Stdout, "Table V", rows, experiments.PaperTable5)
 		})
 	}
 	if *table == "6" || *table == "all" {
 		run("Table VI — configurations", func() {
-			rows := experiments.Table6(opts)
+			rows := experiments.Table6(ctx, opts)
 			measured = append(measured, rows...)
 			experiments.PrintRows(os.Stdout, "Table VI", rows, experiments.PaperTable6)
 		})
 	}
 	if *table == "7" || *table == "all" {
 		run("Table VII — baselines", func() {
-			rows := experiments.Table7(opts)
+			rows := experiments.Table7(ctx, opts)
 			measured = append(measured, rows...)
 			experiments.PrintRows(os.Stdout, "Table VII", rows, experiments.PaperTable7)
 		})
@@ -170,7 +176,7 @@ func main() {
 	}
 	if *detail {
 		run("per-problem detail (DFGk)", func() {
-			details := experiments.DetailTable(core.DFGBeam, opts)
+			details := experiments.DetailTable(ctx, core.DFGBeam, opts)
 			experiments.PrintDetails(os.Stdout, details)
 			fmt.Println()
 			fmt.Print(experiments.SolvedMatrix(details))

@@ -1,0 +1,78 @@
+// Command gecco-vet is the repository's multichecker: it runs the five
+// internal/analysis analyzers (detmap, wallclock, ctxflow, oncesafe,
+// hotpath) over the module and exits non-zero on any finding. It is built
+// from source by `make lint` — no network-installed tools — and understands
+// the //lint:gecco-allow(<analyzer>): <justification> suppression directive
+// and the //gecco:hotpath function marker.
+//
+// Usage:
+//
+//	gecco-vet [-root dir] [-only name,name] [-verbose] [./...]
+//
+// The ./... argument is accepted for muscle-memory compatibility with go
+// vet; the tool always analyses the whole module under -root.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gecco/internal/analysis"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root to analyse (directory containing go.mod)")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	verbose := flag.Bool("verbose", false, "also print per-package type-check errors (findings are unaffected)")
+	flag.Parse()
+
+	modPath, err := analysis.ModulePathFromGoMod(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gecco-vet: %v\n", err)
+		os.Exit(2)
+	}
+	loader := analysis.NewLoader(*root, modPath)
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gecco-vet: loading packages: %v\n", err)
+		os.Exit(2)
+	}
+
+	analyzers := analysis.All()
+	if *only != "" {
+		byName := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			byName[strings.TrimSpace(name)] = true
+		}
+		var keep []*analysis.Analyzer
+		for _, a := range analyzers {
+			if byName[a.Name] {
+				keep = append(keep, a)
+			}
+		}
+		if len(keep) == 0 {
+			fmt.Fprintf(os.Stderr, "gecco-vet: no analyzer matches -only=%s\n", *only)
+			os.Exit(2)
+		}
+		analyzers = keep
+	}
+
+	if *verbose {
+		for _, pkg := range pkgs {
+			for _, e := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "gecco-vet: typecheck %s: %v\n", pkg.Path, e)
+			}
+		}
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "gecco-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

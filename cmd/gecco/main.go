@@ -133,8 +133,8 @@ func main() {
 
 	if !res.Feasible {
 		fmt.Fprintf(os.Stderr, "gecco: no grouping satisfies the constraints: %s\n", res.Diagnostics)
-		for c, frac := range res.Diagnostics.PerConstraint {
-			fmt.Fprintf(os.Stderr, "  %-40s rejects %.0f%% of singleton groups\n", c, 100*frac)
+		for _, s := range res.Diagnostics.SharesSorted() {
+			fmt.Fprintf(os.Stderr, "  %-40s rejects %.0f%% of singleton groups\n", s.Constraint, 100*s.Fraction)
 		}
 		os.Exit(1)
 	}

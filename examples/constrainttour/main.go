@@ -32,8 +32,8 @@ func main() {
 		}
 		if !res.Feasible {
 			fmt.Printf("    infeasible: %s\n", res.Diagnostics)
-			for c, frac := range res.Diagnostics.PerConstraint {
-				fmt.Printf("      %-35s rejects %.0f%% of singletons\n", c, 100*frac)
+			for _, s := range res.Diagnostics.SharesSorted() {
+				fmt.Printf("      %-35s rejects %.0f%% of singletons\n", s.Constraint, 100*s.Fraction)
 			}
 			fmt.Println()
 			return

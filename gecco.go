@@ -119,6 +119,7 @@ func ParseConstraints(text string) (*ConstraintSet, error) {
 
 // Abstract runs the GECCO pipeline on the log under textual constraints.
 func Abstract(log *Log, constraintText string, cfg Config) (*Result, error) {
+	//lint:gecco-allow(ctxflow): convenience wrapper; AbstractContext is the cancellable variant
 	return AbstractContext(context.Background(), log, constraintText, cfg)
 }
 
@@ -180,6 +181,7 @@ func (s *Session) Log() *Log { return s.s.Log() }
 
 // Solve runs the pipeline on the session's log under textual constraints.
 func (s *Session) Solve(constraintText string, cfg Config) (*Result, error) {
+	//lint:gecco-allow(ctxflow): convenience wrapper; SolveContext is the cancellable variant
 	return s.SolveContext(context.Background(), constraintText, cfg)
 }
 
@@ -195,6 +197,7 @@ func (s *Session) SolveContext(ctx context.Context, constraintText string, cfg C
 
 // SolveSet runs the pipeline with an already-built constraint set.
 func (s *Session) SolveSet(set *ConstraintSet, cfg Config) (*Result, error) {
+	//lint:gecco-allow(ctxflow): convenience wrapper; SolveSetContext is the cancellable variant
 	return s.s.Solve(context.Background(), set, cfg)
 }
 

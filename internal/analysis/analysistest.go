@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// TB is the subset of *testing.T the fixture runner needs; depending on it
+// instead of testing keeps the production package (and cmd/gecco-vet) free
+// of a testing import.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// NewFixtureLoader returns a loader for analysistest fixtures: import paths
+// resolve as directories under <testdata>/src, mirroring the layout of
+// x/tools' analysistest. Share one loader across every fixture test in a
+// package — standard-library type-checking is cached per loader, and the
+// fixtures only import small stdlib packages.
+func NewFixtureLoader(testdata string) *Loader {
+	return NewLoader(filepath.Join(testdata, "src"), "")
+}
+
+// RunFixture loads the fixture package at relpath under the loader's root,
+// runs the analyzers through the full pipeline (including gecco-allow
+// directive filtering), and checks the surviving findings against the
+// fixture's `// want "re"` comments: every finding must match a want on its
+// line, and every want must be matched by a finding. Backquoted regexps
+// (// want `...`) avoid double escaping.
+func RunFixture(t TB, l *Loader, relpath string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkg, err := l.LoadPackage(relpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", relpath, err)
+	}
+	for _, e := range pkg.TypeErrors {
+		t.Errorf("fixture %s: typecheck: %v", relpath, e)
+	}
+	wants := parseWants(t, pkg)
+	for _, d := range Run([]*Package{pkg}, analyzers) {
+		if !matchWant(wants, d) {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// want is one `// want "re"` expectation, anchored to its comment's line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// matchWant marks and reports the first unmatched want on the diagnostic's
+// line whose regexp matches its message.
+func matchWant(wants []*want, d Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts the fixture's want comments. A comment may carry
+// several quoted regexps (`// want "a" "b"`) when a line expects several
+// findings.
+func parseWants(t TB, pkg *Package) []*want {
+	t.Helper()
+	var ws []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				rest, ok = strings.CutPrefix(strings.TrimSpace(rest), "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+						break
+					}
+					rest = rest[len(q):]
+					lit, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s:%d: unquoting want pattern %s: %v", pos.Filename, pos.Line, q, err)
+						continue
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, lit, err)
+						continue
+					}
+					ws = append(ws, &want{file: pos.Filename, line: pos.Line, re: re, raw: lit})
+				}
+			}
+		}
+	}
+	return ws
+}

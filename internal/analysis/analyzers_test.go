@@ -1,0 +1,39 @@
+package analysis
+
+import (
+	"sync"
+	"testing"
+)
+
+// fixtureLoader is shared across the fixture tests so the standard-library
+// packages the fixtures import are type-checked from source only once.
+var fixtureLoader = sync.OnceValue(func() *Loader { return NewFixtureLoader("testdata") })
+
+func TestDetMapFixture(t *testing.T) {
+	RunFixture(t, fixtureLoader(), "detmap", DetMap)
+}
+
+func TestWallClockFixture(t *testing.T) {
+	l := fixtureLoader()
+	RunFixture(t, l, "wallclock/internal/distance", WallClock)
+	// The built-in allowlist (internal/par) and an out-of-scope package:
+	// both fixtures use the clock and carry no want comments, so any
+	// finding fails the run.
+	RunFixture(t, l, "wallclock/internal/par", WallClock)
+	RunFixture(t, l, "wallclock/render", WallClock)
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	l := fixtureLoader()
+	RunFixture(t, l, "ctxflow/internal/core", CtxFlow)
+	// package main may mint root contexts and scan without a ctx.
+	RunFixture(t, l, "ctxflow/cmd/app", CtxFlow)
+}
+
+func TestOnceSafeFixture(t *testing.T) {
+	RunFixture(t, fixtureLoader(), "oncesafe", OnceSafe)
+}
+
+func TestHotPathFixture(t *testing.T) {
+	RunFixture(t, fixtureLoader(), "hotpath", HotPath)
+}

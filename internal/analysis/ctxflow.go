@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// CtxFlow enforces the repository's cancellation discipline, built up by
+// PR 1 (context-cancellable pipeline) and PR 2 (serving layer): work that
+// scales with the log or the candidate space must be abortable.
+//
+// Two rules:
+//
+//  1. In the pipeline packages (core, service, stream, candidates), an
+//     exported function that loops over traces, candidates, variants, or a
+//     frontier must accept a context.Context — otherwise a client
+//     disconnect or shutdown cannot stop the scan.
+//  2. Library (non-main, non-test) code must not mint context.Background()
+//     or context.TODO(): it severs the caller's cancellation chain. Root
+//     contexts belong in main functions and tests; compatibility wrappers
+//     that deliberately opt out carry a justified gecco-allow.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "requires contexts on trace/candidate scans and bans context.Background in library code",
+	Run:  runCtxFlow,
+}
+
+// ctxflowScope are the pipeline packages rule 1 applies to.
+var ctxflowScope = []string{
+	"internal/core", "internal/service", "internal/stream", "internal/candidates",
+}
+
+// ctxflowLoopMarkers are identifier fragments (lower-cased) that mark a loop
+// as iterating the log or candidate space.
+var ctxflowLoopMarkers = []string{"trace", "candidate", "cand", "variant", "frontier"}
+
+func runCtxFlow(pass *Pass) {
+	isMain := pass.Pkg != nil && pass.Pkg.Name() == "main"
+	inScope := pass.pathSuffixIn(ctxflowScope...)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && !isMain {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+					(sel.Sel.Name == "Background" || sel.Sel.Name == "TODO") &&
+					pass.pkgNameOf(sel.X) == "context" {
+					pass.Reportf(call.Pos(), "context.%s() in library code severs the caller's cancellation chain; accept a ctx parameter instead (root contexts belong in main and tests)", sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	if !inScope || isMain {
+		return
+	}
+	funcDecls(pass.Files, func(fn *ast.FuncDecl) {
+		if !fn.Name.IsExported() || hasCtxParam(pass, fn) {
+			return
+		}
+		if _, ok := findUncancellableScan(fn); !ok {
+			return
+		}
+		// Anchor at the signature, not the loop: the fix (and any
+		// gecco-allow) belongs on the declaration.
+		pass.Reportf(fn.Name.Pos(), "exported %s loops over traces/candidates without accepting a context.Context; long scans must be cancellable (add a ctx parameter or a ...Context variant)", fn.Name.Name)
+	})
+}
+
+// hasCtxParam reports whether any parameter's type is context.Context.
+func hasCtxParam(pass *Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		if t := pass.TypesInfo.TypeOf(field.Type); t != nil && t.String() == "context.Context" {
+			return true
+		}
+		// Syntactic fallback for packages with broken type info.
+		if sel, ok := field.Type.(*ast.SelectorExpr); ok && sel.Sel.Name == "Context" {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "context" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// findUncancellableScan returns the position of the first loop in the body
+// that iterates the log or candidate space.
+func findUncancellableScan(fn *ast.FuncDecl) (token.Pos, bool) {
+	var found token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found.IsValid() {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if mentionsScanMarker(n.X) {
+				found = n.Pos()
+			}
+		case *ast.ForStmt:
+			if n.Cond != nil && mentionsScanMarker(n.Cond) {
+				found = n.Pos()
+			}
+		}
+		return !found.IsValid()
+	})
+	return found, found.IsValid()
+}
+
+// mentionsScanMarker reports whether any identifier under e names traces,
+// candidates, variants, or a frontier.
+func mentionsScanMarker(e ast.Expr) bool {
+	match := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !match {
+			name := strings.ToLower(id.Name)
+			for _, m := range ctxflowLoopMarkers {
+				if strings.Contains(name, m) {
+					match = true
+				}
+			}
+		}
+		return !match
+	})
+	return match
+}

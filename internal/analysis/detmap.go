@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetMap flags `range` loops over maps whose iteration order can leak into
+// output: elements appended to a slice that is never subsequently sorted,
+// written to an encoder or writer, or concatenated into a string inside the
+// loop. Go randomises map iteration order per run, so any of these turns a
+// deterministic computation into one whose output differs between processes
+// — the exact class of bug the PR 1 determinism pins (byte-identical
+// abstraction output under any worker count) exist to catch after the fact.
+// This analyzer catches it before: sort the collected keys or values (any
+// sort.* or slices.Sort* call mentioning the slice satisfies the check), or
+// iterate a sorted key slice instead.
+var DetMap = &Analyzer{
+	Name: "detmap",
+	Doc:  "flags map-iteration order leaking into slices, writers, or strings",
+	Run:  runDetMap,
+}
+
+// detmapEmitters are method names that emit values in call order; calling
+// one inside a map range makes the output order the map's iteration order.
+var detmapEmitters = map[string]bool{"Encode": true, "WriteString": true}
+
+// detmapFmtEmitters are the fmt functions that write to a stream.
+var detmapFmtEmitters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func runDetMap(pass *Pass) {
+	funcDecls(pass.Files, func(fn *ast.FuncDecl) {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || !pass.isMap(rng.X) {
+				return true
+			}
+			checkMapRange(pass, fn, rng)
+			return true
+		})
+	})
+}
+
+func checkMapRange(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	appendTargets := map[types.Object]token.Pos{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// out += ... inside a map range builds a string (or sum whose
+			// float rounding depends on order) in iteration order.
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isOrderSensitiveConcat(pass, n.Lhs[0]) {
+				pass.Reportf(n.Pos(), "string built by += inside range over map: iteration order becomes output order; collect and sort first")
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !pass.isBuiltin(call, "append") || i >= len(n.Lhs) {
+					continue
+				}
+				if obj := pass.rootObj(n.Lhs[i]); obj != nil {
+					if _, seen := appendTargets[obj]; !seen {
+						appendTargets[obj] = n.Pos()
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if pass.pkgNameOf(sel.X) == "fmt" && detmapFmtEmitters[sel.Sel.Name] {
+					pass.Reportf(n.Pos(), "fmt.%s inside range over map writes in map-iteration order; collect and sort first", sel.Sel.Name)
+				} else if detmapEmitters[sel.Sel.Name] && pass.pkgNameOf(sel.X) == "" {
+					pass.Reportf(n.Pos(), "%s call inside range over map emits in map-iteration order; collect and sort first", sel.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+	// An append target is fine when some later sort call touches it:
+	// sort.Strings(v), sort.Slice(v, ...), slices.Sort(v), sort.Sort(byX(v)),
+	// or v.Sort(). Anything else leaves map order in the slice.
+	for obj, pos := range appendTargets {
+		if !sortedAfter(pass, fn, rng, obj) {
+			pass.Reportf(pos, "%s is appended to in range over map and never sorted; map iteration order leaks into the slice (sort it, or iterate sorted keys)", obj.Name())
+		}
+	}
+}
+
+// isOrderSensitiveConcat reports whether += on this lvalue accumulates
+// order-sensitively (strings; numeric += is commutative for ints and close
+// enough for the tables' floats, so only strings are flagged).
+func isOrderSensitiveConcat(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// sortedAfter reports whether a sort.*/slices.* call (or obj.Sort())
+// mentioning obj appears after the range loop begins.
+func sortedAfter(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || sorted || call.Pos() <= rng.Pos() {
+			return !sorted
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch pass.pkgNameOf(sel.X) {
+		case "sort", "slices":
+			for _, arg := range call.Args {
+				if pass.referencesObj(arg, obj) {
+					sorted = true
+				}
+			}
+		default:
+			if sel.Sel.Name == "Sort" && pass.referencesObj(sel.X, obj) {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix is the suppression directive. The full form is
+//
+//	//lint:gecco-allow(<analyzer>): <one-line justification>
+//
+// and suppresses that analyzer's findings on the same line or the line
+// directly below (so the directive can sit on its own line above the
+// flagged statement). Both the analyzer name and the justification are
+// mandatory: an unexplained suppression is itself a finding.
+const allowPrefix = "//lint:gecco-allow"
+
+// hotpathMarker opts a function into the hotpath analyzer's allocation and
+// formatting bans. It must appear as its own line in the function's doc
+// comment.
+const hotpathMarker = "//gecco:hotpath"
+
+// HotpathMarked reports whether the function's doc comment carries the
+// //gecco:hotpath marker.
+func HotpathMarked(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), hotpathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// directive is one parsed //lint:gecco-allow comment.
+type directive struct {
+	analyzer string
+	pos      token.Position
+	bad      string // non-empty when malformed; the complaint to report
+}
+
+type directiveSet struct {
+	// byLine maps file:line to the directives in force on that line.
+	byLine map[string][]directive
+	bads   []directive
+}
+
+func lineKey(file string, line int) string { return file + ":" + itoa(line) }
+
+// itoa avoids strconv for a two-call-site int format (lines are positive).
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// collectDirectives scans the files' comments for gecco-allow directives.
+func collectDirectives(fset *token.FileSet, files []*ast.File) *directiveSet {
+	ds := &directiveSet{byLine: make(map[string][]directive)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				d := parseDirective(c.Text)
+				d.pos = fset.Position(c.Pos())
+				if d.bad != "" {
+					ds.bads = append(ds.bads, d)
+					continue
+				}
+				// The directive covers its own line and the next one, so it
+				// can be written inline or on the preceding line.
+				key := lineKey(d.pos.Filename, d.pos.Line)
+				ds.byLine[key] = append(ds.byLine[key], d)
+				key = lineKey(d.pos.Filename, d.pos.Line+1)
+				ds.byLine[key] = append(ds.byLine[key], d)
+			}
+		}
+	}
+	return ds
+}
+
+// parseDirective validates one gecco-allow comment.
+func parseDirective(text string) directive {
+	rest := strings.TrimPrefix(text, allowPrefix)
+	if !strings.HasPrefix(rest, "(") {
+		return directive{bad: "missing (analyzer): use //lint:gecco-allow(<analyzer>): <justification>"}
+	}
+	name, after, ok := strings.Cut(rest[1:], ")")
+	if !ok || strings.TrimSpace(name) == "" {
+		return directive{bad: "missing (analyzer): use //lint:gecco-allow(<analyzer>): <justification>"}
+	}
+	reason, ok := strings.CutPrefix(strings.TrimSpace(after), ":")
+	if !ok || strings.TrimSpace(reason) == "" {
+		return directive{bad: "missing justification: every gecco-allow must explain why the invariant is safe to waive here"}
+	}
+	return directive{analyzer: strings.TrimSpace(name)}
+}
+
+// filter drops diagnostics covered by a matching directive.
+func (ds *directiveSet) filter(raw []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range raw {
+		if ds.allowed(d) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func (ds *directiveSet) allowed(d Diagnostic) bool {
+	for _, dir := range ds.byLine[lineKey(d.Pos.Filename, d.Pos.Line)] {
+		if dir.analyzer == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// malformed reports broken directives as findings so they fail the build
+// instead of silently suppressing nothing.
+func (ds *directiveSet) malformed() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range ds.bads {
+		out = append(out, Diagnostic{Analyzer: "directive", Pos: d.pos, Message: d.bad})
+	}
+	return out
+}

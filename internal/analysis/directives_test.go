@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGeccoAllowSuppression drives the directive machinery end to end over
+// the suppress fixture: a justified directive (preceding-line or inline)
+// drops the finding, a directive naming the wrong analyzer does not, and a
+// malformed directive suppresses nothing and is itself reported.
+func TestGeccoAllowSuppression(t *testing.T) {
+	pkg, err := fixtureLoader().LoadPackage("suppress")
+	if err != nil {
+		t.Fatalf("loading suppress fixture: %v", err)
+	}
+	for _, e := range pkg.TypeErrors {
+		t.Fatalf("suppress fixture: typecheck: %v", e)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{DetMap})
+
+	var detmap, directive []Diagnostic
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "detmap":
+			detmap = append(detmap, d)
+		case "directive":
+			directive = append(directive, d)
+		default:
+			t.Errorf("unexpected analyzer %q in %s", d.Analyzer, d)
+		}
+	}
+	// The two justified directives suppress their findings; the
+	// wrong-analyzer and two malformed ones leave theirs standing.
+	if len(detmap) != 3 {
+		t.Errorf("detmap findings = %d, want 3 (wrongAnalyzerName, missingJustification, missingAnalyzer):\n%s", len(detmap), render(detmap))
+	}
+	if len(directive) != 2 {
+		t.Errorf("directive findings = %d, want 2 (missing justification, missing analyzer):\n%s", len(directive), render(directive))
+	}
+	for _, d := range detmap {
+		// Suppressed lines live in the first two functions (lines < 22).
+		if d.Pos.Line < 22 {
+			t.Errorf("finding on a suppressed line: %s", d)
+		}
+	}
+	sawJustification, sawAnalyzer := false, false
+	for _, d := range directive {
+		if strings.Contains(d.Message, "missing justification") {
+			sawJustification = true
+		}
+		if strings.Contains(d.Message, "missing (analyzer)") {
+			sawAnalyzer = true
+		}
+	}
+	if !sawJustification || !sawAnalyzer {
+		t.Errorf("malformed-directive messages missing a case: justification=%v analyzer=%v\n%s", sawJustification, sawAnalyzer, render(directive))
+	}
+}
+
+// TestParseDirectiveForms pins the accepted and rejected directive shapes.
+func TestParseDirectiveForms(t *testing.T) {
+	cases := []struct {
+		text     string
+		analyzer string
+		bad      bool
+	}{
+		{"//lint:gecco-allow(detmap): keys feed an order-independent set", "detmap", false},
+		{"//lint:gecco-allow( wallclock ): spaces around the name are fine", "wallclock", false},
+		{"//lint:gecco-allow(detmap)", "", true},
+		{"//lint:gecco-allow(detmap):", "", true},
+		{"//lint:gecco-allow(detmap):   ", "", true},
+		{"//lint:gecco-allow: no analyzer", "", true},
+		{"//lint:gecco-allow()", "", true},
+	}
+	for _, c := range cases {
+		d := parseDirective(c.text)
+		if (d.bad != "") != c.bad {
+			t.Errorf("parseDirective(%q): bad=%q, want malformed=%v", c.text, d.bad, c.bad)
+		}
+		if !c.bad && d.analyzer != c.analyzer {
+			t.Errorf("parseDirective(%q): analyzer=%q, want %q", c.text, d.analyzer, c.analyzer)
+		}
+	}
+}
+
+func render(ds []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range ds {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}

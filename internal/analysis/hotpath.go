@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPath enforces the allocation and formatting bans on functions marked
+// //gecco:hotpath — the constraint-evaluation and distance inner loops that
+// run once per candidate group (tens of thousands of times per solve).
+// PR 5's columnar refactor took string formatting (Value.AsString) and
+// per-event map probes off exactly these paths for its ~9x memory and
+// throughput win; this analyzer keeps them off. In a marked function:
+//
+//   - no fmt.* calls (formatting allocates and reflects; diagnostics
+//     belong outside the loop),
+//   - no Value.AsString calls (string materialisation per event was the
+//     pre-PR 5 regression; compare dictionary codes instead),
+//   - no map allocation via make or literals (a map per candidate or per
+//     segment thrashes the allocator; use the linear-scan or bitset
+//     patterns of distinctValues/variantTerm).
+//
+// New hot-path functions must carry the marker: reviewers enforce the
+// marker, the analyzer enforces the marker's meaning.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbids fmt, Value.AsString, and map allocation in //gecco:hotpath functions",
+	Run:  runHotPath,
+}
+
+func runHotPath(pass *Pass) {
+	funcDecls(pass.Files, func(fn *ast.FuncDecl) {
+		if !HotpathMarked(fn) {
+			return
+		}
+		name := fn.Name.Name
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if ok {
+					if pass.pkgNameOf(sel.X) == "fmt" {
+						pass.Reportf(n.Pos(), "fmt.%s in //gecco:hotpath function %s: formatting allocates on the per-candidate path; move diagnostics out of the loop", sel.Sel.Name, name)
+					} else if sel.Sel.Name == "AsString" {
+						pass.Reportf(n.Pos(), "AsString in //gecco:hotpath function %s materialises a string per event (the pre-columnar regression); compare dictionary codes instead", name)
+					}
+				}
+				if pass.isBuiltin(n, "make") && len(n.Args) > 0 && isMapTypeExpr(pass, n.Args[0]) {
+					pass.Reportf(n.Pos(), "map allocation in //gecco:hotpath function %s: a map per candidate/segment thrashes the allocator; use a linear scan or bitset scratch", name)
+				}
+			case *ast.CompositeLit:
+				if isMapTypeExpr(pass, n) {
+					pass.Reportf(n.Pos(), "map literal in //gecco:hotpath function %s: a map per candidate/segment thrashes the allocator; use a linear scan or bitset scratch", name)
+				}
+			}
+			return true
+		})
+	})
+}
+
+// isMapTypeExpr reports whether the expression denotes (or has) a map type.
+func isMapTypeExpr(pass *Pass, e ast.Expr) bool {
+	if _, ok := ast.Unparen(e).(*ast.MapType); ok {
+		return true
+	}
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	Path       string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages from source. Import paths under
+// ModulePath resolve to directories under RootDir; everything else is
+// resolved by the standard library's source importer, so the loader needs
+// neither a populated module cache nor network access. Test files are not
+// loaded: the suite's invariants target production code, and the
+// determinism tests themselves legitimately iterate maps.
+type Loader struct {
+	// RootDir is the directory module-local import paths resolve under.
+	RootDir string
+	// ModulePath is the import-path prefix mapping to RootDir. Empty means
+	// every import path is first tried as a RootDir subdirectory (the
+	// fixture layout of analysistest).
+	ModulePath string
+
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*Package
+	// loading guards against import cycles, which the go tool forbids but a
+	// hand-written fixture could contain.
+	loading map[string]bool
+}
+
+// NewLoader returns a loader rooted at dir. Cgo is disabled globally so the
+// source importer can type-check net and friends from their pure-Go
+// fallbacks without invoking the cgo tool.
+func NewLoader(rootDir, modulePath string) *Loader {
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		RootDir:    rootDir,
+		ModulePath: modulePath,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}
+}
+
+// ModulePathFromGoMod reads the module path from dir/go.mod.
+func ModulePathFromGoMod(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module line in %s/go.mod", dir)
+}
+
+// LoadAll loads every package under RootDir, skipping testdata, vendor, and
+// hidden directories, in deterministic (path-sorted) order.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.RootDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.RootDir && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var out []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.RootDir, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.ModulePath
+		if rel != "." {
+			path = l.ModulePath + "/" + filepath.ToSlash(rel)
+			if l.ModulePath == "" {
+				path = filepath.ToSlash(rel)
+			}
+		}
+		pkg, err := l.loadDir(dir, path)
+		if err != nil {
+			if isNoGoError(err) {
+				continue
+			}
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadPackage loads the package whose import path is relpath relative to
+// RootDir (the analysistest entry point).
+func (l *Loader) LoadPackage(relpath string) (*Package, error) {
+	return l.loadDir(filepath.Join(l.RootDir, filepath.FromSlash(relpath)), relpath)
+}
+
+func isNoGoError(err error) bool {
+	var noGo *build.NoGoError
+	if ok := errorsAs(err, &noGo); ok {
+		return true
+	}
+	return false
+}
+
+// errorsAs is errors.As without the reflective generality — build.NoGoError
+// is the only wrapped error the loader inspects.
+func errorsAs(err error, target **build.NoGoError) bool {
+	for err != nil {
+		if e, ok := err.(*build.NoGoError); ok {
+			*target = e
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// loadDir parses and type-checks the package in dir under the given import
+// path, caching the result.
+func (l *Loader) loadDir(dir, path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	// go/build's build-constraint filtering picked GoFiles; _test.go files
+	// are already excluded by ImportDir.
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check returns a usable (if incomplete) package even on errors; the
+	// collected TypeErrors let callers decide how loudly to complain.
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	pkg.Types = tpkg
+	pkg.TypesInfo = info
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer: module-local paths load from source
+// under RootDir, everything else falls through to the standard library's
+// source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if local, rel := l.localPath(path); local {
+		pkg, err := l.loadDir(filepath.Join(l.RootDir, filepath.FromSlash(rel)), path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// localPath reports whether path resolves under RootDir and, if so, the
+// RootDir-relative directory.
+func (l *Loader) localPath(path string) (bool, string) {
+	if l.ModulePath != "" {
+		if path == l.ModulePath {
+			return true, "."
+		}
+		if rel, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+			return true, rel
+		}
+		return false, ""
+	}
+	// Fixture mode: a path is local when its directory exists under RootDir.
+	dir := filepath.Join(l.RootDir, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return true, path
+	}
+	return false, ""
+}

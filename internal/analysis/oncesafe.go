@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// OnceSafe guards against the single-flight race class fixed after PR 3:
+// the session cache's sync.Once-style publication could return a nil
+// session because the build closure had a path that consumed the Once
+// without assigning the captured result variables — latecomers then blocked
+// on a "done" signal whose results never arrive, and the nil session
+// poisoned the cache.
+//
+// Two rules:
+//
+//  1. A sync.Once.Do closure that assigns captured variables must not be
+//     able to return before the assignments: once Do returns, the Once is
+//     spent forever, so an early return publishes zero values to every
+//     future caller. (Panics are the unavoidable residue; guard them with a
+//     deferred publish as internal/service's session cache does.)
+//  2. A sync.Once declared as a function-local variable provides no
+//     single-flight at all — every call constructs a fresh Once — and
+//     almost always means the Once was meant to be a struct or package
+//     field.
+var OnceSafe = &Analyzer{
+	Name: "oncesafe",
+	Doc:  "flags sync.Once closures with early returns and function-local Once variables",
+	Run:  runOnceSafe,
+}
+
+func runOnceSafe(pass *Pass) {
+	funcDecls(pass.Files, func(fn *ast.FuncDecl) {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Do" || !isSyncOnce(pass, sel.X) {
+				return true
+			}
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil && declaredInside(obj, fn) {
+					pass.Reportf(call.Pos(), "sync.Once %s is declared inside the function: every call gets a fresh Once, so Do gives no single-flight; make it a struct or package-level field", id.Name)
+				}
+			}
+			if len(call.Args) == 1 {
+				if lit, ok := ast.Unparen(call.Args[0]).(*ast.FuncLit); ok {
+					checkOnceClosure(pass, lit)
+				}
+			}
+			return true
+		})
+	})
+}
+
+// isSyncOnce reports whether the expression is a sync.Once (or *sync.Once).
+func isSyncOnce(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Once" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// checkOnceClosure flags early returns in a Do closure that assigns
+// captured variables. Do takes func(), so a return can only be an early
+// exit; if the closure publishes results through captured variables, that
+// exit leaves them unassigned with the Once already spent.
+func checkOnceClosure(pass *Pass, lit *ast.FuncLit) {
+	assignsCaptured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || assignsCaptured {
+			return !assignsCaptured
+		}
+		for _, lhs := range as.Lhs {
+			obj := pass.rootObj(lhs)
+			if obj != nil && (obj.Pos() < lit.Pos() || obj.Pos() > lit.End()) {
+				assignsCaptured = true
+			}
+		}
+		return true
+	})
+	if !assignsCaptured {
+		return
+	}
+	last := lit.Body.List[len(lit.Body.List)-1]
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false // a nested closure's returns exit that closure, not the Do body
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if ret == last {
+			return true // a trailing return cannot skip the assignments above it
+		}
+		pass.Reportf(ret.Pos(), "sync.Once.Do closure can return before assigning its captured results; the Once is then spent and every future caller sees zero values (publish under a deferred assignment instead)")
+		return true
+	})
+}

@@ -1,0 +1,20 @@
+// Fixture for the ctxflow analyzer: package main is where root contexts
+// belong, so both rules are off here.
+package main
+
+import "context"
+
+type Trace struct{ ID string }
+
+func ScanAll(traces []Trace) int {
+	n := 0
+	for range traces {
+		n++
+	}
+	return n
+}
+
+func main() {
+	_ = context.Background()
+	_ = ScanAll(nil)
+}

@@ -1,0 +1,47 @@
+// Fixture for the ctxflow analyzer: the path suffix internal/core puts this
+// package in the pipeline scope of rule 1; rule 2 (no context.Background in
+// library code) applies to any non-main package.
+package core
+
+import "context"
+
+type Trace struct{ ID string }
+
+func ScanAll(traces []Trace) int { // want `exported ScanAll loops over traces/candidates without accepting a context\.Context`
+	n := 0
+	for range traces {
+		n++
+	}
+	return n
+}
+
+func ScanAllCtx(ctx context.Context, traces []Trace) int {
+	n := 0
+	for range traces {
+		if ctx.Err() != nil {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func scanAllUnexported(traces []Trace) int {
+	n := 0
+	for range traces {
+		n++
+	}
+	return n
+}
+
+func Mint() context.Context {
+	return context.Background() // want `context\.Background\(\) in library code severs the caller's cancellation chain`
+}
+
+func CountThings(things []int) int {
+	n := 0
+	for range things {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,80 @@
+// Fixture for the detmap analyzer: map-iteration order leaking into
+// slices, writers, and strings, plus the sorted (clean) variants.
+package detmap
+
+import (
+	"fmt"
+	"sort"
+)
+
+type encoder struct{}
+
+func (encoder) Encode(v any) error { return nil }
+
+type writer struct{}
+
+func (writer) WriteString(s string) {}
+
+type list []string
+
+func (l list) Sort() {}
+
+func leakSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `keys is appended to in range over map and never sorted`
+	}
+	return keys
+}
+
+func cleanSortedSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func cleanMethodSort(m map[string]int) list {
+	var out list
+	for k := range m {
+		out = append(out, k)
+	}
+	out.Sort()
+	return out
+}
+
+func leakPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt.Printf inside range over map writes in map-iteration order`
+	}
+}
+
+func leakEncode(m map[string]int, enc encoder) {
+	for k := range m {
+		enc.Encode(k) // want `Encode call inside range over map emits in map-iteration order`
+	}
+}
+
+func leakWrite(m map[string]int, w writer) {
+	for k := range m {
+		w.WriteString(k) // want `WriteString call inside range over map emits in map-iteration order`
+	}
+}
+
+func leakConcat(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k // want `string built by \+= inside range over map`
+	}
+	return out
+}
+
+func cleanCommutativeSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

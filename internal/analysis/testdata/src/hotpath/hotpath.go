@@ -1,0 +1,53 @@
+// Fixture for the hotpath analyzer: fmt, AsString, and map allocation are
+// banned inside //gecco:hotpath functions and fine everywhere else.
+package hotpath
+
+import "fmt"
+
+type Value struct{}
+
+func (Value) AsString() string { return "" }
+
+// hot is the flagged variant.
+//
+//gecco:hotpath
+func hot(vs []Value) string {
+	out := ""
+	for _, v := range vs {
+		out += v.AsString() // want `AsString in //gecco:hotpath function hot materialises a string per event`
+	}
+	seen := make(map[string]int) // want `map allocation in //gecco:hotpath function hot`
+	_ = seen
+	fmt.Println(out) // want `fmt\.Println in //gecco:hotpath function hot`
+	return out
+}
+
+// hotLit allocates via a literal instead of make.
+//
+//gecco:hotpath
+func hotLit() map[string]int {
+	return map[string]int{} // want `map literal in //gecco:hotpath function hotLit`
+}
+
+// cold is unmarked: the same operations are fine off the hot path.
+func cold(vs []Value) string {
+	out := ""
+	for _, v := range vs {
+		out += v.AsString()
+	}
+	seen := make(map[string]int)
+	_ = seen
+	fmt.Println(out)
+	return out
+}
+
+// hotClean is marked but uses only allowed operations.
+//
+//gecco:hotpath
+func hotClean(vs []Value) int {
+	n := 0
+	for range vs {
+		n++
+	}
+	return n
+}

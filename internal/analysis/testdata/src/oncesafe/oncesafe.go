@@ -1,0 +1,57 @@
+// Fixture for the oncesafe analyzer: early returns inside sync.Once.Do
+// closures that publish captured results, and function-local Once values.
+package oncesafe
+
+import "sync"
+
+type cache struct {
+	once sync.Once
+	val  int
+	err  error
+}
+
+func (c *cache) get(build func() (int, error)) (int, error) {
+	c.once.Do(func() {
+		v, err := build()
+		if err != nil {
+			return // want `sync\.Once\.Do closure can return before assigning its captured results`
+		}
+		c.val = v
+		c.err = err
+	})
+	return c.val, c.err
+}
+
+func (c *cache) getSafe(build func() (int, error)) (int, error) {
+	c.once.Do(func() {
+		c.val, c.err = build()
+	})
+	return c.val, c.err
+}
+
+func (c *cache) getDeferred(build func() (int, error)) (int, error) {
+	c.once.Do(func() {
+		var v int
+		var err error
+		defer func() {
+			c.val, c.err = v, err
+		}()
+		v, err = build()
+	})
+	return c.val, c.err
+}
+
+func localOnce(f func()) {
+	var once sync.Once
+	once.Do(f) // want `sync\.Once once is declared inside the function`
+}
+
+func onlyLocalWork() int {
+	var total int
+	var once sync.Once
+	_ = once
+	for i := 0; i < 3; i++ {
+		total += i
+	}
+	return total
+}

@@ -1,0 +1,42 @@
+// Fixture for the gecco-allow directive machinery: a justified directive on
+// the preceding line suppresses, an inline one on the same line suppresses,
+// and a malformed one suppresses nothing and is itself a finding.
+package suppress
+
+import "fmt"
+
+func allowedPrecedingLine(m map[string]int) {
+	for k := range m {
+		//lint:gecco-allow(detmap): fixture: output order is deliberately irrelevant here
+		fmt.Println(k)
+	}
+}
+
+func allowedInline(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k //lint:gecco-allow(detmap): fixture: inline-form suppression
+	}
+	return out
+}
+
+func wrongAnalyzerName(m map[string]int) {
+	for k := range m {
+		//lint:gecco-allow(wallclock): fixture: names the wrong analyzer, so detmap still fires
+		fmt.Println(k)
+	}
+}
+
+func missingJustification(m map[string]int) {
+	for k := range m {
+		//lint:gecco-allow(detmap)
+		fmt.Println(k)
+	}
+}
+
+func missingAnalyzer(m map[string]int) {
+	for k := range m {
+		//lint:gecco-allow: fixture: no analyzer name
+		fmt.Println(k)
+	}
+}

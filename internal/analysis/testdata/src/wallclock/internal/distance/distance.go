@@ -1,0 +1,20 @@
+// Fixture for the wallclock analyzer: the path suffix internal/distance
+// puts this package in the deterministic-solver scope.
+package distance
+
+import (
+	"math/rand" // want `import of math/rand in deterministic solver package`
+	"time"
+)
+
+func deadline(budget time.Duration) time.Time {
+	return time.Now().Add(budget) // want `time\.Now in deterministic solver package`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since in deterministic solver package`
+}
+
+func pick(n int) int { return rand.Intn(n) }
+
+func cleanArithmetic(d time.Duration) time.Duration { return 2 * d }

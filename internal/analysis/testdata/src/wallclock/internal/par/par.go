@@ -1,0 +1,9 @@
+// Fixture for the wallclock analyzer's built-in allowlist: internal/par is
+// the sanctioned budget-sampling site, so its clock reads are clean.
+package par
+
+import "time"
+
+func BudgetDeadline(budget time.Duration) time.Time {
+	return time.Now().Add(budget)
+}

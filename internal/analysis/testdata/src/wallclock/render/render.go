@@ -1,0 +1,7 @@
+// Fixture for the wallclock analyzer: this package is outside the
+// deterministic-solver scope, so clock reads are clean here.
+package render
+
+import "time"
+
+func Stamp() string { return time.Now().Format(time.RFC3339) }

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// pkgNameOf returns the imported package path when e is an identifier
+// denoting a package (the X of fmt.Println), or "".
+func (p *Pass) pkgNameOf(e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := p.TypesInfo.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// rootObj resolves the variable an lvalue ultimately writes through:
+// identifiers resolve directly, selector chains resolve to their leftmost
+// identifier (assigning s.field publishes through s). Index expressions and
+// everything else return nil — keyed writes land at a deterministic
+// destination regardless of iteration order.
+func (p *Pass) rootObj(e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if obj := p.TypesInfo.Uses[v]; obj != nil {
+				return obj
+			}
+			return p.TypesInfo.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// referencesObj reports whether any identifier under n denotes obj.
+func (p *Pass) referencesObj(n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !found {
+			if p.TypesInfo.Uses[id] == obj || p.TypesInfo.Defs[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isMap reports whether the expression's type is (or underlies to) a map.
+func (p *Pass) isMap(e ast.Expr) bool {
+	t := p.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isBuiltin reports whether the call's function is the named builtin.
+func (p *Pass) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = p.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// pathSuffixIn reports whether the pass's package path ends in one of the
+// given suffixes ("internal/core" matches both the real module path and the
+// analysistest fixture path "ctxflow/internal/core").
+func (p *Pass) pathSuffixIn(suffixes ...string) bool {
+	for _, s := range suffixes {
+		if p.PkgPath == s || strings.HasSuffix(p.PkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// declaredInside reports whether the object's declaration lies within the
+// function's body (a function-local variable).
+func declaredInside(obj types.Object, fn *ast.FuncDecl) bool {
+	return obj.Pos() >= fn.Body.Pos() && obj.Pos() <= fn.Body.End()
+}
+
+// funcDecls yields every function declaration with a body.
+func funcDecls(files []*ast.File, fn func(*ast.FuncDecl)) {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}

@@ -73,6 +73,7 @@ type budgetState struct {
 func (b *budgetState) start(ctx context.Context) {
 	b.ctx = ctx
 	if b.TimeLimit > 0 {
+		//lint:gecco-allow(wallclock): opt-in Budget.TimeLimit deadline; solvers are deterministic when no time limit is set
 		b.deadline = time.Now().Add(b.TimeLimit)
 	}
 	// Whichever of Budget.TimeLimit and the context deadline expires first
@@ -108,6 +109,7 @@ func (b *budgetState) tick() bool {
 	if b.deadline.IsZero() {
 		return true
 	}
+	//lint:gecco-allow(wallclock): sampled deadline probe behind the same opt-in TimeLimit; sampling keeps the hot loop clock-free
 	if sample && time.Now().After(b.deadline) {
 		b.timedOut.Store(true)
 		b.ticks.Add(-1) // the expired item is not evaluated
@@ -208,6 +210,7 @@ func (s *set) hasSatisfyingSubset(g bitset.Set, universe int) bool {
 // per CPU); results are merged in frontier order, so the output is identical
 // for any worker count.
 func Exhaustive(x *eventlog.Index, ev *constraints.Evaluator, budget Budget, workers int) Result {
+	//lint:gecco-allow(ctxflow): convenience wrapper; ExhaustiveCtx is the cancellable variant
 	return ExhaustiveCtx(context.Background(), x, ev, budget, workers)
 }
 
@@ -330,6 +333,7 @@ func pathKey(nodes []int) string {
 // CPU) with a sequential in-order merge, so the search — including the beam
 // cut — is deterministic for any worker count.
 func DFGBased(x *eventlog.Index, ev *constraints.Evaluator, dc *distance.Calc, g *dfg.Graph, beamWidth int, budget Budget, workers int) Result {
+	//lint:gecco-allow(ctxflow): convenience wrapper; DFGBasedCtx is the cancellable variant
 	return DFGBasedCtx(context.Background(), x, ev, dc, g, beamWidth, budget, workers)
 }
 

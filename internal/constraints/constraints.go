@@ -346,6 +346,8 @@ func (c InstanceAggregate) String() string {
 // holdsOne checks the constraint for a single instance, reading the
 // attribute's column at the instance's global event positions — typed array
 // loads gated by a presence bitset, no per-event map probe.
+//
+//gecco:hotpath
 func (c InstanceAggregate) holdsOne(ctx *InstanceContext, col *eventlog.Column, inst *instances.Instance) bool {
 	base := ctx.X.TraceStart(inst.Trace)
 	switch c.AggFn {
@@ -440,6 +442,7 @@ func distinctValues(col *eventlog.Column, base int, positions []int) int {
 	return len(seen)
 }
 
+//gecco:hotpath
 func (c InstanceAggregate) HoldsInstances(ctx *InstanceContext, _ bitset.Set, insts []instances.Instance) bool {
 	col := ctx.X.Column(c.Attr)
 	for i := range insts {

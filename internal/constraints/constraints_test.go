@@ -314,6 +314,37 @@ func TestDiagnose(t *testing.T) {
 	}
 }
 
+// TestSharesSortedDeterministicOrder pins the rendering order of the
+// per-constraint diagnostics: descending rejection share, ties by constraint
+// text. The CLI and examples print via SharesSorted, never by ranging over
+// the PerConstraint map, so infeasibility reports are byte-identical per run.
+func TestSharesSortedDeterministicOrder(t *testing.T) {
+	v := &Violations{PerConstraint: map[string]float64{
+		"distinct(role) <= 1":  0.25,
+		"sum(duration) >= 101": 1.0,
+		"min(count) >= 2":      0.25,
+	}}
+	want := []ConstraintShare{
+		{"sum(duration) >= 101", 1.0},
+		{"distinct(role) <= 1", 0.25},
+		{"min(count) >= 2", 0.25},
+	}
+	for i := 0; i < 50; i++ {
+		got := v.SharesSorted()
+		if len(got) != len(want) {
+			t.Fatalf("SharesSorted len = %d, want %d", len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("iteration %d: SharesSorted[%d] = %+v, want %+v", i, j, got[j], want[j])
+			}
+		}
+	}
+	if (*Violations)(nil).SharesSorted() != nil {
+		t.Error("nil Violations should yield nil shares")
+	}
+}
+
 func TestVacuousForMissingAttr(t *testing.T) {
 	log := &eventlog.Log{Traces: []eventlog.Trace{{ID: "1", Events: []eventlog.Event{
 		{Class: "a"}, {Class: "b"},

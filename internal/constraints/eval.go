@@ -95,6 +95,8 @@ func (e *Evaluator) classAttrValues(attr string) []map[string]struct{} {
 }
 
 // HoldsClass checks only the class-based constraints for the group.
+//
+//gecco:hotpath
 func (e *Evaluator) HoldsClass(g bitset.Set) bool {
 	for _, c := range e.Set.Class {
 		if !c.HoldsGroup(&e.classCtx, g) {
@@ -106,6 +108,8 @@ func (e *Evaluator) HoldsClass(g bitset.Set) bool {
 
 // HoldsInstance checks only the instance-based constraints for the group,
 // scanning the log once to materialise the group's instances.
+//
+//gecco:hotpath
 func (e *Evaluator) HoldsInstance(g bitset.Set) bool {
 	if len(e.Set.Instance) == 0 {
 		return true
@@ -122,6 +126,8 @@ func (e *Evaluator) HoldsInstance(g bitset.Set) bool {
 
 // Holds checks all per-group constraints (R_C then R_I), memoising the
 // verdict per group.
+//
+//gecco:hotpath
 func (e *Evaluator) Holds(g bitset.Set) bool {
 	return e.verdicts.Do(g.Key(), func() bool {
 		e.checks.Add(1)
@@ -134,6 +140,8 @@ func (e *Evaluator) Holds(g bitset.Set) bool {
 // violating a *non*-monotonic constraint (e.g. mustlink with one endpoint)
 // may still have satisfying supergroups and must stay expandable, whereas an
 // anti-monotonic violation can never be repaired by growing the group.
+//
+//gecco:hotpath
 func (e *Evaluator) HoldsAnti(g bitset.Set) bool {
 	return e.antiVerdicts.Do(g.Key(), func() bool {
 		for _, c := range e.Set.Class {
@@ -183,6 +191,32 @@ type Violations struct {
 	// bounds and group-size bounds (e.g. 70 classes cannot be covered by 3
 	// groups of at most 8 classes); empty if none was detected.
 	GroupBoundConflict string
+}
+
+// ConstraintShare is one PerConstraint entry in a stable order.
+type ConstraintShare struct {
+	Constraint string
+	Fraction   float64
+}
+
+// SharesSorted returns the PerConstraint map as a slice sorted by
+// descending fraction, ties broken by constraint text — the order user-facing
+// output must use so diagnostics render identically run to run.
+func (v *Violations) SharesSorted() []ConstraintShare {
+	if v == nil {
+		return nil
+	}
+	out := make([]ConstraintShare, 0, len(v.PerConstraint))
+	for c, f := range v.PerConstraint {
+		out = append(out, ConstraintShare{Constraint: c, Fraction: f})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Fraction != out[j].Fraction {
+			return out[i].Fraction > out[j].Fraction
+		}
+		return out[i].Constraint < out[j].Constraint
+	})
+	return out
 }
 
 func (v *Violations) String() string {

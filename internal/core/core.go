@@ -127,6 +127,7 @@ type Result struct {
 
 // Run executes the full GECCO pipeline on the log under the constraint set.
 func Run(log *eventlog.Log, set *constraints.Set, cfg Config) (*Result, error) {
+	//lint:gecco-allow(ctxflow): convenience wrapper; RunContext is the cancellable variant
 	return RunContext(context.Background(), log, set, cfg)
 }
 

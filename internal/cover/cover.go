@@ -68,12 +68,14 @@ type Result struct {
 // classes. Costs must be non-negative (GECCO's distance always is); +Inf
 // costs effectively remove a candidate.
 func SolveBB(p *Problem) Result {
+	//lint:gecco-allow(ctxflow): convenience wrapper; SolveBBCtx is the cancellable variant
 	return solveBB(context.Background(), p, time.Time{})
 }
 
 // SolveBBTimeout is SolveBB with a wall-clock budget; on expiry the best
 // incumbent found so far (if any) is returned with Feasible reflecting it.
 func SolveBBTimeout(p *Problem, budget time.Duration) Result {
+	//lint:gecco-allow(ctxflow): convenience wrapper; SolveBBCtx is the cancellable variant
 	return SolveBBCtx(context.Background(), p, budget)
 }
 
@@ -83,6 +85,7 @@ func SolveBBTimeout(p *Problem, budget time.Duration) Result {
 func SolveBBCtx(ctx context.Context, p *Problem, budget time.Duration) Result {
 	deadline := time.Time{}
 	if budget > 0 {
+		//lint:gecco-allow(wallclock): opt-in wall-clock budget of SolveBBTimeout; exact solves pass budget=0 and never read the clock
 		deadline = time.Now().Add(budget)
 	}
 	if cd, ok := ctx.Deadline(); ok && (deadline.IsZero() || cd.Before(deadline)) {
@@ -175,6 +178,7 @@ func solveBB(ctx context.Context, p *Problem, deadline time.Time) Result {
 				timedOut = true
 				return
 			}
+			//lint:gecco-allow(wallclock): deadline probe behind the same opt-in budget; zero deadline short-circuits before the clock read
 			if !deadline.IsZero() && time.Now().After(deadline) {
 				timedOut = true
 				return
@@ -308,6 +312,7 @@ func greedyCover(p *Problem, byClass [][]int) ([]int, float64, bool) {
 // SolveMIP solves the problem via the paper's MIP formulation (Eq. 3–5):
 // binary selected_g and covered_c variables with coverage-linking rows.
 func SolveMIP(p *Problem, opts mip.Options) (Result, mip.Status) {
+	//lint:gecco-allow(ctxflow): convenience wrapper; SolveMIPCtx is the cancellable variant
 	return SolveMIPCtx(context.Background(), p, opts)
 }
 

@@ -54,6 +54,8 @@ func (c *Calc) MemoLen() int { return c.cache.Len() }
 
 // Group computes dist(g, L) per Eq. 1. Groups with no instances in the log
 // (which only arise for never-occurring class combinations) score +Inf.
+//
+//gecco:hotpath
 func (c *Calc) Group(g bitset.Set) float64 {
 	return c.cache.Do(g.Key(), func() float64 {
 		c.evals.Add(1)
@@ -67,6 +69,8 @@ func (c *Calc) Group(g bitset.Set) float64 {
 // is accumulated locally and the subtotals are reduced in variant order, so
 // the floating-point result is bit-identical no matter how many workers
 // evaluate the variants.
+//
+//gecco:hotpath
 func (c *Calc) compute(g bitset.Set) float64 {
 	nv := c.X.NumVariants()
 	sum := 0.0
@@ -96,7 +100,12 @@ func (c *Calc) compute(g bitset.Set) float64 {
 
 // variantTerm evaluates the Eq. 1 summand of one variant: the weighted sum
 // over the variant's group instances and the number of instances
-// contributed (times the variant's trace multiplicity).
+// contributed (times the variant's trace multiplicity). The distinct-class
+// count per segment uses a bitset scratch cleared between segments instead
+// of a per-segment map: class ids are dense in [0, NumClasses), and the
+// scratch is local to the call so concurrent variants never share it.
+//
+//gecco:hotpath
 func (c *Calc) variantTerm(g bitset.Set, v int) (sum float64, numInsts int) {
 	if !c.X.VariantClasses[v].Intersects(g) {
 		return 0, 0
@@ -104,16 +113,19 @@ func (c *Calc) variantTerm(g bitset.Set, v int) (sum float64, numInsts int) {
 	seq := c.X.VariantSeq(v)
 	size := float64(g.Len())
 	weight := float64(c.X.VariantCount[v])
+	seen := bitset.New(c.X.NumClasses())
 	for _, positions := range instances.Segments(seq, c.X.NumClasses(), g, c.Policy) {
 		first, last := positions[0], positions[len(positions)-1]
 		interrupts := (last - first + 1) - len(positions)
 		present := 0
-		seen := make(map[uint32]struct{}, len(positions))
 		for _, pos := range positions {
-			if _, ok := seen[seq[pos]]; !ok {
-				seen[seq[pos]] = struct{}{}
+			if cls := int(seq[pos]); !seen.Contains(cls) {
+				seen.Add(cls)
 				present++
 			}
+		}
+		for _, pos := range positions {
+			seen.Remove(int(seq[pos]))
 		}
 		missing := g.Len() - present
 		sum += weight * (float64(interrupts)/float64(len(positions)) + float64(missing)/size + 1/size)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -19,13 +20,13 @@ type Detail struct {
 
 // DetailTable runs one configuration over all logs and sets, returning the
 // full per-problem matrix. Problems on the same log share a session.
-func DetailTable(mode core.Mode, opts Options) []Detail {
+func DetailTable(ctx context.Context, mode core.Mode, opts Options) []Detail {
 	opts = opts.withDefaults()
 	pool := newSessionPool()
 	var out []Detail
 	for _, id := range AllSets() {
 		for _, log := range opts.Logs {
-			m := pool.run(log, id, mode, opts)
+			m := pool.run(ctx, log, id, mode, opts)
 			out = append(out, Detail{Log: log.Name, Set: id, Mode: mode, Measures: m})
 		}
 	}

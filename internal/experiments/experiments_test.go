@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -81,7 +82,7 @@ func TestFrequentPairDeterministic(t *testing.T) {
 
 func TestRunProblemSolvesA(t *testing.T) {
 	logs := smallLogs(t)
-	m := RunProblem(logs[0], SetA, core.Exhaustive, quickOpts(logs))
+	m := RunProblem(context.Background(), logs[0], SetA, core.Exhaustive, quickOpts(logs))
 	if !m.Applicable || !m.Solved {
 		t.Fatalf("A on the 4-class log should solve: %+v", m)
 	}
@@ -92,7 +93,7 @@ func TestRunProblemSolvesA(t *testing.T) {
 
 func TestTable5ShapeOnSubset(t *testing.T) {
 	logs := smallLogs(t)
-	rows := Table5(quickOpts(logs))
+	rows := Table5(context.Background(), quickOpts(logs))
 	if len(rows) != len(AllSets()) {
 		t.Fatalf("got %d rows, want %d", len(rows), len(AllSets()))
 	}
@@ -122,7 +123,7 @@ func TestTable5ShapeOnSubset(t *testing.T) {
 
 func TestTable6ConfigurationsOrdered(t *testing.T) {
 	logs := smallLogs(t)
-	rows := Table6(quickOpts(logs))
+	rows := Table6(context.Background(), quickOpts(logs))
 	if len(rows) != 3 {
 		t.Fatalf("got %d rows", len(rows))
 	}
@@ -142,7 +143,7 @@ func TestTable6ConfigurationsOrdered(t *testing.T) {
 
 func TestTable7BaselineShape(t *testing.T) {
 	logs := smallLogs(t)
-	rows := Table7(quickOpts(logs))
+	rows := Table7(context.Background(), quickOpts(logs))
 	if len(rows) != 6 {
 		t.Fatalf("got %d rows", len(rows))
 	}
@@ -192,7 +193,7 @@ func TestPrintTable3(t *testing.T) {
 
 func TestDetailTableAndMatrix(t *testing.T) {
 	logs := smallLogs(t)[:1]
-	details := DetailTable(core.DFGBeam, quickOpts(logs))
+	details := DetailTable(context.Background(), core.DFGBeam, quickOpts(logs))
 	if len(details) != len(AllSets()) {
 		t.Fatalf("got %d details, want %d", len(details), len(AllSets()))
 	}

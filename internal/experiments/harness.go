@@ -73,19 +73,20 @@ func evaluate(sess *core.Session, res *core.Result, elapsed time.Duration) Measu
 // scores it on a fresh session. Table drivers that sweep many sets and
 // configurations over the same log share a session via RunProblemSession
 // instead, which is exactly the workload the session engine exists for.
-func RunProblem(log *eventlog.Log, id SetID, mode core.Mode, opts Options) Measures {
+func RunProblem(ctx context.Context, log *eventlog.Log, id SetID, mode core.Mode, opts Options) Measures {
 	sess, err := core.NewSession(log)
 	if err != nil {
 		return sessionBuildFailure()
 	}
-	return RunProblemSession(sess, id, mode, opts)
+	return RunProblemSession(ctx, sess, id, mode, opts)
 }
 
 // RunProblemSession solves one abstraction problem on an existing session.
 // Seconds measures only the constraint-dependent solve — the interactive
 // cost a warm session pays — mirroring how the serving layer amortises
-// per-log analysis across requests.
-func RunProblemSession(sess *core.Session, id SetID, mode core.Mode, opts Options) Measures {
+// per-log analysis across requests. Cancelling ctx aborts the solve; the
+// problem then scores as applicable-but-unsolved, like any failed run.
+func RunProblemSession(ctx context.Context, sess *core.Session, id SetID, mode core.Mode, opts Options) Measures {
 	opts = opts.withDefaults()
 	set, ok := BuildSet(id, sess.Index())
 	if !ok {
@@ -98,7 +99,7 @@ func RunProblemSession(sess *core.Session, id SetID, mode core.Mode, opts Option
 		SolverTimeout: opts.SolverTimeout,
 	}
 	start := time.Now()
-	res, err := sess.Solve(context.Background(), set, cfg)
+	res, err := sess.Solve(ctx, set, cfg)
 	elapsed := time.Since(start)
 	if err != nil {
 		return Measures{Applicable: true, Seconds: elapsed.Seconds()}
@@ -141,12 +142,12 @@ func (p *sessionPool) get(log *eventlog.Log) *core.Session {
 
 // run solves the problem on the pool's session for the log, charging any
 // unbilled session-build time to the first solved measure.
-func (p *sessionPool) run(log *eventlog.Log, id SetID, mode core.Mode, opts Options) Measures {
+func (p *sessionPool) run(ctx context.Context, log *eventlog.Log, id SetID, mode core.Mode, opts Options) Measures {
 	sess := p.get(log)
 	if sess == nil {
 		return sessionBuildFailure()
 	}
-	m := RunProblemSession(sess, id, mode, opts)
+	m := RunProblemSession(ctx, sess, id, mode, opts)
 	if m.Solved {
 		if pending, ok := p.pending[log]; ok {
 			m.Seconds += pending.Seconds()
@@ -215,14 +216,15 @@ func (a *aggregate) row(label string) Row {
 
 // Table5 runs the Exh configuration per constraint set (paper Table V).
 // All sets on one log share a session, as an interactive user would.
-func Table5(opts Options) []Row {
+// Cancelling ctx makes the remaining problems score as unsolved.
+func Table5(ctx context.Context, opts Options) []Row {
 	opts = opts.withDefaults()
 	pool := newSessionPool()
 	var rows []Row
 	for _, id := range AllSets() {
 		agg := &aggregate{}
 		for _, log := range opts.Logs {
-			agg.add(pool.run(log, id, core.Exhaustive, opts))
+			agg.add(pool.run(ctx, log, id, core.Exhaustive, opts))
 		}
 		rows = append(rows, agg.row(string(id)))
 	}
@@ -233,7 +235,7 @@ func Table5(opts Options) []Row {
 // (paper Table VI). Sessions are shared per log across sets and
 // configurations — Eq. 1 depends on neither, so the distance memo warms up
 // over the whole sweep.
-func Table6(opts Options) []Row {
+func Table6(ctx context.Context, opts Options) []Row {
 	opts = opts.withDefaults()
 	pool := newSessionPool()
 	modes := []core.Mode{core.Exhaustive, core.DFGUnbounded, core.DFGBeam}
@@ -242,7 +244,7 @@ func Table6(opts Options) []Row {
 		agg := &aggregate{}
 		for _, id := range CoreSets() {
 			for _, log := range opts.Logs {
-				agg.add(pool.run(log, id, mode, opts))
+				agg.add(pool.run(ctx, log, id, mode, opts))
 			}
 		}
 		rows = append(rows, agg.row(mode.String()))
@@ -252,7 +254,7 @@ func Table6(opts Options) []Row {
 
 // Table7 runs the baseline comparisons (paper Table VII): BL_Q vs DFG∞ on
 // BL1–BL3, BL_P vs Exh on BL4, BL_G vs DFGk on A, M, N.
-func Table7(opts Options) []Row {
+func Table7(ctx context.Context, opts Options) []Row {
 	opts = opts.withDefaults()
 	pool := newSessionPool()
 	var rows []Row
@@ -261,7 +263,7 @@ func Table7(opts Options) []Row {
 	geccoQ, blq := &aggregate{}, &aggregate{}
 	for _, id := range []SetID{SetBL1, SetBL2, SetBL3} {
 		for _, log := range opts.Logs {
-			geccoQ.add(pool.run(log, id, core.DFGUnbounded, opts))
+			geccoQ.add(pool.run(ctx, log, id, core.DFGUnbounded, opts))
 			blq.add(runBaselineQ(pool.get(log), id, opts))
 		}
 	}
@@ -271,7 +273,7 @@ func Table7(opts Options) []Row {
 	// BL4: Exh vs spectral partitioning.
 	geccoP, blp := &aggregate{}, &aggregate{}
 	for _, log := range opts.Logs {
-		geccoP.add(pool.run(log, SetBL4, core.Exhaustive, opts))
+		geccoP.add(pool.run(ctx, log, SetBL4, core.Exhaustive, opts))
 		blp.add(runBaselineP(pool.get(log), opts))
 	}
 	rows = append(rows, withLabel(geccoP.row(""), "BL4 Exh"))
@@ -281,7 +283,7 @@ func Table7(opts Options) []Row {
 	geccoG, blg := &aggregate{}, &aggregate{}
 	for _, id := range []SetID{SetA, SetM, SetN} {
 		for _, log := range opts.Logs {
-			geccoG.add(pool.run(log, id, core.DFGBeam, opts))
+			geccoG.add(pool.run(ctx, log, id, core.DFGBeam, opts))
 			blg.add(runBaselineG(pool.get(log), id, opts))
 		}
 	}

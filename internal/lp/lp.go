@@ -94,6 +94,7 @@ const (
 
 // Solve solves the problem with two-phase primal simplex.
 func Solve(p *Problem) Solution {
+	//lint:gecco-allow(ctxflow): convenience wrapper; SolveContext is the cancellable variant
 	return SolveContext(context.Background(), p)
 }
 

@@ -81,6 +81,7 @@ func (q *nodeQueue) Pop() any          { old := *q; n := old[len(old)-1]; *q = o
 
 // Solve runs branch and bound.
 func Solve(p *Problem, opts Options) Solution {
+	//lint:gecco-allow(ctxflow): convenience wrapper; SolveContext is the cancellable variant
 	return SolveContext(context.Background(), p, opts)
 }
 
@@ -97,6 +98,7 @@ func SolveContext(ctx context.Context, p *Problem, opts Options) Solution {
 	}
 	deadline := time.Time{}
 	if opts.TimeLimit > 0 {
+		//lint:gecco-allow(wallclock): opt-in Options.TimeLimit deadline; the default solve never reads the clock
 		deadline = time.Now().Add(opts.TimeLimit)
 	}
 
@@ -149,6 +151,7 @@ func SolveContext(ctx context.Context, p *Problem, opts Options) Solution {
 			status = Cancelled
 			break
 		}
+		//lint:gecco-allow(wallclock): deadline probe behind the same opt-in TimeLimit; zero deadline short-circuits before the clock read
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			status = TimeLimitHit
 			break

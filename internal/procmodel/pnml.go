@@ -4,6 +4,7 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // PNML serialisation: the model is converted into a Petri net in the
@@ -126,8 +127,8 @@ func (m *Model) WritePNML(w io.Writer) error {
 		net.Transitions = append(net.Transitions, tr)
 	}
 	// Deterministic output order.
-	sortPlaces(net.Places)
-	sortTransitions(net.Transitions)
+	sort.Slice(net.Places, func(i, j int) bool { return net.Places[i].ID < net.Places[j].ID })
+	sort.Slice(net.Transitions, func(i, j int) bool { return net.Transitions[i].ID < net.Transitions[j].ID })
 	for i, a := range pn.arcs {
 		net.Arcs = append(net.Arcs, pnmlArc{ID: fmt.Sprintf("arc_%d", i+1), Source: a[0], Target: a[1]})
 	}
@@ -141,20 +142,4 @@ func (m *Model) WritePNML(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, "\n")
 	return err
-}
-
-func sortPlaces(ps []pnmlPlace) {
-	for i := 1; i < len(ps); i++ {
-		for j := i; j > 0 && ps[j].ID < ps[j-1].ID; j-- {
-			ps[j], ps[j-1] = ps[j-1], ps[j]
-		}
-	}
-}
-
-func sortTransitions(ts []pnmlTransition) {
-	for i := 1; i < len(ts); i++ {
-		for j := i; j > 0 && ts[j].ID < ts[j-1].ID; j-- {
-			ts[j], ts[j-1] = ts[j-1], ts[j]
-		}
-	}
 }

@@ -28,6 +28,8 @@ import (
 // decorates the output (a cache hit echoes the first run's name). Trace-
 // and log-level attributes are excluded for the same reason: constraints
 // and distance read only event data, so they cannot change the result.
+//
+//lint:gecco-allow(ctxflow): pure CPU hash over a body already capped at maxBodyBytes (64 MiB); finishes in tens of ms, nothing to cancel
 func LogDigest(log *eventlog.Log) string {
 	h := sha256.New()
 	writeInt(h, len(log.Traces))

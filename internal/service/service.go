@@ -266,6 +266,7 @@ type Service struct {
 // New builds a service; the caller must Close it.
 func New(opts Options) *Service {
 	opts = opts.withDefaults()
+	//lint:gecco-allow(ctxflow): service-lifetime root by design: jobs outlive the submitting request and are cancelled via Close or DELETE /jobs/{id}
 	ctx, cancel := context.WithCancel(context.Background())
 	var sessions *sessionCache
 	if opts.SessionCapacity > 0 {

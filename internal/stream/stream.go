@@ -192,6 +192,7 @@ func (a *Abstractor) ActivityNames() []string {
 // Push consumes one trace and returns its abstraction under the current
 // grouping; it is PushContext under context.Background().
 func (a *Abstractor) Push(tr eventlog.Trace) (eventlog.Trace, error) {
+	//lint:gecco-allow(ctxflow): convenience wrapper; PushContext is the cancellable variant
 	return a.PushContext(context.Background(), tr)
 }
 

@@ -10,6 +10,7 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"time"
 
@@ -306,12 +307,7 @@ func sortedAttrKeys(m map[string]eventlog.Value) []string {
 	for k := range m {
 		keys = append(keys, k)
 	}
-	// insertion sort; attribute maps are tiny
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
+	sort.Strings(keys)
 	return keys
 }
 

@@ -9,11 +9,16 @@ MAX_REGRESS ?= 0.25
 # bench-baseline all expand it, so the checked-in baseline cannot drift from
 # what the gate measures. -stream-bench adds the online abstractor's
 # per-arrival rows, so the gate also guards streaming cost regressions;
-# -index-bench adds columnar index build-throughput and bytes/event rows, so
-# it also guards the event-log core's memory layout.
+# -index-bench adds columnar index build-throughput and bytes/event rows plus
+# the restart cost rows (IndexCold = re-parse+build, IndexOpen = OpenIndex on
+# the persistent file, with a hard >= 5x open-vs-cold floor), so it guards
+# both the event-log core's memory layout and the persistent format's point.
 BENCH_FLAGS = -table 6 -quick -stream-bench -index-bench
+# Where `make serve` keeps the warm tier (spilled session indexes, persisted
+# results); `make clean-data` wipes it.
+DATA_DIR ?= gecco-data
 
-.PHONY: build test race vet lint staticcheck fmt-check bench bench-gate bench-baseline serve examples all
+.PHONY: build test race vet lint staticcheck fmt-check bench bench-gate bench-baseline serve examples clean-data all
 
 all: build vet lint fmt-check test
 
@@ -75,4 +80,9 @@ examples:
 	done
 
 serve:
-	$(GO) run ./cmd/gecco-serve -addr :8080
+	$(GO) run ./cmd/gecco-serve -addr :8080 -data-dir $(DATA_DIR)
+
+# Wipe the warm tier. Safe at any time: it holds only derived data (spilled
+# indexes, persisted results) that the next run rebuilds on demand.
+clean-data:
+	rm -rf $(DATA_DIR)

@@ -24,6 +24,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -42,6 +43,7 @@ import (
 	"gecco/internal/experiments"
 	"gecco/internal/procgen"
 	"gecco/internal/stream"
+	"gecco/internal/xes"
 )
 
 // benchReport is the machine-readable format of -json; rows are keyed by
@@ -71,7 +73,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker threads per problem (0 = all cores, 1 = the paper's sequential runs)")
 		sessions   = flag.Bool("session-bench", false, "measure the fixed loan-log refinement sweep: cold (pipeline per set) vs warm (one session)")
 		streams    = flag.Bool("stream-bench", false, "measure the online abstractor's per-arrival cost at window sizes 200 and 2000 (rows feed -json/-baseline; fails if the cost is not flat in the window)")
-		indexes    = flag.Bool("index-bench", false, "measure columnar index construction: build throughput (events/s) and estimated bytes/event vs the pointer-heavy *Log (rows feed -json/-baseline; fails unless the index is at least 2x smaller)")
+		indexes    = flag.Bool("index-bench", false, "measure the columnar index: build throughput (events/s), estimated bytes/event vs the pointer-heavy *Log, and restart cost (re-parse+build vs OpenIndex on the persistent file); fails unless the index is >= 2x smaller and OpenIndex >= 5x faster")
 		jsonOut    = flag.String("json", "", "write the measured rows as a JSON bench report to this file")
 		baseline   = flag.String("baseline", "", "compare the measured rows against this JSON bench report and fail on regression")
 		maxRegress = flag.Float64("max-regress", 0.25, "maximum tolerated per-config wall-time regression vs -baseline (0.25 = +25%)")
@@ -447,8 +449,13 @@ func indexBench() ([]experiments.Row, error) {
 		procgen.LoanLog(1000, 17),
 		procgen.RunningExample(2000, 7),
 	}
-	fmt.Println("columnar index — build throughput and footprint:")
-	rows := make([]experiments.Row, 0, len(benchLogs))
+	tmp, err := os.MkdirTemp("", "gecco-index-bench-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	fmt.Println("columnar index — build throughput, footprint, and cold start vs open:")
+	rows := make([]experiments.Row, 0, 3*len(benchLogs))
 	for _, log := range benchLogs {
 		events := log.NumEvents()
 		start := time.Now()
@@ -474,6 +481,50 @@ func indexBench() ([]experiments.Row, error) {
 			N:             reps * events,
 			BytesPerEvent: perEvent,
 		})
+
+		// Cold start vs warm open: what a server restart pays per log without
+		// and with the persistent index. Cold is the full pipeline a cache
+		// miss runs (parse the XES text, build the index); open is
+		// eventlog.OpenIndex on the spilled file.
+		var xesText bytes.Buffer
+		if err := xes.Write(&xesText, log); err != nil {
+			return nil, err
+		}
+		coldStart := time.Now()
+		for r := 0; r < reps; r++ {
+			parsed, err := xes.Read(bytes.NewReader(xesText.Bytes()))
+			if err != nil {
+				return nil, err
+			}
+			eventlog.NewIndex(parsed)
+		}
+		cold := time.Since(coldStart)
+
+		path := filepath.Join(tmp, log.Name+".gidx")
+		if err := eventlog.WriteIndexFile(path, x); err != nil {
+			return nil, err
+		}
+		openStart := time.Now()
+		for r := 0; r < reps; r++ {
+			opened, err := eventlog.OpenIndex(path)
+			if err != nil {
+				return nil, err
+			}
+			opened.Close()
+		}
+		open := time.Since(openStart)
+
+		speedup := cold.Seconds() / open.Seconds()
+		fmt.Printf("  %-22s cold %8.2fms (parse+build)   open %8.2fms   %5.1fx faster\n",
+			log.Name, cold.Seconds()*1e3/reps, open.Seconds()*1e3/reps, speedup)
+		if speedup < 5 {
+			return nil, fmt.Errorf("OpenIndex on %s is only %.1fx faster than re-parse+build (%.2fms vs %.2fms per rep); the persistent format must stay >= 5x faster",
+				log.Name, speedup, open.Seconds()*1e3/reps, cold.Seconds()*1e3/reps)
+		}
+		rows = append(rows,
+			experiments.Row{Label: "IndexCold/" + log.Name, Seconds: cold.Seconds(), N: reps * events},
+			experiments.Row{Label: "IndexOpen/" + log.Name, Seconds: open.Seconds(), N: reps * events},
+		)
 	}
 	return rows, nil
 }

@@ -3,11 +3,13 @@
 // disconnected client or a shutdown signal stops in-flight pipeline runs
 // mid-frontier. POST /stream serves the online workload: NDJSON traces in,
 // abstracted NDJSON out, with named per-stream abstractor state kept in a
-// bounded LRU across requests.
+// bounded LRU across requests. With -data-dir set, evicted session indexes
+// spill to disk as .gidx files and feasible results persist across
+// restarts (see the README's Persistence section and docs/FORMAT.md).
 //
 // Usage:
 //
-//	gecco-serve -addr :8080 -max-jobs 4 -cache-size 256 -max-streams 64
+//	gecco-serve -addr :8080 -max-jobs 4 -cache-size 256 -max-streams 64 -data-dir gecco-data
 //
 //	curl -s "localhost:8080/abstract?constraints=distinct(role)%20%3C%3D%201" \
 //	     -X POST --data-binary @events.xes
@@ -41,8 +43,18 @@ func main() {
 		streams   = flag.Int("max-streams", 64, "named online streams kept live for POST /stream (0 = disable streaming)")
 		workers   = flag.Int("workers", 0, "default worker threads per job (0 = all cores)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown window before in-flight jobs are cut")
+		dataDir   = flag.String("data-dir", "", "directory for the warm tier: spilled session indexes and persisted results survive restarts (empty = in-memory only)")
 	)
 	flag.Parse()
+
+	if *dataDir != "" {
+		// Fail loudly at startup rather than degrading silently mid-flight:
+		// an unusable data dir is an operator error, not a runtime condition.
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "gecco-serve: -data-dir:", err)
+			os.Exit(1)
+		}
+	}
 
 	svc := service.New(service.Options{
 		MaxConcurrent:   *maxJobs,
@@ -53,12 +65,16 @@ func main() {
 		MaxStreams:      *streams,
 		NoStreams:       *streams <= 0,
 		DefaultWorkers:  *workers,
+		DataDir:         *dataDir,
 	})
 	srv := &http.Server{Addr: *addr, Handler: service.Handler(svc)}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("gecco-serve listening on %s (max-jobs=%d cache-size=%d max-streams=%d)\n", *addr, *maxJobs, *cacheSize, *streams)
+	if *dataDir != "" {
+		fmt.Printf("gecco-serve persisting to %s\n", *dataDir)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

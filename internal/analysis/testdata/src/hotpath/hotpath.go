@@ -51,3 +51,23 @@ func hotClean(vs []Value) int {
 	}
 	return n
 }
+
+// codeAt mirrors the mapped-index decode accessors (eventlog.Column.codeAt
+// and friends): shift-based little-endian decoding from a byte view is
+// exactly what the hot path should look like, and must stay unflagged.
+//
+//gecco:hotpath
+func codeAt(b []byte, pos int) uint32 {
+	p := b[pos*4:]
+	return uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24
+}
+
+// codeAtSloppy is the decode accessor gone wrong: formatting and a map
+// cache per call defeat the point of a per-event accessor.
+//
+//gecco:hotpath
+func codeAtSloppy(b []byte, pos int) string {
+	cache := make(map[int]string) // want `map allocation in //gecco:hotpath function codeAtSloppy`
+	_ = cache
+	return fmt.Sprintf("%d", b[pos]) // want `fmt\.Sprintf in //gecco:hotpath function codeAtSloppy`
+}

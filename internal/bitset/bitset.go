@@ -39,6 +39,28 @@ func (s *Set) GrowAdd(i int) {
 // accounting.
 func (s Set) Bytes() int { return len(s.words) * 8 }
 
+// Words exposes the set's backing word slice — word i holds elements
+// [64i, 64i+64), least-significant bit first. The slice is the live backing
+// store, not a copy: callers must treat it as read-only. It exists for
+// serialisation (eventlog.WriteIndex stores bitsets as their in-memory word
+// layout, little-endian).
+func (s Set) Words() []uint64 { return s.words }
+
+// FromWords builds a set over the given backing words (same layout as
+// Words). The slice is adopted, not copied; the caller must not modify it
+// afterwards. It is the deserialisation counterpart of Words.
+func FromWords(words []uint64) Set { return Set{words: words} }
+
+// Max returns the largest element, or -1 if the set is empty.
+func (s Set) Max() int {
+	for i := len(s.words) - 1; i >= 0; i-- {
+		if w := s.words[i]; w != 0 {
+			return i*wordBits + 63 - bits.LeadingZeros64(w)
+		}
+	}
+	return -1
+}
+
 // FromSlice returns a set over [0, n) containing the given elements.
 func FromSlice(n int, elems []int) Set {
 	s := New(n)

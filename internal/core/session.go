@@ -112,6 +112,12 @@ func (s *Session) Log() *eventlog.Log {
 // once, so this is O(1) — the serving layer polls it for /stats.
 func (s *Session) EstimatedBytes() int64 { return s.indexBytes + s.logBytes.Load() }
 
+// MappedBytes reports the file-backed mapping size behind the session's
+// index — nonzero only for sessions warm-opened from an on-disk index file.
+// These pages are not Go heap and are accounted separately from
+// EstimatedBytes.
+func (s *Session) MappedBytes() int64 { return s.x.MappedBytes() }
+
 // Index returns the session's interned view of the log.
 func (s *Session) Index() *eventlog.Index { return s.x }
 

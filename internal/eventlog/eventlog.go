@@ -1,17 +1,34 @@
-// Package eventlog defines the event model of GECCO (§III-A of the paper):
-// events with a class and typed context attributes, traces as event
-// sequences, and logs as collections of traces — plus the columnar Index
-// every inner loop operates on. The Log/Trace/Event types remain the public
-// construction and round-tripping API; the Index interns event classes as
-// dense integers in a flat trace-major arena, interns attribute names, and
-// stores attribute values in per-attribute Columns (typed arrays gated by
-// presence bitsets, with dictionary-encoded strings), so candidate
-// computation, constraint checking, and the Eq. 1 distance never touch a
-// map[string]Value per event. An Index is self-contained: it carries the
-// log name, trace ids and trace/log attributes, and can reconstruct an
-// equivalent Log, letting long-lived holders release the original. Build an
-// Index from a Log with NewIndex, or stream one directly from a loader with
-// Builder.
+// Package eventlog defines the event model of GECCO (§III-A of the paper)
+// and the columnar store every inner loop operates on.
+//
+// The model: events with a class and typed context attributes, traces as
+// event sequences, and logs as collections of traces. The Log/Trace/Event
+// types remain the public construction and round-tripping API.
+//
+// The store: an Index interns event classes as dense integers in a flat
+// trace-major arena, interns attribute names, and keeps attribute values
+// in per-attribute Columns — typed arrays gated by presence bitsets, with
+// dictionary-encoded strings — so candidate computation, constraint
+// checking, and the Eq. 1 distance never touch a map[string]Value per
+// event. An Index is self-contained (log name, trace ids, trace/log
+// attributes, ReconstructLog), letting long-lived holders release the
+// original log.
+//
+// Construction and persistence:
+//
+//   - NewIndex builds an Index from a Log; Builder streams one directly
+//     from a loader (xes.ReadIndex, csvlog.ReadIndex) with no intermediate
+//     Log.
+//   - WriteIndex / WriteIndexFile serialise an Index to the versioned,
+//     checksummed binary format specified in docs/FORMAT.md; the encoding
+//     is canonical (one index, one byte representation).
+//   - OpenIndex brings a file back as pure IO — every derived structure is
+//     stored, nothing is re-parsed or re-built. On Unix the file is mapped
+//     read-only and bulk column payloads are decoded per access straight
+//     from the mapping (no unsafe, no heap copy); ReadIndex is the
+//     portable io.ReaderAt fallback that materialises everything. Both
+//     paths yield indexes whose reads, and whose re-encodings, are
+//     byte-identical to the original.
 package eventlog
 
 import (

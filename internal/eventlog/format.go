@@ -1,0 +1,81 @@
+package eventlog
+
+// On-disk index format constants. The authoritative byte-level specification
+// lives in docs/FORMAT.md; TestFormatDocMatchesCode cross-checks the
+// constants documented there against this file, so the two cannot drift
+// silently. Change a constant here and the spec (and, for layout changes,
+// IndexVersion) must change with it.
+
+// IndexMagic is the 8-byte ASCII magic at offset 0 of every index file.
+const IndexMagic = "GECCOIDX"
+
+// IndexVersion is the format version this implementation writes and the only
+// version it reads. Readers must reject any other version with a clean error
+// (never attempt a best-effort parse); compatibility policy is spelled out
+// in docs/FORMAT.md.
+const IndexVersion = 1
+
+const (
+	// headerSize is the fixed byte length of the file header.
+	headerSize = 40
+	// segEntrySize is the byte length of one segment-table entry.
+	segEntrySize = 32
+	// segAlign is the alignment of every segment payload's file offset.
+	segAlign = 8
+)
+
+// Segment kinds. Kinds 1–19 are whole-index segments (id field is 0); kinds
+// 20–39 are per-column segments (id field is the column index). Values are
+// part of the wire format: never renumber, only append.
+const (
+	segMeta           uint32 = 1  // log name + element counts
+	segClasses        uint32 = 2  // string table: class names, sorted
+	segClassTraces    uint32 = 3  // bitset list: per class, traces containing it
+	segClassFreq      uint32 = 4  // u64 array: per class, total event count
+	segArena          uint32 = 5  // u32 array: class id per event, trace-major
+	segTraceOff       uint32 = 6  // u64 array: per-trace arena offsets (+1 sentinel)
+	segTraceIDs       uint32 = 7  // string table: trace identifiers
+	segTraceVariant   uint32 = 8  // u32 array: per trace, its variant id
+	segVariantCount   uint32 = 9  // u64 array: per variant, trace multiplicity
+	segVariantArena   uint32 = 10 // u32 array: class id per variant event
+	segVariantOff     uint32 = 11 // u64 array: per-variant arena offsets (+1 sentinel)
+	segVariantClasses uint32 = 12 // bitset list: per variant, classes occurring in it
+	segLogAttrs       uint32 = 13 // attribute map: log-level attributes
+	segTraceAttrs     uint32 = 14 // attribute map list: per-trace attributes
+
+	segColMeta    uint32 = 20 // attribute name + uniform kind
+	segColPresent uint32 = 21 // bitset words: positions carrying the attribute
+	segColKinds   uint32 = 22 // u8 array: per-position kind (mixed columns only)
+	segColCodes   uint32 = 23 // u32 array: dictionary codes (string payloads)
+	segColDict    uint32 = 24 // string table: the dictionary
+	segColNums    uint32 = 25 // f64 array: numeric payloads (float and int kinds)
+	segColTimes   uint32 = 26 // 16-byte records: sec i64, nsec u32, zone-offset i32
+	segColBools   uint32 = 27 // bitset words: true positions of bool payloads
+)
+
+// segmentKindNames maps each segment kind to the name used in docs/FORMAT.md;
+// the format doc test asserts the table there matches this map exactly.
+var segmentKindNames = map[uint32]string{
+	segMeta:           "meta",
+	segClasses:        "classes",
+	segClassTraces:    "class-traces",
+	segClassFreq:      "class-freq",
+	segArena:          "arena",
+	segTraceOff:       "trace-off",
+	segTraceIDs:       "trace-ids",
+	segTraceVariant:   "trace-variant",
+	segVariantCount:   "variant-count",
+	segVariantArena:   "variant-arena",
+	segVariantOff:     "variant-off",
+	segVariantClasses: "variant-classes",
+	segLogAttrs:       "log-attrs",
+	segTraceAttrs:     "trace-attrs",
+	segColMeta:        "col-meta",
+	segColPresent:     "col-present",
+	segColKinds:       "col-kinds",
+	segColCodes:       "col-codes",
+	segColDict:        "col-dict",
+	segColNums:        "col-nums",
+	segColTimes:       "col-times",
+	segColBools:       "col-bools",
+}

@@ -1,0 +1,66 @@
+package eventlog
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestFormatSpecMatchesCode cross-checks docs/FORMAT.md against the
+// constants the implementation actually uses: magic, version, header and
+// table-entry sizes, alignment, and the full segment-kind table (numbers
+// and names both ways). The spec promises it is precise enough to
+// reimplement from; this test keeps that promise from rotting.
+func TestFormatSpecMatchesCode(t *testing.T) {
+	data, err := os.ReadFile("../../docs/FORMAT.md")
+	if err != nil {
+		t.Fatalf("the format spec must ship with the format: %v", err)
+	}
+	doc := string(data)
+
+	for _, want := range []string{
+		IndexMagic, // "GECCOIDX"
+		fmt.Sprintf("currently `%d`", IndexVersion),
+		fmt.Sprintf("header          (%d bytes)", headerSize),
+		fmt.Sprintf("(%d bytes per entry)", segEntrySize),
+		fmt.Sprintf("%d-byte aligned", segAlign),
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("spec does not state %q", want)
+		}
+	}
+
+	// Collect every `| <kind> | <name> |`-leading table row of the two
+	// segment-kind tables.
+	rowRE := regexp.MustCompile(`(?m)^\|\s*(\d+)\s\|\s([a-z][a-z-]*)\s+\|`)
+	documented := make(map[uint32]string)
+	for _, m := range rowRE.FindAllStringSubmatch(doc, -1) {
+		kind, err := strconv.ParseUint(m[1], 10, 32)
+		if err != nil {
+			t.Fatalf("unparseable kind in spec row %q: %v", m[0], err)
+		}
+		if prev, dup := documented[uint32(kind)]; dup {
+			t.Errorf("spec documents kind %d twice (%q and %q)", kind, prev, m[2])
+		}
+		documented[uint32(kind)] = m[2]
+	}
+
+	for kind, name := range segmentKindNames {
+		docName, ok := documented[kind]
+		if !ok {
+			t.Errorf("segment kind %d (%q) exists in code but not in the spec", kind, name)
+			continue
+		}
+		if docName != name {
+			t.Errorf("segment kind %d: code names it %q, spec names it %q", kind, name, docName)
+		}
+	}
+	for kind, name := range documented {
+		if _, ok := segmentKindNames[kind]; !ok {
+			t.Errorf("spec documents segment kind %d (%q) that the code does not define", kind, name)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+//go:build !unix
+
+package eventlog
+
+import (
+	"errors"
+	"os"
+)
+
+// mapping is the zero-copy file mapping used by OpenIndex on platforms that
+// support it. This stub keeps non-unix builds compiling; OpenIndex falls
+// back to the fully-loaded ReadIndex path there.
+type mapping struct {
+	data []byte
+}
+
+func mmapFile(f *os.File, size int64) (*mapping, error) {
+	return nil, errors.ErrUnsupported
+}
+
+func (m *mapping) close() error { return nil }

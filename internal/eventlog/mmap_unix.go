@@ -1,0 +1,44 @@
+//go:build unix
+
+package eventlog
+
+import (
+	"os"
+	"runtime"
+	"syscall"
+)
+
+// mapping is a read-only memory mapping of an index file. A finalizer backs
+// the explicit close so an Index whose owner forgot (or raced eviction with
+// an in-flight solve) never leaves views pointing at unmapped pages: as long
+// as any decoded slice aliases data, the Index referencing it keeps the
+// mapping reachable, and the GC only unmaps once nothing does.
+type mapping struct {
+	data []byte
+}
+
+// mmapFile maps the first size bytes of f read-only. The file descriptor can
+// be closed by the caller immediately afterwards; the mapping survives it.
+func mmapFile(f *os.File, size int64) (*mapping, error) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, syscall.EINVAL
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	m := &mapping{data: data}
+	runtime.SetFinalizer(m, func(m *mapping) { m.close() })
+	return m, nil
+}
+
+// close unmaps the region. Safe to call more than once.
+func (m *mapping) close() error {
+	if m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	runtime.SetFinalizer(m, nil)
+	return syscall.Munmap(data)
+}

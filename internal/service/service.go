@@ -2,17 +2,31 @@
 // manager running a bounded number of concurrent abstraction jobs, a
 // sharded LRU cache of results keyed by log digest + canonicalised
 // constraint set + config, and coalescing of identical in-flight requests
-// onto a single pipeline run. Cancellation is cooperative end to end: every
-// job runs under a context derived from the service's base context, a
-// synchronous caller that goes away (client disconnect, timeout) cancels
-// the job when it was its last waiter, and shutting the service down
-// cancels everything mid-frontier via core.RunContext.
+// onto a single pipeline run.
+//
+// Under the result cache sits a two-tier session cache. The hot tier is an
+// in-RAM LRU of live core.Sessions keyed by log digest: a request on a
+// known log reuses its frozen index, DFG, and warm distance memo. With
+// Options.DataDir set, a warm tier persists under that directory: evicted
+// sessions spill their columnar index to disk (docs/FORMAT.md) and are
+// rebuilt via eventlog.OpenIndex — pure IO — instead of re-parsing;
+// feasible cacheable results are written through and reloaded at startup;
+// Close spills the whole working set so a restart comes up warm. The disk
+// tier is strictly a cache: every file is checksummed, and corruption
+// falls back to the cold path. docs/ARCHITECTURE.md diagrams the flow.
+//
+// Cancellation is cooperative end to end: every job runs under a context
+// derived from the service's base context, a synchronous caller that goes
+// away (client disconnect, timeout) cancels the job when it was its last
+// waiter, and shutting the service down cancels everything mid-frontier
+// via core.RunContext.
 package service
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -78,6 +92,15 @@ type Options struct {
 	// DefaultWorkers is the per-job worker count applied when a request
 	// leaves Config.Workers at 0; 0 keeps the pipeline default (all CPUs).
 	DefaultWorkers int
+	// DataDir, when set, enables the warm tier: sessions evicted from the
+	// in-RAM LRU spill their columnar index to <DataDir>/index/<digest>.gidx
+	// (rebuilt later via OpenIndex instead of re-parsing), feasible cacheable
+	// results persist to <DataDir>/results/ and are reloaded into the result
+	// cache at startup, and Close spills every live session so a restart
+	// warm-opens its working set. Empty keeps the service purely in-memory.
+	// The directory is created if missing; if it cannot be, persistence is
+	// disabled with a note on stderr and the service runs in-memory.
+	DataDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -233,6 +256,9 @@ type Stats struct {
 	// counts, and arrival/regrouping totals across all streams ever served.
 	Streams StreamStats `json:"streams"`
 	Jobs    JobStats    `json:"jobs"`
+	// Disk reports the warm tier under the data dir; nil when DataDir is
+	// unset (or its store could not be opened).
+	Disk *DiskStats `json:"disk,omitempty"`
 }
 
 // Service runs abstraction jobs with bounded concurrency, caching, and
@@ -242,6 +268,7 @@ type Service struct {
 	cache    *Cache
 	sessions *sessionCache  // nil when NoSessions
 	streams  *streamManager // nil when NoStreams
+	store    *diskStore     // nil when DataDir unset or unusable
 	sem      chan struct{}
 
 	baseCtx    context.Context
@@ -268,19 +295,34 @@ func New(opts Options) *Service {
 	opts = opts.withDefaults()
 	//lint:gecco-allow(ctxflow): service-lifetime root by design: jobs outlive the submitting request and are cancelled via Close or DELETE /jobs/{id}
 	ctx, cancel := context.WithCancel(context.Background())
+	var store *diskStore
+	if opts.DataDir != "" {
+		var err error
+		if store, err = openDiskStore(opts.DataDir); err != nil {
+			// New has no error return by contract; a server that cannot
+			// persist still serves, just cold after restarts.
+			fmt.Fprintf(os.Stderr, "service: persistence disabled: %v\n", err)
+			store = nil
+		}
+	}
 	var sessions *sessionCache
 	if opts.SessionCapacity > 0 {
-		sessions = newSessionCache(opts.SessionCapacity)
+		sessions = newSessionCache(opts.SessionCapacity, store)
 	}
 	var streams *streamManager
 	if opts.MaxStreams > 0 {
 		streams = newStreamManager(opts.MaxStreams)
 	}
+	cache := NewCache(opts.CacheCapacity)
+	if store != nil && opts.CacheCapacity > 0 {
+		store.loadResults(cache)
+	}
 	return &Service{
 		opts:       opts,
-		cache:      NewCache(opts.CacheCapacity),
+		cache:      cache,
 		sessions:   sessions,
 		streams:    streams,
+		store:      store,
 		sem:        make(chan struct{}, opts.MaxConcurrent),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -291,7 +333,9 @@ func New(opts Options) *Service {
 
 // Close cancels every queued and running job and waits for them to stop.
 // Requests arriving at or after Close are rejected with ErrClosed, so no
-// job can start once the wait begins.
+// job can start once the wait begins. With a warm tier configured, every
+// live session's index is spilled after the jobs drain, so a restarted
+// process warm-opens its whole working set.
 func (s *Service) Close() {
 	s.mu.Lock()
 	s.closed = true
@@ -304,6 +348,12 @@ func (s *Service) Close() {
 	}
 	s.baseCancel()
 	s.active.Wait()
+	if s.sessions != nil {
+		s.sessions.spillAll()
+	}
+	if s.store != nil {
+		s.store.close()
+	}
 }
 
 // Meta describes how a synchronous request was served.
@@ -434,6 +484,9 @@ func (s *Service) Stats() Stats {
 		Failed:    s.failed.Load(),
 		Cancelled: s.cancelled.Load(),
 		Coalesced: s.coalesced.Load(),
+	}
+	if s.store != nil {
+		st.Disk = s.store.stats()
 	}
 	s.mu.Lock()
 	for _, j := range s.jobs {
@@ -580,6 +633,12 @@ func (s *Service) finish(job *Job, res *JobResult, err error) {
 		s.completed.Add(1)
 		if job.key != "" {
 			s.cache.Put(job.key, res)
+			if s.store != nil {
+				// Write-through to the warm tier (feasible results only;
+				// saveResultAsync screens). Async: disk IO has no business
+				// under s.mu or on the job's critical path.
+				s.store.saveResultAsync(job.key, res)
+			}
 		}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		job.state = StateCancelled

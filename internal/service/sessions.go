@@ -3,6 +3,7 @@ package service
 import (
 	"container/list"
 	"errors"
+	"sort"
 	"sync"
 
 	"gecco/internal/core"
@@ -25,6 +26,11 @@ type SessionStats struct {
 	// their parsed *Log at construction, so this is the whole per-log
 	// retention, not an addition to it.
 	IndexBytes int64 `json:"indexBytes"`
+	// MappedBytes is the summed size of file-backed index mappings pinned by
+	// live sessions that were warm-opened from the disk tier. These pages are
+	// not Go heap (the kernel reclaims them under pressure), which is why they
+	// are reported separately from IndexBytes rather than folded in.
+	MappedBytes int64 `json:"mappedBytes"`
 }
 
 // sessionEntry is one cached live session. The done channel coalesces
@@ -55,13 +61,20 @@ type sessionCache struct {
 	hits      int64
 	misses    int64
 	evictions int64
+	// store, when non-nil, is the warm tier: evicted sessions spill their
+	// index to disk, and misses try OpenIndex before re-parsing. Evicted
+	// indexes are never explicitly Closed — in-flight jobs may still hold the
+	// session — so mapped files are released by the finalizer once the last
+	// reference drops.
+	store *diskStore
 }
 
-func newSessionCache(capacity int) *sessionCache {
+func newSessionCache(capacity int, store *diskStore) *sessionCache {
 	return &sessionCache{
 		cap:     capacity,
 		entries: make(map[string]*list.Element),
 		order:   list.New(),
+		store:   store,
 	}
 }
 
@@ -85,12 +98,26 @@ func (c *sessionCache) getOrCreate(digest string, log *eventlog.Log) (*core.Sess
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*sessionEntry).digest)
+		old := oldest.Value.(*sessionEntry)
+		delete(c.entries, old.digest)
 		c.evictions++
+		c.spillLocked(old)
 	}
 	c.mu.Unlock()
 
 	return c.build(e, digest, log)
+}
+
+// spillLocked hands an evicted entry's index to the warm tier, so the next
+// request for the log costs an OpenIndex instead of a re-parse. Called with
+// c.mu held (session is published under it); the write itself runs on a
+// store goroutine. Entries still building (session nil) have nothing to
+// spill — their build survives eviction and publishes to latecomers, it is
+// just not re-admitted.
+func (c *sessionCache) spillLocked(e *sessionEntry) {
+	if c.store != nil && e.session != nil {
+		c.store.spillIndexAsync(e.digest, e.session.Index())
+	}
 }
 
 // build constructs the session for a fresh entry and publishes the outcome.
@@ -100,6 +127,12 @@ func (c *sessionCache) getOrCreate(digest string, log *eventlog.Log) (*core.Sess
 // goroutines blocked on the entry's done channel. A failed build is removed
 // from the cache so the next request retries; the identity check guards
 // against the entry having been evicted and replaced meanwhile.
+//
+// With a warm tier configured, a previously spilled index is opened from
+// disk (mmap, no parse, no build) and only the digest's first-ever build
+// pays full price. A corrupt or unreadable file falls back to building from
+// the log — openIndex already deleted it, so the fallback's eventual
+// eviction re-spills a good copy.
 func (c *sessionCache) build(e *sessionEntry, digest string, log *eventlog.Log) (sess *core.Session, err error) {
 	defer func() {
 		if sess == nil && err == nil {
@@ -116,6 +149,14 @@ func (c *sessionCache) build(e *sessionEntry, digest string, log *eventlog.Log) 
 		c.mu.Unlock()
 		close(e.done)
 	}()
+	if c.store != nil {
+		if x, ok := c.store.openIndex(digest); ok {
+			if s, serr := core.NewSessionFromIndex(x); serr == nil {
+				return s, nil
+			}
+			x.Close()
+		}
+	}
 	return core.NewSession(log)
 }
 
@@ -158,6 +199,30 @@ func (c *sessionCache) drop(digest string, sess *core.Session) {
 	c.order.Remove(el)
 	delete(c.entries, digest)
 	c.evictions++
+	// A retired session's index is unchanged (only its memo grew), so it
+	// still warms the next rebuild.
+	c.spillLocked(el.Value.(*sessionEntry))
+}
+
+// spillAll writes every live session's index to the warm tier. Called on
+// shutdown so a restarted process warm-opens its whole working set; spills
+// of already-persisted digests are no-ops.
+func (c *sessionCache) spillAll() {
+	if c.store == nil {
+		return
+	}
+	c.mu.Lock()
+	sessions := make([]*sessionEntry, 0, len(c.entries))
+	for _, el := range c.entries {
+		if e := el.Value.(*sessionEntry); e.session != nil {
+			sessions = append(sessions, e)
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].digest < sessions[j].digest })
+	for _, e := range sessions {
+		c.store.spillIndex(e.digest, e.session.Index())
+	}
 }
 
 // Stats snapshots the session cache counters, including the estimated bytes
@@ -176,6 +241,7 @@ func (c *sessionCache) Stats() SessionStats {
 	for _, el := range c.entries {
 		if e := el.Value.(*sessionEntry); e.session != nil {
 			st.IndexBytes += e.session.EstimatedBytes()
+			st.MappedBytes += e.session.MappedBytes()
 		}
 	}
 	return st

@@ -172,7 +172,7 @@ func TestSessionCacheConcurrentSameLog(t *testing.T) {
 func TestGetOrCreateNeverReturnsNilSession(t *testing.T) {
 	log := procgen.RunningExampleTable1()
 	for round := 0; round < 20; round++ {
-		c := newSessionCache(4)
+		c := newSessionCache(4, nil)
 		var wg sync.WaitGroup
 		sessions := make([]*core.Session, 16)
 		for i := range sessions {

@@ -13,7 +13,7 @@ MAX_REGRESS ?= 0.25
 # the restart cost rows (IndexCold = re-parse+build, IndexOpen = OpenIndex on
 # the persistent file, with a hard >= 5x open-vs-cold floor), so it guards
 # both the event-log core's memory layout and the persistent format's point.
-BENCH_FLAGS = -table 6 -quick -stream-bench -index-bench
+BENCH_FLAGS = -table 6 -quick -stream-bench -index-bench -eval-bench
 # Where `make serve` keeps the warm tier (spilled session indexes, persisted
 # results); `make clean-data` wipes it.
 DATA_DIR ?= gecco-data

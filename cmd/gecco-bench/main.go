@@ -37,10 +37,13 @@ import (
 	"time"
 
 	"gecco"
+	"gecco/internal/bitset"
 	"gecco/internal/constraints"
 	"gecco/internal/core"
+	"gecco/internal/distance"
 	"gecco/internal/eventlog"
 	"gecco/internal/experiments"
+	"gecco/internal/instances"
 	"gecco/internal/procgen"
 	"gecco/internal/stream"
 	"gecco/internal/xes"
@@ -54,6 +57,7 @@ type benchReport struct {
 	Budget  int               `json:"budget"`
 	Stream  bool              `json:"streamBench"`
 	Index   bool              `json:"indexBench"`
+	Eval    bool              `json:"evalBench"`
 	GOOS    string            `json:"goos"`
 	GOARCH  string            `json:"goarch"`
 	NumCPU  int               `json:"numCPU"`
@@ -73,6 +77,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker threads per problem (0 = all cores, 1 = the paper's sequential runs)")
 		sessions   = flag.Bool("session-bench", false, "measure the fixed loan-log refinement sweep: cold (pipeline per set) vs warm (one session)")
 		streams    = flag.Bool("stream-bench", false, "measure the online abstractor's per-arrival cost at window sizes 200 and 2000 (rows feed -json/-baseline; fails if the cost is not flat in the window)")
+		evals      = flag.Bool("eval-bench", false, "measure the solver kernels in isolation: screened HoldsInstance checks/s, exact Eq. 1 distance evals/s on a cold memo, and the beam frontier prune rate of the admissible lower bound (rows feed -json/-baseline; fails if screening or pruning never fires)")
 		indexes    = flag.Bool("index-bench", false, "measure the columnar index: build throughput (events/s), estimated bytes/event vs the pointer-heavy *Log, and restart cost (re-parse+build vs OpenIndex on the persistent file); fails unless the index is >= 2x smaller and OpenIndex >= 5x faster")
 		jsonOut    = flag.String("json", "", "write the measured rows as a JSON bench report to this file")
 		baseline   = flag.String("baseline", "", "compare the measured rows against this JSON bench report and fail on regression")
@@ -143,6 +148,14 @@ func main() {
 		}
 		measured = append(measured, rows...)
 	}
+	if *evals {
+		rows, err := evalBench(ctx, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gecco-bench:", err)
+			os.Exit(1)
+		}
+		measured = append(measured, rows...)
+	}
 	if *jsonOut != "" {
 		report := benchReport{
 			Table:   *table,
@@ -150,6 +163,7 @@ func main() {
 			Budget:  opts.MaxChecks,
 			Stream:  *streams,
 			Index:   *indexes,
+			Eval:    *evals,
 			GOOS:    runtime.GOOS,
 			GOARCH:  runtime.GOARCH,
 			NumCPU:  runtime.NumCPU(),
@@ -163,7 +177,7 @@ func main() {
 		fmt.Printf("bench report written to %s\n", *jsonOut)
 	}
 	if *baseline != "" {
-		current := benchReport{Table: *table, Quick: *quick, Budget: opts.MaxChecks, Stream: *streams, Index: *indexes, Workers: *workers}
+		current := benchReport{Table: *table, Quick: *quick, Budget: opts.MaxChecks, Stream: *streams, Index: *indexes, Eval: *evals, Workers: *workers}
 		if err := gate(*baseline, current, measured, *maxRegress); err != nil {
 			fmt.Fprintln(os.Stderr, "gecco-bench: REGRESSION GATE FAILED:", err)
 			os.Exit(1)
@@ -227,10 +241,11 @@ func gate(baselinePath string, current benchReport, measured []experiments.Row, 
 	// reporting a spurious verdict.
 	if base.Table != current.Table || base.Quick != current.Quick ||
 		base.Budget != current.Budget || base.Workers != current.Workers ||
-		base.Stream != current.Stream || base.Index != current.Index {
-		return fmt.Errorf("run settings (table=%s quick=%t budget=%d workers=%d stream=%t index=%t) do not match baseline (table=%s quick=%t budget=%d workers=%d stream=%t index=%t); rerun with the baseline's flags or regenerate it",
-			current.Table, current.Quick, current.Budget, current.Workers, current.Stream, current.Index,
-			base.Table, base.Quick, base.Budget, base.Workers, base.Stream, base.Index)
+		base.Stream != current.Stream || base.Index != current.Index ||
+		base.Eval != current.Eval {
+		return fmt.Errorf("run settings (table=%s quick=%t budget=%d workers=%d stream=%t index=%t eval=%t) do not match baseline (table=%s quick=%t budget=%d workers=%d stream=%t index=%t eval=%t); rerun with the baseline's flags or regenerate it",
+			current.Table, current.Quick, current.Budget, current.Workers, current.Stream, current.Index, current.Eval,
+			base.Table, base.Quick, base.Budget, base.Workers, base.Stream, base.Index, base.Eval)
 	}
 	if base.GOOS != runtime.GOOS || base.GOARCH != runtime.GOARCH || base.NumCPU != runtime.NumCPU() {
 		fmt.Printf("gate WARNING: baseline recorded on %s/%s numCPU=%d, this run is %s/%s numCPU=%d — wall-times are only roughly comparable\n",
@@ -240,7 +255,17 @@ func gate(baselinePath string, current benchReport, measured []experiments.Row, 
 	for _, r := range measured {
 		byLabel[r.Label] = r
 	}
-	var regressions, missing []string
+	// offender captures one failing row with both sides of the comparison,
+	// so the failure output can print them side by side.
+	type offender struct {
+		label      string
+		metric     string
+		baseVal    float64
+		gotVal     float64
+		allowedVal float64
+	}
+	var offenders []offender
+	var missing []string
 	compared := 0
 	for _, b := range base.Rows {
 		got, ok := byLabel[b.Label]
@@ -259,9 +284,7 @@ func gate(baselinePath string, current benchReport, measured []experiments.Row, 
 		status := "ok"
 		if got.Seconds > allowed {
 			status = "REGRESSED"
-			regressions = append(regressions,
-				fmt.Sprintf("%s: %.2fs vs baseline %.2fs (%.0f%% over, allowed %.2fs)",
-					b.Label, got.Seconds, b.Seconds, (ratio-1)*100, allowed))
+			offenders = append(offenders, offender{b.Label, "wall-time (s)", b.Seconds, got.Seconds, allowed})
 		}
 		fmt.Printf("gate %-14s %8.2fs vs baseline %8.2fs (%+.0f%%, allowed %.2fs) %s\n",
 			b.Label, got.Seconds, b.Seconds, (ratio-1)*100, allowed, status)
@@ -272,10 +295,7 @@ func gate(baselinePath string, current benchReport, measured []experiments.Row, 
 		// Memory gate: index-bench rows also carry bytes/event. Unlike
 		// wall-time it is deterministic, so no absolute slack is needed.
 		if b.BytesPerEvent > 0 && got.BytesPerEvent > b.BytesPerEvent*(1+maxRegress) {
-			regressions = append(regressions,
-				fmt.Sprintf("%s: %.1f bytes/event vs baseline %.1f (%.0f%% over)",
-					b.Label, got.BytesPerEvent, b.BytesPerEvent,
-					(got.BytesPerEvent/b.BytesPerEvent-1)*100))
+			offenders = append(offenders, offender{b.Label, "bytes/event", b.BytesPerEvent, got.BytesPerEvent, b.BytesPerEvent * (1 + maxRegress)})
 		}
 	}
 	if len(missing) > 0 {
@@ -284,8 +304,18 @@ func gate(baselinePath string, current benchReport, measured []experiments.Row, 
 	if compared == 0 {
 		return fmt.Errorf("no comparable rows between this run and %s", baselinePath)
 	}
-	if len(regressions) > 0 {
-		return fmt.Errorf("%d configuration(s) regressed: %v", len(regressions), regressions)
+	if len(offenders) > 0 {
+		// Side-by-side detail of every offending row: the error line below
+		// is what CI greps, this block is what a human reads.
+		fmt.Printf("\ngate FAILED — offending row(s), baseline vs current:\n")
+		fmt.Printf("  %-16s %-14s %12s %12s %12s %8s\n", "row", "metric", "baseline", "current", "allowed", "over")
+		var labels []string
+		for _, o := range offenders {
+			fmt.Printf("  %-16s %-14s %12.3f %12.3f %12.3f %+7.0f%%\n",
+				o.label, o.metric, o.baseVal, o.gotVal, o.allowedVal, (o.gotVal/o.baseVal-1)*100)
+			labels = append(labels, o.label)
+		}
+		return fmt.Errorf("%d measurement(s) regressed beyond the allowed threshold: %v", len(offenders), labels)
 	}
 	return nil
 }
@@ -526,6 +556,120 @@ func indexBench() ([]experiments.Row, error) {
 			experiments.Row{Label: "IndexOpen/" + log.Name, Seconds: open.Seconds(), N: reps * events},
 		)
 	}
+	return rows, nil
+}
+
+// evalBench measures the solver kernels in isolation, the micro-counterpart
+// of the Table VI end-to-end rows:
+//
+//   - Eval/HoldsInstance: screened instance-constraint verdicts over an
+//     exhaustive pair+triple group enumeration (checks/s); the screened
+//     share prints alongside, since the speedup comes from verdicts decided
+//     without materialising instances.
+//   - Eval/Distance: exact Eq. 1 evaluations on a cold memo over the same
+//     enumeration (evals/s), exercising the streaming variantTerm path.
+//   - Eval/BeamPrune: a DFG beam run with a tight width, timed end to end;
+//     N records the frontier nodes the admissible lower bound discharged,
+//     and the prune rate (pruned / (pruned + exact evals)) prints.
+//
+// Rows feed -json/-baseline like every other section. Screening or pruning
+// never firing is a hard error: it means the kernels degenerated to the
+// scan/full-sort fallbacks and the micro numbers are measuring nothing.
+func evalBench(ctx context.Context, opts experiments.Options) ([]experiments.Row, error) {
+	log := procgen.LoanLog(1000, 17)
+	x := eventlog.NewIndex(log)
+	set := constraints.NewSet(
+		constraints.MustParse("distinct(role) <= 2"),
+		constraints.MustParse("max(cost) <= 400"),
+		constraints.MustParse("gap <= 3600"),
+	)
+	nc := x.NumClasses()
+	var groups []bitset.Set
+	for a := 0; a < nc; a++ {
+		for b := a + 1; b < nc; b++ {
+			g := bitset.New(nc)
+			g.Add(a)
+			g.Add(b)
+			groups = append(groups, g)
+			for c := b + 1; c < nc; c++ {
+				g3 := bitset.New(nc)
+				g3.Add(a)
+				g3.Add(b)
+				g3.Add(c)
+				groups = append(groups, g3)
+			}
+		}
+	}
+	fmt.Printf("solver kernels — %d classes, %d pair/triple groups on %s:\n", nc, len(groups), log.Name)
+
+	const reps = 5
+	rows := make([]experiments.Row, 0, 3)
+
+	// Screened instance evaluation. A fresh evaluator per rep keeps the
+	// counters per-rep comparable; the attribute cache warms on rep one,
+	// which is exactly the amortisation a solve run sees.
+	attrs := constraints.NewAttrCache(x)
+	var ev *constraints.Evaluator
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		ev = constraints.NewEvaluatorCached(x, set, instances.SplitOnRepeat, attrs)
+		for _, g := range groups {
+			ev.HoldsInstance(g)
+		}
+	}
+	holdElapsed := time.Since(start)
+	holdN := reps * len(groups)
+	screened := ev.ScreenHits()
+	if screened == 0 {
+		return nil, fmt.Errorf("eval bench: screens never decided a verdict across %d checks", len(groups))
+	}
+	fmt.Printf("  HoldsInstance  %10.0f checks/s   (%d/%d verdicts screened without a log pass)\n",
+		float64(holdN)/holdElapsed.Seconds(), screened, len(groups)*len(set.Instance))
+	rows = append(rows, experiments.Row{Label: "Eval/HoldsInstance", Seconds: holdElapsed.Seconds(), N: holdN})
+
+	// Exact Eq. 1 on a cold memo: a fresh Calc per rep, so every Group call
+	// is a real streaming evaluation rather than a memo hit.
+	start = time.Now()
+	for r := 0; r < reps; r++ {
+		dc := distance.NewCalc(x, instances.SplitOnRepeat)
+		for _, g := range groups {
+			dc.Group(g)
+		}
+	}
+	distElapsed := time.Since(start)
+	distN := reps * len(groups)
+	fmt.Printf("  Distance       %10.0f evals/s\n", float64(distN)/distElapsed.Seconds())
+	rows = append(rows, experiments.Row{Label: "Eval/Distance", Seconds: distElapsed.Seconds(), N: distN})
+
+	// Beam frontier pruning: a tight beam forces the LB-gated sort to gate,
+	// and the session surfaces both counters on the Result. The bound only
+	// separates paths whose class sets the log hosts with different degrees
+	// of partial coverage, so this section runs on the collection's
+	// second log (40 classes, noisy variants); on the loan log nearly every
+	// class co-occurs with every other and the bounds barely spread.
+	beamLog := procgen.BuildLog(procgen.CollectionSpecs()[1])
+	sess, err := core.NewSession(beamLog)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{Mode: core.DFGBeam, BeamWidth: 4, Workers: opts.Workers}
+	if opts.MaxChecks > 0 {
+		cfg.Budget.MaxChecks = opts.MaxChecks
+	}
+	start = time.Now()
+	res, err := sess.Solve(ctx, set, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("eval bench: beam run: %w", err)
+	}
+	beamElapsed := time.Since(start)
+	exact := sess.Calc(cfg.Policy).Evals()
+	if res.LBPruned == 0 {
+		return nil, fmt.Errorf("eval bench: the lower bound pruned no frontier nodes (beam width %d, %d exact evals)", cfg.BeamWidth, exact)
+	}
+	rate := float64(res.LBPruned) / float64(res.LBPruned+exact)
+	fmt.Printf("  BeamPrune      %10.2fms solve   %d nodes pruned, %d exact evals (%.0f%% of the frontier discharged by bounds)\n",
+		beamElapsed.Seconds()*1e3, res.LBPruned, exact, rate*100)
+	rows = append(rows, experiments.Row{Label: "Eval/BeamPrune", Seconds: beamElapsed.Seconds(), N: res.LBPruned})
 	return rows, nil
 }
 

@@ -71,3 +71,31 @@ func codeAtSloppy(b []byte, pos int) string {
 	_ = cache
 	return fmt.Sprintf("%d", b[pos]) // want `fmt\.Sprintf in //gecco:hotpath function codeAtSloppy`
 }
+
+// classCountsMap mirrors the retired instances.ClassCounts: a counts map
+// allocated per instance is exactly what the analyzer must flag on the
+// constraint-evaluation path.
+//
+//gecco:hotpath
+func classCountsMap(classes []int) map[int]int {
+	counts := make(map[int]int) // want `map allocation in //gecco:hotpath function classCountsMap`
+	for _, c := range classes {
+		counts[c]++
+	}
+	return counts
+}
+
+// classCountsInto is the replacement idiom (instances.ClassCountsInto):
+// caller-provided slice scratch plus a touched list, allocation-free per
+// call, and must stay unflagged.
+//
+//gecco:hotpath
+func classCountsInto(classes []int, counts []int, touched []int) []int {
+	for _, c := range classes {
+		if counts[c] == 0 {
+			touched = append(touched, c)
+		}
+		counts[c]++
+	}
+	return touched
+}

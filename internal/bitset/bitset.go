@@ -235,6 +235,101 @@ func (s Set) ForEach(fn func(i int) bool) {
 	}
 }
 
+// AndCount returns |s ∩ t| without materialising the intersection — the
+// word-parallel popcount kernel behind aggregate-cache merges and the
+// distance lower bound.
+func (s Set) AndCount(t Set) int {
+	n := min(len(s.words), len(t.words))
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(s.words[i] & t.words[i])
+	}
+	return c
+}
+
+// IntersectsAny reports whether s shares an element with any of the given
+// sets. It exists for screens that ask "does this group touch any of these
+// partitions?" without a per-set function call in the caller.
+func (s Set) IntersectsAny(ts ...Set) bool {
+	for _, t := range ts {
+		if s.Intersects(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// AndInto replaces s with s ∩ t in place and reports whether the result is
+// non-empty. s must own its backing words (e.g. a Clone or a reused
+// scratch); words of s beyond t's length are cleared.
+func (s Set) AndInto(t Set) bool {
+	n := min(len(s.words), len(t.words))
+	any := uint64(0)
+	for i := 0; i < n; i++ {
+		s.words[i] &= t.words[i]
+		any |= s.words[i]
+	}
+	for i := n; i < len(s.words); i++ {
+		s.words[i] = 0
+	}
+	return any != 0
+}
+
+// OrInto replaces s with s ∪ t in place. s must have capacity for every
+// element of t (its word slice is not grown) and must own its backing words.
+func (s Set) OrInto(t Set) {
+	n := min(len(s.words), len(t.words))
+	for i := 0; i < n; i++ {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// CopyFrom overwrites s with the contents of t, truncating or zero-filling
+// as needed. s must have capacity for every element of t and must own its
+// backing words; it is the reset step for reused scratch sets.
+func (s Set) CopyFrom(t Set) {
+	n := min(len(s.words), len(t.words))
+	copy(s.words[:n], t.words[:n])
+	for i := n; i < len(s.words); i++ {
+		s.words[i] = 0
+	}
+}
+
+// Clear removes all elements in place.
+func (s Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// ForEachWord calls fn(i, w) for every non-zero backing word, where word i
+// covers elements [64i, 64i+64). It is the word-granular iterator that lets
+// callers fuse a mask combination with a scan over a second structure
+// (e.g. class-mask AND presence-mask, then decode only the surviving bits).
+func (s Set) ForEachWord(fn func(i int, w uint64)) {
+	for i, w := range s.words {
+		if w != 0 {
+			fn(i, w)
+		}
+	}
+}
+
+// ForEachAnd calls fn for every element of s ∩ t in ascending order without
+// materialising the intersection; it stops early if fn returns false.
+func (s Set) ForEachAnd(t Set, fn func(i int) bool) {
+	n := min(len(s.words), len(t.words))
+	for i := 0; i < n; i++ {
+		w := s.words[i] & t.words[i]
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(i*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
 // Min returns the smallest element, or -1 if the set is empty.
 func (s Set) Min() int {
 	for i, w := range s.words {

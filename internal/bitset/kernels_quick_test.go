@@ -1,0 +1,154 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// The word-parallel kernels (AndCount, AndInto, OrInto, CopyFrom,
+// IntersectsAny, ForEachWord, ForEachAnd) back the solver's screening and
+// lower-bound machinery; each is checked here against the naive
+// element-by-element definition on random sets, including mismatched
+// capacities (t shorter or longer than s).
+
+// fromElems builds a set over universe n from arbitrary element seeds.
+func fromElems(n int, elems []uint16) Set {
+	s := New(n)
+	for _, e := range elems {
+		s.Add(int(e) % n)
+	}
+	return s
+}
+
+// naiveIntersection returns the sorted intersection of two sets via Elems.
+func naiveIntersection(a, b Set) []int {
+	inB := make(map[int]bool)
+	for _, e := range b.Elems() {
+		inB[e] = true
+	}
+	var out []int
+	for _, e := range a.Elems() {
+		if inB[e] {
+			out = append(out, e)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestKernelsQuick(t *testing.T) {
+	check := func(ea, eb, ec []uint16, nSeedA, nSeedB uint8) bool {
+		// Different universes exercise the capacity-mismatch paths.
+		na := 1 + int(nSeedA)%200
+		nb := 1 + int(nSeedB)%200
+		a := fromElems(na, ea)
+		b := fromElems(nb, eb)
+		c := fromElems(nb, ec)
+		inter := naiveIntersection(a, b)
+
+		// AndCount == |a ∩ b|.
+		if a.AndCount(b) != len(inter) || b.AndCount(a) != len(inter) {
+			t.Errorf("AndCount mismatch: got %d/%d, want %d", a.AndCount(b), b.AndCount(a), len(inter))
+			return false
+		}
+
+		// IntersectsAny == any pairwise Intersects.
+		if a.IntersectsAny(b, c) != (a.Intersects(b) || a.Intersects(c)) {
+			t.Error("IntersectsAny mismatch")
+			return false
+		}
+		if a.IntersectsAny() {
+			t.Error("IntersectsAny() with no sets must be false")
+			return false
+		}
+
+		// ForEachAnd visits exactly a ∩ b ascending, with early exit.
+		var visited []int
+		a.ForEachAnd(b, func(i int) bool { visited = append(visited, i); return true })
+		if !equalInts(visited, inter) {
+			t.Errorf("ForEachAnd visited %v, want %v", visited, inter)
+			return false
+		}
+		if len(inter) > 1 {
+			stop := len(inter) / 2
+			visited = visited[:0]
+			a.ForEachAnd(b, func(i int) bool {
+				visited = append(visited, i)
+				return len(visited) < stop
+			})
+			if !equalInts(visited, inter[:stop]) {
+				t.Errorf("ForEachAnd early-exit visited %v, want %v", visited, inter[:stop])
+				return false
+			}
+		}
+
+		// ForEachWord reconstructs the set.
+		visited = visited[:0]
+		a.ForEachWord(func(i int, w uint64) {
+			for b := 0; b < 64; b++ {
+				if w&(1<<uint(b)) != 0 {
+					visited = append(visited, i*64+b)
+				}
+			}
+		})
+		if !equalInts(visited, a.Elems()) {
+			t.Errorf("ForEachWord reconstructed %v, want %v", visited, a.Elems())
+			return false
+		}
+
+		// AndInto == Intersect, in place, reporting non-emptiness; words of
+		// the receiver beyond t's length must be cleared.
+		ai := a.Clone()
+		nonEmpty := ai.AndInto(b)
+		if !ai.Equal(a.Intersect(b)) {
+			t.Errorf("AndInto: got %v, want %v", ai, a.Intersect(b))
+			return false
+		}
+		if nonEmpty != !ai.IsEmpty() {
+			t.Error("AndInto non-empty report mismatch")
+			return false
+		}
+
+		// OrInto == Union when the receiver has capacity (b, c share one).
+		bo := b.Clone()
+		bo.OrInto(c)
+		if !bo.Equal(b.Union(c)) {
+			t.Errorf("OrInto: got %v, want %v", bo, b.Union(c))
+			return false
+		}
+
+		// CopyFrom == source contents, truncated to receiver capacity.
+		cc := c.Clone()
+		cc.CopyFrom(b)
+		if !cc.Equal(b) {
+			t.Errorf("CopyFrom: got %v, want %v", cc, b)
+			return false
+		}
+
+		// Clear empties in place.
+		cc.Clear()
+		if !cc.IsEmpty() || cc.Len() != 0 {
+			t.Error("Clear left elements behind")
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -268,7 +268,11 @@ func ExhaustiveCtx(ctx context.Context, x *eventlog.Index, ev *constraints.Evalu
 		if mode == constraints.ModeAnti {
 			antiOK := make([]bool, len(toCheck))
 			par.For(w, len(toCheck), func(i int) {
-				antiOK[i] = ev.HoldsAnti(toCheck[i])
+				// A fully satisfying group satisfies its anti-monotonic
+				// subset a fortiori — reuse the verdict instead of
+				// re-evaluating (i is always < limit here when the loop
+				// reaches expansion, but guard for granted-short frontiers).
+				antiOK[i] = (i < limit && verdicts[i]) || ev.HoldsAnti(toCheck[i])
 			})
 			expandFrom = expandFrom[:0]
 			for i, g := range toCheck {
@@ -318,12 +322,18 @@ type path struct {
 	group bitset.Set
 }
 
-func pathKey(nodes []int) string {
-	b := make([]byte, 0, len(nodes)*2)
+// appendPathKey appends the 4-byte little-endian encoding of the node
+// sequence to buf and returns it. Keys encode the path *sequence*, not the
+// sorted node set: Algorithm 2 deduplicates paths, and two different
+// traversal orders of the same classes expand differently, so collapsing
+// them would change the search. Callers reuse one buffer across a frontier
+// — map probes via string(buf) compile to allocation-free lookups, and only
+// a first-seen insert materialises the key.
+func appendPathKey(buf []byte, nodes []int) []byte {
 	for _, n := range nodes {
-		b = append(b, byte(n), byte(n>>8))
+		buf = append(buf, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
 	}
-	return string(b)
+	return buf
 }
 
 // DFGBased implements Algorithm 2: beam search over DFG paths, prioritising
@@ -347,27 +357,30 @@ func DFGBasedCtx(ctx context.Context, x *eventlog.Index, ev *constraints.Evaluat
 
 	cands := newSet()
 	seenPaths := make(map[string]struct{})
+	var keyBuf []byte
 
 	var toCheck []path
 	for v := 0; v < g.N; v++ {
 		p := path{nodes: []int{v}, group: bitset.FromSlice(g.N, []int{v})}
 		toCheck = append(toCheck, p)
-		seenPaths[pathKey(p.nodes)] = struct{}{}
+		keyBuf = appendPathKey(keyBuf[:0], p.nodes)
+		seenPaths[string(keyBuf)] = struct{}{}
 	}
 
 	firstFrontier := true
 	for len(toCheck) > 0 && !bs.exceeded() {
-		// Sort by group distance, lowest first (line 5). The distance of
-		// each path's group is evaluated concurrently before the
-		// (deterministic, stable) sort.
-		sortPathsByDist(toCheck, dc, w)
-		limit := len(toCheck)
-		if beamWidth > 0 && beamWidth < limit && !firstFrontier {
-			limit = beamWidth
+		// Sort by group distance, lowest first (line 5), computing exact
+		// distances only as far as the beam cut requires: admissible lower
+		// bounds order the tail (see sortPathsByDist). The first frontier
+		// (all singletons) is never beam-pruned: a dropped singleton could
+		// make the exact cover of Step 2 infeasible even though the class
+		// is trivially coverable.
+		cut := len(toCheck)
+		if beamWidth > 0 && beamWidth < cut && !firstFrontier {
+			cut = beamWidth
 		}
-		// The first frontier (all singletons) is never beam-pruned: a
-		// dropped singleton could make the exact cover of Step 2
-		// infeasible even though the class is trivially coverable.
+		sortPathsByDist(toCheck, dc, w, cut)
+		limit := cut
 		firstFrontier = false
 		limit = bs.grant(limit)
 		type verdict struct{ holds, anti bool }
@@ -426,7 +439,7 @@ func DFGBasedCtx(ctx context.Context, x *eventlog.Index, ev *constraints.Evaluat
 					continue
 				}
 				nn := append(append([]int(nil), p.nodes...), succ)
-				addPath(x, nn, p.group.With(succ), &toCheck, seenPaths)
+				keyBuf = addPath(x, nn, p.group.With(succ), &toCheck, seenPaths, keyBuf)
 			}
 			first := p.nodes[0]
 			for _, pred := range g.In(first) {
@@ -434,40 +447,128 @@ func DFGBasedCtx(ctx context.Context, x *eventlog.Index, ev *constraints.Evaluat
 					continue
 				}
 				nn := append([]int{pred}, p.nodes...)
-				addPath(x, nn, p.group.With(pred), &toCheck, seenPaths)
+				keyBuf = addPath(x, nn, p.group.With(pred), &toCheck, seenPaths, keyBuf)
 			}
 		}
 	}
 	return Result{Groups: cands.groups, TimedOut: bs.exceeded(), Checks: bs.checks()}
 }
 
-func addPath(x *eventlog.Index, nodes []int, group bitset.Set, out *[]path, seen map[string]struct{}) {
-	k := pathKey(nodes)
-	if _, ok := seen[k]; ok {
-		return
+func addPath(x *eventlog.Index, nodes []int, group bitset.Set, out *[]path, seen map[string]struct{}, keyBuf []byte) []byte {
+	keyBuf = appendPathKey(keyBuf[:0], nodes)
+	if _, ok := seen[string(keyBuf)]; ok {
+		return keyBuf
 	}
-	seen[k] = struct{}{}
+	seen[string(keyBuf)] = struct{}{}
 	if !x.Occurs(group) {
-		return // line 29: retain only paths whose groups occur in the log
+		return keyBuf // line 29: retain only paths whose groups occur in the log
 	}
 	*out = append(*out, path{nodes: nodes, group: group})
+	return keyBuf
 }
 
-func sortPathsByDist(ps []path, dc *distance.Calc, workers int) {
+// sortPathsByDist orders ps so that positions [0, cut) hold the cut paths
+// with the smallest group distance — stably, ties keeping insertion order —
+// exactly as a full stable sort by exact distance would. Exact Eq. 1
+// evaluations run only until admissible lower bounds (distance.Calc.GroupLB)
+// prove the remainder cannot enter the beam: paths are evaluated in
+// ascending (bound, insertion-index) order, and once the next unevaluated
+// path's bound strictly exceeds the cut-th smallest exact distance, every
+// unevaluated path has an exact distance strictly above it (bound <= exact),
+// so it can neither enter the top cut nor tie into it. Pruned paths land
+// after position cut in bound order; callers never read past the beam cut.
+// The selection is a deterministic function of bounds and exact values, so
+// results are identical for any worker count.
+func sortPathsByDist(ps []path, dc *distance.Calc, workers, cut int) {
+	n := len(ps)
 	type scoredPath struct {
 		d float64
 		p path
 	}
-	tmp := make([]scoredPath, len(ps))
-	par.For(workers, len(ps), func(i int) {
-		tmp[i] = scoredPath{dc.Group(ps[i].group), ps[i]}
-	})
-	// Stable so that ties keep insertion order, which keeps the beam
-	// deterministic across runs.
-	sort.SliceStable(tmp, func(i, j int) bool { return tmp[i].d < tmp[j].d })
-	for i := range tmp {
-		ps[i] = tmp[i].p
+	if cut <= 0 || cut >= n {
+		// Full sort: every exact distance is needed.
+		tmp := make([]scoredPath, n)
+		par.For(workers, n, func(i int) {
+			tmp[i] = scoredPath{dc.Group(ps[i].group), ps[i]}
+		})
+		sort.SliceStable(tmp, func(i, j int) bool { return tmp[i].d < tmp[j].d })
+		for i := range tmp {
+			ps[i] = tmp[i].p
+		}
+		return
 	}
+
+	lbs := make([]float64, n)
+	par.For(workers, n, func(i int) {
+		lbs[i] = dc.GroupLB(ps[i].group)
+	})
+	ord := make([]int, n)
+	for i := range ord {
+		ord[i] = i
+	}
+	// Stable: equal bounds keep insertion order.
+	sort.SliceStable(ord, func(a, b int) bool { return lbs[ord[a]] < lbs[ord[b]] })
+
+	ds := make([]float64, n)
+	evaluated := 0
+	for evaluated < n {
+		batch := cut - evaluated
+		if batch <= 0 {
+			// Grow in beam-sized steps past the initial cut.
+			batch = cut
+		}
+		if evaluated+batch > n {
+			batch = n - evaluated
+		}
+		base := evaluated
+		par.For(workers, batch, func(j int) {
+			i := ord[base+j]
+			ds[i] = dc.Group(ps[i].group)
+		})
+		evaluated += batch
+		if evaluated >= n {
+			break
+		}
+		// kth = the cut-th smallest exact distance among evaluated paths
+		// (ties by insertion index, matching the stable sort).
+		kth := kthSmallest(ds, ord[:evaluated], cut)
+		if lbs[ord[evaluated]] > kth {
+			dc.NotePruned(n - evaluated)
+			break
+		}
+	}
+
+	// Evaluated paths, stably sorted by exact distance with ties in
+	// insertion order (the full-sort tie rule), form the prefix; among them
+	// the first cut are exactly the full-sort beam. Unevaluated paths follow
+	// in bound order (never read by the caller).
+	evalIdx := append([]int(nil), ord[:evaluated]...)
+	sort.Ints(evalIdx)
+	sel := make([]scoredPath, 0, evaluated)
+	for _, i := range evalIdx {
+		sel = append(sel, scoredPath{ds[i], ps[i]})
+	}
+	sort.SliceStable(sel, func(a, b int) bool { return sel[a].d < sel[b].d })
+	rest := make([]path, 0, n-evaluated)
+	for _, i := range ord[evaluated:] {
+		rest = append(rest, ps[i])
+	}
+	for i := range sel {
+		ps[i] = sel[i].p
+	}
+	copy(ps[evaluated:], rest)
+}
+
+// kthSmallest returns the k-th smallest (1-indexed by k... it returns the
+// value at rank k-1) of ds over the given indexes, ties irrelevant because
+// only the value is compared against strictly larger bounds.
+func kthSmallest(ds []float64, idx []int, k int) float64 {
+	vals := make([]float64, len(idx))
+	for j, i := range idx {
+		vals[j] = ds[i]
+	}
+	sort.Float64s(vals)
+	return vals[k-1]
 }
 
 // ExclusiveMerge implements Algorithm 3: extending the candidate set with

@@ -497,12 +497,23 @@ func (EventsPerClass) Category() Category           { return Instance }
 func (c EventsPerClass) Monotonicity() Monotonicity { return boundMonotonicity(c.Op) }
 func (c EventsPerClass) String() string             { return fmt.Sprintf("eventsperclass %s %d", c.Op, c.N) }
 
+//gecco:hotpath
 func (c EventsPerClass) HoldsInstances(ctx *InstanceContext, _ bitset.Set, insts []instances.Instance) bool {
+	// One count-slice per check, reused across instances by re-zeroing only
+	// the touched classes — no per-instance map allocation.
+	counts := make([]int, ctx.X.NumClasses())
+	var touched []int
 	for i := range insts {
-		for _, n := range instances.ClassCounts(ctx.X, &insts[i]) {
-			if !c.Op.Cmp(float64(n), float64(c.N)) {
-				return false
+		touched = instances.ClassCountsInto(ctx.X, &insts[i], counts, touched[:0])
+		ok := true
+		for _, cl := range touched {
+			if !c.Op.Cmp(float64(counts[cl]), float64(c.N)) {
+				ok = false
 			}
+			counts[cl] = 0
+		}
+		if !ok {
+			return false
 		}
 	}
 	return true
@@ -523,13 +534,20 @@ func (c ClassCardinality) String() string {
 	return fmt.Sprintf("count(%s) %s %d", c.ClassName, c.Op, c.N)
 }
 
+//gecco:hotpath
 func (c ClassCardinality) HoldsInstances(ctx *InstanceContext, g bitset.Set, insts []instances.Instance) bool {
 	id, ok := ctx.X.ClassID[c.ClassName]
 	if !ok || !g.Contains(id) {
 		return true
 	}
+	counts := make([]int, ctx.X.NumClasses())
+	var touched []int
 	for i := range insts {
-		n := instances.ClassCounts(ctx.X, &insts[i])[id]
+		touched = instances.ClassCountsInto(ctx.X, &insts[i], counts, touched[:0])
+		n := counts[id]
+		for _, cl := range touched {
+			counts[cl] = 0
+		}
 		if !c.Op.Cmp(float64(n), float64(c.N)) {
 			return false
 		}

@@ -3,6 +3,7 @@ package constraints
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"gecco/internal/bitset"
@@ -11,19 +12,39 @@ import (
 	"gecco/internal/par"
 )
 
-// AttrCache memoises class-level attribute extraction over one indexed log.
-// The extraction depends only on the log — not on any constraint set — so a
-// single AttrCache can back every Evaluator built on the same index; repeated
-// solves with different constraints then skip the per-attribute log scan.
-// Safe for concurrent use (each attribute is extracted exactly once).
+// AttrCache memoises class-level attribute extraction and the per-class
+// aggregate statistics behind constraint screening (see screen.go) over one
+// indexed log. Everything here depends only on the log — not on any
+// constraint set — so a single AttrCache can back every Evaluator built on
+// the same index; repeated solves with different constraints then skip both
+// the per-attribute log scans and the aggregate builds. The Index is frozen,
+// so nothing ever needs invalidation. Safe for concurrent use (each entry is
+// built exactly once).
 type AttrCache struct {
-	x    *eventlog.Index
-	memo *par.Memo[[]map[string]struct{}]
+	x     *eventlog.Index
+	memo  *par.Memo[[]map[string]struct{}]
+	stats *par.Memo[*eventlog.ClassColStats]
+
+	masksOnce sync.Once
+	masks     []bitset.Set
+
+	traceCntOnce sync.Once
+	traceCnt     []int32
+
+	spanOnce sync.Once
+	spans    *eventlog.SpanStats
+
+	lenOnce     sync.Once
+	maxTraceLen int
 }
 
 // NewAttrCache builds an attribute-extraction cache for the index.
 func NewAttrCache(x *eventlog.Index) *AttrCache {
-	return &AttrCache{x: x, memo: par.NewMemo[[]map[string]struct{}]()}
+	return &AttrCache{
+		x:     x,
+		memo:  par.NewMemo[[]map[string]struct{}](),
+		stats: par.NewMemo[*eventlog.ClassColStats](),
+	}
 }
 
 func (a *AttrCache) values(attr string) []map[string]struct{} {
@@ -51,8 +72,22 @@ type Evaluator struct {
 	verdicts     *par.Memo[bool]
 	antiVerdicts *par.Memo[bool]
 
-	checks    atomic.Int64
-	logPasses atomic.Int64
+	// scratch pools per-goroutine screening contexts and instance
+	// collectors; see holdsInstanceFiltered.
+	scratch sync.Pool
+
+	checks     atomic.Int64
+	logPasses  atomic.Int64
+	screenHits atomic.Int64
+}
+
+// evalScratch bundles the reusable buffers of one instance-constraint check:
+// the screening context (with its merge scratch) and an instance Collector
+// for the scan fallback. Pooled because evaluators run under par.For.
+type evalScratch struct {
+	sc  ScreenContext
+	scr screenScratch
+	col *instances.Collector
 }
 
 // NewEvaluator builds an evaluator for the log and constraint set.
@@ -79,6 +114,11 @@ func NewEvaluatorCached(x *eventlog.Index, set *Set, policy instances.Policy, at
 		AttrValues: e.classAttrValues,
 	}
 	e.instCtx = InstanceContext{X: x}
+	e.scratch.New = func() any {
+		s := &evalScratch{col: instances.NewCollector(x)}
+		s.sc = ScreenContext{X: x, Policy: policy, Cache: attrs, scr: &s.scr}
+		return s
+	}
 	return e
 }
 
@@ -87,8 +127,13 @@ func NewEvaluatorCached(x *eventlog.Index, set *Set, policy instances.Policy, at
 func (e *Evaluator) Checks() int { return int(e.checks.Load()) }
 
 // LogPasses reports the number of validations that required scanning the
-// event log (i.e. R_I was evaluated).
+// event log (i.e. some instance constraint could not be screened and the
+// group's instances were materialised).
 func (e *Evaluator) LogPasses() int { return int(e.logPasses.Load()) }
+
+// ScreenHits reports how many instance-constraint checks were decided from
+// the per-class aggregate cache alone, without materialising instances.
+func (e *Evaluator) ScreenHits() int { return int(e.screenHits.Load()) }
 
 func (e *Evaluator) classAttrValues(attr string) []map[string]struct{} {
 	return e.attrCache.values(attr)
@@ -106,17 +151,68 @@ func (e *Evaluator) HoldsClass(g bitset.Set) bool {
 	return true
 }
 
-// HoldsInstance checks only the instance-based constraints for the group,
-// scanning the log once to materialise the group's instances.
+// HoldsInstance checks only the instance-based constraints for the group.
+// Each constraint is first screened against the per-class aggregate cache
+// (see screen.go); only constraints the screens cannot decide fall back to a
+// single shared instance materialisation, served from a pooled Collector.
 //
 //gecco:hotpath
 func (e *Evaluator) HoldsInstance(g bitset.Set) bool {
-	if len(e.Set.Instance) == 0 {
+	return e.holdsInstanceFiltered(g, false)
+}
+
+// holdsInstanceFiltered is HoldsInstance restricted (when antiOnly is set)
+// to the anti-monotonic instance constraints. Screens are exact, so the
+// verdict — and every observable counter that feeds determinism-pinned
+// output — is identical to the full-scan evaluation.
+func (e *Evaluator) holdsInstanceFiltered(g bitset.Set, antiOnly bool) bool {
+	ics := e.Set.Instance
+	if len(ics) == 0 {
 		return true
 	}
+	s := e.scratch.Get().(*evalScratch)
+	defer e.scratch.Put(s)
+
+	// Screening pass: decide what we can from cached aggregates. needScan
+	// marks the constraints requiring the instance scan (bitmask for the
+	// typical small set, with a count covering the >64 case by scanning all).
+	var needScan uint64
+	nScan := 0
+	useMask := len(ics) <= 64
+	for i, c := range ics {
+		if antiOnly && c.Monotonicity() != AntiMonotonic {
+			continue
+		}
+		if useMask {
+			if scr, ok := c.(ScreenedConstraint); ok {
+				switch scr.Screen(&s.sc, g) {
+				case ScreenHolds:
+					e.screenHits.Add(1)
+					continue
+				case ScreenFails:
+					e.screenHits.Add(1)
+					return false
+				}
+			}
+			needScan |= 1 << uint(i)
+		}
+		nScan++
+	}
+	if nScan == 0 {
+		return true
+	}
+
+	// Scan fallback: one instance materialisation shared by the undecided
+	// constraints.
 	e.logPasses.Add(1)
-	insts := instances.OfLog(e.X, g, e.Policy)
-	for _, c := range e.Set.Instance {
+	insts := s.col.Collect(e.X, g, e.Policy)
+	for i, c := range ics {
+		if antiOnly && c.Monotonicity() != AntiMonotonic {
+			continue
+		}
+		if useMask && needScan&(1<<uint(i)) == 0 {
+			continue
+		}
 		if !c.HoldsInstances(&e.instCtx, g, insts) {
 			return false
 		}
@@ -149,22 +245,7 @@ func (e *Evaluator) HoldsAnti(g bitset.Set) bool {
 				return false
 			}
 		}
-		var anti []InstanceConstraint
-		for _, c := range e.Set.Instance {
-			if c.Monotonicity() == AntiMonotonic {
-				anti = append(anti, c)
-			}
-		}
-		if len(anti) > 0 {
-			e.logPasses.Add(1)
-			insts := instances.OfLog(e.X, g, e.Policy)
-			for _, c := range anti {
-				if !c.HoldsInstances(&e.instCtx, g, insts) {
-					return false
-				}
-			}
-		}
-		return true
+		return e.holdsInstanceFiltered(g, true)
 	})
 }
 

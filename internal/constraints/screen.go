@@ -1,0 +1,670 @@
+package constraints
+
+// Constraint screening: deciding instance-constraint verdicts for a whole
+// candidate group from cached per-class aggregates, without materialising
+// the group's instances. A screen is a three-valued function — Holds, Fails,
+// or Unknown — and must be *exact*: Holds only when every instance of the
+// group provably satisfies the constraint under the reference per-event
+// evaluation (including its floating-point behaviour), Fails only when some
+// instance provably violates it, Unknown otherwise (the evaluator then falls
+// back to the event scan). Bounds that pass through float arithmetic in the
+// reference evaluator (sums, averages) carry a generous rounding margin so
+// a screen never contradicts the scan; integral and comparison-only bounds
+// (count, distinct, min, max, spans) are exact as-is.
+//
+// The aggregates live in the AttrCache — one build per core.Session,
+// invalidation-free because the Index is frozen — so a screened check is an
+// O(classes-in-group) merge (word-parallel bitset kernels for code unions)
+// plus, for a few refutations, an O(classes-in-group · traces) pass over
+// per-trace partials. Profiling shows instance materialisation dominating
+// candidate evaluation; screens remove it outright for most checks.
+
+import (
+	"gecco/internal/bitset"
+	"gecco/internal/eventlog"
+	"gecco/internal/instances"
+)
+
+// Tri is a screening verdict.
+type Tri int8
+
+const (
+	// ScreenUnknown: the cached aggregates cannot decide; scan the log.
+	ScreenUnknown Tri = iota
+	// ScreenHolds: every instance of the group satisfies the constraint.
+	ScreenHolds
+	// ScreenFails: some instance of the group violates the constraint.
+	ScreenFails
+)
+
+func triBool(b bool) Tri {
+	if b {
+		return ScreenHolds
+	}
+	return ScreenFails
+}
+
+// ScreenedConstraint is optionally implemented by instance constraints that
+// can (sometimes) decide their verdict from the per-class aggregate cache.
+// Screen must agree with HoldsInstances whenever it returns a non-Unknown
+// verdict; the property tests in screen_quick_test.go enforce this on random
+// indexes.
+type ScreenedConstraint interface {
+	Screen(sc *ScreenContext, g bitset.Set) Tri
+}
+
+// ScreenContext carries the frozen index, the segmentation policy, and the
+// shared aggregate cache into screens, plus per-goroutine scratch buffers
+// (pooled by the Evaluator — a ScreenContext is not safe for concurrent
+// use).
+type ScreenContext struct {
+	X      *eventlog.Index
+	Policy instances.Policy
+	Cache  *AttrCache
+	scr    *screenScratch
+}
+
+// screenScratch holds the reusable merge buffers of one ScreenContext.
+type screenScratch struct {
+	codes bitset.Set // merged distinct-code union
+	cnts  []int32    // merged per-trace counts
+	sums  []float64  // merged per-trace numeric sums
+}
+
+// ---------------------------------------------------------------------------
+// AttrCache: aggregate-statistics tier
+
+// ensureStats lazily initialises the aggregate memos (AttrCache predates
+// them; NewAttrCache wires them eagerly, this guards zero-value misuse).
+func (a *AttrCache) colStats(attr string) *eventlog.ClassColStats {
+	return a.stats.Do(attr, func() *eventlog.ClassColStats {
+		return a.x.BuildClassColStats(attr, a.classMasks())
+	})
+}
+
+func (a *AttrCache) classMasks() []bitset.Set {
+	a.masksOnce.Do(func() { a.masks = a.x.ClassEventMasks() })
+	return a.masks
+}
+
+func (a *AttrCache) traceCounts() []int32 {
+	a.traceCntOnce.Do(func() { a.traceCnt = a.x.ClassTraceCounts() })
+	return a.traceCnt
+}
+
+func (a *AttrCache) spanStats() *eventlog.SpanStats {
+	a.spanOnce.Do(func() { a.spans = a.x.BuildSpanStats() })
+	return a.spans
+}
+
+// roundPad returns a sound relative rounding margin for float sums/means of
+// up to one trace's worth of values: sequential float64 accumulation of n
+// non-negative terms has relative error below n·2⁻⁵², and the pad is ~100x
+// that. Screens widen float-sensitive bounds by it, trading a sliver of
+// screening power for exactness against the reference evaluation.
+func (a *AttrCache) roundPad() float64 {
+	a.lenOnce.Do(func() {
+		maxLen := 0
+		for t := 0; t < a.x.NumTraces(); t++ {
+			if l := a.x.TraceLen(t); l > maxLen {
+				maxLen = l
+			}
+		}
+		a.maxTraceLen = maxLen
+	})
+	return (float64(a.maxTraceLen) + 4) * 1e-14
+}
+
+// logPad is roundPad for float means taken across the whole log (one term
+// per group instance, bounded by the event count) rather than within one
+// instance — AvgInstanceSpan averages over every instance of the group.
+func (a *AttrCache) logPad() float64 {
+	return (float64(a.x.NumEvents()) + 4) * 1e-14
+}
+
+// ---------------------------------------------------------------------------
+// Merge helpers
+
+// mergedAgg is the fold of per-class numeric aggregates over a group.
+type mergedAgg struct {
+	numCount    int
+	min, max    float64 // meaningful only when numCount > 0
+	nonNegative bool    // every numeric value of the group is >= 0
+}
+
+func mergeNums(st *eventlog.ClassColStats, g bitset.Set) mergedAgg {
+	var m mergedAgg
+	g.ForEach(func(c int) bool {
+		if st.NumCount[c] > 0 {
+			if m.numCount == 0 {
+				m.min, m.max = st.Min[c], st.Max[c]
+			} else {
+				if st.Min[c] < m.min {
+					m.min = st.Min[c]
+				}
+				if st.Max[c] > m.max {
+					m.max = st.Max[c]
+				}
+			}
+			m.numCount += st.NumCount[c]
+		}
+		return true
+	})
+	m.nonNegative = m.numCount == 0 || m.min >= 0
+	return m
+}
+
+// mergedTraceCounts returns the group's projected event count per trace
+// (how many events of any class in g each trace holds). Single-class groups
+// read the cached row directly; larger groups merge into scratch. The
+// returned slice is read-only and valid until the next scratch use.
+func (sc *ScreenContext) mergedTraceCounts(g bitset.Set) []int32 {
+	tc := sc.Cache.traceCounts()
+	nt := sc.X.NumTraces()
+	if c := g.Min(); c >= 0 && g.Len() == 1 {
+		return tc[c*nt : (c+1)*nt]
+	}
+	buf := sc.scr.cnts
+	if cap(buf) < nt {
+		buf = make([]int32, nt)
+	}
+	buf = buf[:nt]
+	for i := range buf {
+		buf[i] = 0
+	}
+	g.ForEach(func(c int) bool {
+		row := tc[c*nt : (c+1)*nt]
+		for t, n := range row {
+			buf[t] += n
+		}
+		return true
+	})
+	sc.scr.cnts = buf
+	return buf
+}
+
+// mergedTraceNums returns the group's per-trace numeric value counts and
+// sums for one attribute. Must only be called when the column has numeric
+// values (st.TraceNumCount non-nil). Same aliasing rules as
+// mergedTraceCounts.
+func (sc *ScreenContext) mergedTraceNums(st *eventlog.ClassColStats, g bitset.Set) ([]int32, []float64) {
+	nt := sc.X.NumTraces()
+	if c := g.Min(); c >= 0 && g.Len() == 1 {
+		return st.TraceNumCount[c*nt : (c+1)*nt], st.TraceNumSum[c*nt : (c+1)*nt]
+	}
+	cb, sb := sc.scr.cnts, sc.scr.sums
+	if cap(cb) < nt {
+		cb = make([]int32, nt)
+	}
+	if cap(sb) < nt {
+		sb = make([]float64, nt)
+	}
+	cb, sb = cb[:nt], sb[:nt]
+	for i := range cb {
+		cb[i], sb[i] = 0, 0
+	}
+	g.ForEach(func(c int) bool {
+		crow := st.TraceNumCount[c*nt : (c+1)*nt]
+		srow := st.TraceNumSum[c*nt : (c+1)*nt]
+		for t, n := range crow {
+			if n > 0 {
+				cb[t] += n
+				sb[t] += srow[t]
+			}
+		}
+		return true
+	})
+	sc.scr.cnts, sc.scr.sums = cb, sb
+	return cb, sb
+}
+
+// mergedCodeCount returns |union of the group's distinct dictionary codes|
+// via in-place OrInto merging — the word-parallel bound on per-instance
+// distinct values of a strings-only column.
+func (sc *ScreenContext) mergedCodeCount(st *eventlog.ClassColStats, g bitset.Set) int {
+	need := 0
+	g.ForEach(func(c int) bool {
+		if b := st.Codes[c].Bytes(); b*8 > need {
+			need = b * 8
+		}
+		return true
+	})
+	if sc.scr.codes.Bytes()*8 < need {
+		sc.scr.codes = bitset.New(need)
+	}
+	sc.scr.codes.Clear()
+	g.ForEach(func(c int) bool {
+		sc.scr.codes.OrInto(st.Codes[c])
+		return true
+	})
+	return sc.scr.codes.Len()
+}
+
+// singleEventInstances reports whether every instance of g is exactly one
+// event: under split-on-repeat a single-class group re-segments at every
+// repetition, so each instance is one event of that class.
+func (sc *ScreenContext) singleEventInstances(g bitset.Set) bool {
+	return sc.Policy == instances.SplitOnRepeat && g.Len() == 1
+}
+
+// mergedMaxSpan returns the largest per-trace timestamp spread over the
+// traces that can host an instance of g; every instance span and every
+// within-instance gap is bounded by it (exactly, through the same
+// Sub().Seconds() arithmetic the evaluator uses).
+func mergedMaxSpan(sp *eventlog.SpanStats, g bitset.Set) float64 {
+	maxSpan := 0.0
+	g.ForEach(func(c int) bool {
+		if sp.ClassMaxSpan[c] > maxSpan {
+			maxSpan = sp.ClassMaxSpan[c]
+		}
+		return true
+	})
+	return maxSpan
+}
+
+// ---------------------------------------------------------------------------
+// InstanceAggregate screens
+
+// Screen decides sum/avg/min/max/count/distinct aggregates from merged
+// per-class partials where possible. Min/max bounds and count/distinct
+// bounds are exact; sum/avg bounds carry the rounding pad (see roundPad) so
+// a verdict never contradicts the reference float evaluation.
+func (c InstanceAggregate) Screen(sc *ScreenContext, g bitset.Set) Tri {
+	if g.IsEmpty() {
+		return ScreenUnknown
+	}
+	if c.AggFn == Count {
+		return c.screenCount(sc, g)
+	}
+	st := sc.Cache.colStats(c.Attr)
+	if !st.HasColumn {
+		if c.AggFn == Distinct {
+			// No column: every instance has 0 distinct values.
+			return triBool(c.Op.Cmp(0, c.Threshold))
+		}
+		return ScreenHolds // no values anywhere: every instance is vacuous
+	}
+	if c.AggFn == Distinct {
+		return c.screenDistinct(sc, st, g)
+	}
+	m := mergeNums(st, g)
+	if m.numCount == 0 {
+		return ScreenHolds // no numeric values: every instance is vacuous
+	}
+	T := c.Threshold
+	if sc.singleEventInstances(g) {
+		// One value per non-vacuous instance: sum = avg = min = max = v, and
+		// the per-event arithmetic is exact. Holds iff every value passes.
+		switch {
+		case c.Op == EQ:
+			return triBool(m.min == T && m.max == T)
+		case c.Op.upperBounding():
+			return triBool(c.Op.Cmp(m.max, T))
+		default:
+			return triBool(c.Op.Cmp(m.min, T))
+		}
+	}
+	switch c.AggFn {
+	case Min:
+		// An instance's min is one of its values: it is >= the merged min
+		// (with the min value's own instance attaining <= merged min) and
+		// <= the merged max. Comparison-only, exact.
+		if c.Op == EQ {
+			if m.min == T && m.max == T {
+				return ScreenHolds
+			}
+			if T < m.min || T > m.max {
+				return ScreenFails
+			}
+			return ScreenUnknown
+		}
+		if c.Op.lowerBounding() {
+			return triBool(c.Op.Cmp(m.min, T)) // fully decided
+		}
+		if c.Op.Cmp(m.max, T) {
+			return ScreenHolds
+		}
+		if !c.Op.Cmp(m.min, T) {
+			return ScreenFails
+		}
+		return ScreenUnknown
+	case Max:
+		if c.Op == EQ {
+			if m.min == T && m.max == T {
+				return ScreenHolds
+			}
+			if T < m.min || T > m.max {
+				return ScreenFails
+			}
+			return ScreenUnknown
+		}
+		if c.Op.upperBounding() {
+			return triBool(c.Op.Cmp(m.max, T)) // fully decided
+		}
+		if c.Op.Cmp(m.min, T) {
+			return ScreenHolds
+		}
+		if !c.Op.Cmp(m.max, T) {
+			return ScreenFails
+		}
+		return ScreenUnknown
+	case Avg:
+		if !m.nonNegative {
+			return ScreenUnknown // margin math below assumes non-negative values
+		}
+		pad := sc.Cache.roundPad()
+		lo, hi := m.min*(1-pad), m.max*(1+pad)
+		// Every non-vacuous instance's float mean lies in [lo, hi].
+		if c.Op == EQ {
+			if T < lo || T > hi {
+				return ScreenFails
+			}
+			return ScreenUnknown
+		}
+		if c.Op.upperBounding() {
+			if c.Op.Cmp(hi, T) {
+				return ScreenHolds
+			}
+			if !c.Op.Cmp(lo, T) {
+				return ScreenFails
+			}
+			return ScreenUnknown
+		}
+		if c.Op.Cmp(lo, T) {
+			return ScreenHolds
+		}
+		if !c.Op.Cmp(hi, T) {
+			return ScreenFails
+		}
+		return ScreenUnknown
+	case Sum:
+		if !m.nonNegative || c.Op == EQ {
+			return ScreenUnknown
+		}
+		pad := sc.Cache.roundPad()
+		if c.Op.lowerBounding() {
+			// Float summation of non-negative terms is monotone: an
+			// instance's sum dominates each of its values, hence the merged
+			// min — exact, no pad needed.
+			if c.Op.Cmp(m.min, T) {
+				return ScreenHolds
+			}
+			// Refute per trace: instances partition a trace's projection, so
+			// any instance sum is bounded by the trace's projected total.
+			cnts, sums := sc.mergedTraceNums(st, g)
+			for t, n := range cnts {
+				if n > 0 && !c.Op.Cmp(sums[t]*(1+pad), T) {
+					return ScreenFails
+				}
+			}
+			return ScreenUnknown
+		}
+		// Upper-bounding: the instance holding the merged max has sum >= max
+		// (monotone non-negative summation — exact).
+		if !c.Op.Cmp(m.max, T) {
+			return ScreenFails
+		}
+		cnts, sums := sc.mergedTraceNums(st, g)
+		for t, n := range cnts {
+			if n > 0 && !c.Op.Cmp(sums[t]*(1+pad), T) {
+				return ScreenUnknown
+			}
+		}
+		return ScreenHolds // every trace's projected total already passes
+	}
+	return ScreenUnknown
+}
+
+// screenCount decides the event-count aggregate from per-trace projected
+// counts (attribute-independent, integral, exact). Under split-on-repeat an
+// instance holds between 1 and min(|g|, projected-count) events; under
+// whole-trace it holds exactly the trace's projected count.
+func (c InstanceAggregate) screenCount(sc *ScreenContext, g bitset.Set) Tri {
+	T := c.Threshold
+	if sc.Policy == instances.WholeTrace {
+		holds := true
+		for _, n := range sc.mergedTraceCounts(g) {
+			if n > 0 && !c.Op.Cmp(float64(n), T) {
+				holds = false
+				break
+			}
+		}
+		return triBool(holds) // fully decided
+	}
+	gl := g.Len()
+	if c.Op == EQ {
+		if gl == 1 {
+			return triBool(c.Op.Cmp(1, T)) // single-event instances
+		}
+		return ScreenUnknown
+	}
+	if c.Op.upperBounding() {
+		if c.Op.Cmp(float64(gl), T) {
+			return ScreenHolds // split-on-repeat: at most one event per class
+		}
+		if !c.Op.Cmp(1, T) {
+			return ScreenFails // even a single event is too many
+		}
+		holds := true
+		for _, n := range sc.mergedTraceCounts(g) {
+			if n > 0 && !c.Op.Cmp(float64(n), T) {
+				holds = false
+				break
+			}
+		}
+		if holds {
+			return ScreenHolds // instance count <= its trace's projected count
+		}
+		return ScreenUnknown
+	}
+	// Lower-bounding: every instance has >= 1 event.
+	if c.Op.Cmp(1, T) {
+		return ScreenHolds
+	}
+	for _, n := range sc.mergedTraceCounts(g) {
+		if n > 0 && !c.Op.Cmp(float64(n), T) {
+			return ScreenFails // all instances in that trace are too small
+		}
+	}
+	return ScreenUnknown
+}
+
+// screenDistinct decides the distinct-value aggregate from the merged
+// dictionary-code union (strings-only columns) and the split-on-repeat
+// event-count bound. Integral, exact.
+func (c InstanceAggregate) screenDistinct(sc *ScreenContext, st *eventlog.ClassColStats, g bitset.Set) Tri {
+	T := c.Threshold
+	if sc.singleEventInstances(g) {
+		// Each instance is one event of the class: 1 distinct value when the
+		// attribute is present, 0 when absent.
+		cl := g.Min()
+		okPresent := st.Present[cl] == 0 || c.Op.Cmp(1, T)
+		okAbsent := st.Present[cl] == sc.X.ClassFreq[cl] || c.Op.Cmp(0, T)
+		return triBool(okPresent && okAbsent)
+	}
+	ub, haveUB := 0, false
+	if st.StringsOnly {
+		ub, haveUB = sc.mergedCodeCount(st, g), true
+	}
+	if sc.Policy == instances.SplitOnRepeat {
+		// At most one event per class per instance: distinct <= |g|.
+		if gl := g.Len(); !haveUB || gl < ub {
+			ub, haveUB = gl, true
+		}
+	}
+	if c.Op.upperBounding() {
+		if haveUB && c.Op.Cmp(float64(ub), T) {
+			return ScreenHolds
+		}
+		return ScreenUnknown
+	}
+	if c.Op.lowerBounding() {
+		if c.Op.Cmp(0, T) {
+			return ScreenHolds // distinct >= 0 always
+		}
+		if haveUB && !c.Op.Cmp(float64(ub), T) {
+			return ScreenFails // no instance can reach the bound
+		}
+		return ScreenUnknown
+	}
+	return ScreenUnknown
+}
+
+// ---------------------------------------------------------------------------
+// Span / gap / cardinality screens
+
+// Screen for MaxGap: every within-instance gap is bounded by the hosting
+// trace's timestamp spread (exact through Sub().Seconds() monotonicity), and
+// single-event instances have no gaps at all.
+func (c MaxGap) Screen(sc *ScreenContext, g bitset.Set) Tri {
+	sp := sc.Cache.spanStats()
+	if !sp.HasTimestamps {
+		return ScreenHolds
+	}
+	if sc.singleEventInstances(g) {
+		return ScreenHolds
+	}
+	if mergedMaxSpan(sp, g) <= c.Seconds {
+		return ScreenHolds
+	}
+	return ScreenUnknown
+}
+
+// Screen for InstanceSpan: spans lie in [-spread, spread] of the hosting
+// trace (timestamps need not be monotonic), single-event instances span
+// exactly 0 when timestamped.
+func (c InstanceSpan) Screen(sc *ScreenContext, g bitset.Set) Tri {
+	sp := sc.Cache.spanStats()
+	if !sp.HasTimestamps {
+		return ScreenHolds
+	}
+	if sc.singleEventInstances(g) {
+		st := sc.Cache.colStats(eventlog.AttrTimestamp)
+		cl := g.Min()
+		if st.TimeCount[cl] == 0 {
+			return ScreenHolds // no timestamps: every span check is vacuous
+		}
+		return triBool(c.Op.Cmp(0, c.Seconds))
+	}
+	maxSpan := mergedMaxSpan(sp, g)
+	if c.Op.upperBounding() && c.Op.Cmp(maxSpan, c.Seconds) {
+		return ScreenHolds
+	}
+	if c.Op.lowerBounding() && c.Op.Cmp(-maxSpan, c.Seconds) {
+		return ScreenHolds
+	}
+	return ScreenUnknown
+}
+
+// Screen for AvgInstanceSpan: the float mean of spans in [-spread, spread]
+// stays within the pad-widened interval.
+func (c AvgInstanceSpan) Screen(sc *ScreenContext, g bitset.Set) Tri {
+	sp := sc.Cache.spanStats()
+	if !sp.HasTimestamps {
+		return ScreenHolds
+	}
+	if sc.singleEventInstances(g) {
+		st := sc.Cache.colStats(eventlog.AttrTimestamp)
+		cl := g.Min()
+		if st.TimeCount[cl] == 0 {
+			return ScreenHolds
+		}
+		// Every contributing span is exactly 0; the mean of zeros is 0.
+		return triBool(c.Op.Cmp(0, c.Seconds))
+	}
+	maxSpan := mergedMaxSpan(sp, g)
+	hi := maxSpan * (1 + sc.Cache.logPad())
+	if c.Op.upperBounding() && c.Op.Cmp(hi, c.Seconds) {
+		return ScreenHolds
+	}
+	if c.Op.lowerBounding() && c.Op.Cmp(-hi, c.Seconds) {
+		return ScreenHolds
+	}
+	return ScreenUnknown
+}
+
+// Screen for EventsPerClass: under split-on-repeat every per-class count
+// within an instance is exactly 1; under whole-trace the cached per-class
+// per-trace counts are the exact per-instance counts.
+func (c EventsPerClass) Screen(sc *ScreenContext, g bitset.Set) Tri {
+	if g.IsEmpty() {
+		return ScreenUnknown
+	}
+	N := float64(c.N)
+	if sc.Policy == instances.SplitOnRepeat {
+		return triBool(c.Op.Cmp(1, N)) // fully decided
+	}
+	tc := sc.Cache.traceCounts()
+	nt := sc.X.NumTraces()
+	holds := true
+	g.ForEach(func(cl int) bool {
+		row := tc[cl*nt : (cl+1)*nt]
+		for _, n := range row {
+			if n > 0 && !c.Op.Cmp(float64(n), N) {
+				holds = false
+				return false
+			}
+		}
+		return true
+	})
+	return triBool(holds) // fully decided
+}
+
+// Screen for ClassCardinality: split-on-repeat counts are 0 or 1 (and the
+// class occurs, so 1 is attained); whole-trace counts are the cached exact
+// per-trace counts over traces hosting an instance.
+func (c ClassCardinality) Screen(sc *ScreenContext, g bitset.Set) Tri {
+	id, ok := sc.X.ClassID[c.ClassName]
+	if !ok || !g.Contains(id) {
+		return ScreenHolds // vacuous, as in HoldsInstances
+	}
+	N := float64(c.N)
+	if sc.Policy == instances.SplitOnRepeat {
+		if !c.Op.Cmp(1, N) {
+			return ScreenFails // some instance contains the class once
+		}
+		if c.Op.Cmp(0, N) {
+			return ScreenHolds // both attainable counts pass
+		}
+		if g.Len() == 1 {
+			return ScreenHolds // every instance is one event of the class
+		}
+		return ScreenUnknown // needs every instance to contain the class
+	}
+	tc := sc.Cache.traceCounts()
+	nt := sc.X.NumTraces()
+	row := tc[id*nt : (id+1)*nt]
+	holds := true
+	for t, n := range sc.mergedTraceCounts(g) {
+		if n > 0 && !c.Op.Cmp(float64(row[t]), N) {
+			holds = false
+			break
+		}
+	}
+	return triBool(holds) // fully decided
+}
+
+// Screen for Percentage: if the inner constraint provably holds on every
+// instance, the satisfied fraction is 1. A Fails from the inner screen says
+// only that *some* instance violates it, which cannot refute a fraction.
+func (c Percentage) Screen(sc *ScreenContext, g bitset.Set) Tri {
+	inner, ok := c.Inner.(ScreenedConstraint)
+	if !ok {
+		return ScreenUnknown
+	}
+	if c.Fraction <= 1 && inner.Screen(sc, g) == ScreenHolds {
+		return ScreenHolds
+	}
+	return ScreenUnknown
+}
+
+// compile-time interface checks
+var (
+	_ ScreenedConstraint = InstanceAggregate{}
+	_ ScreenedConstraint = MaxGap{}
+	_ ScreenedConstraint = InstanceSpan{}
+	_ ScreenedConstraint = AvgInstanceSpan{}
+	_ ScreenedConstraint = EventsPerClass{}
+	_ ScreenedConstraint = ClassCardinality{}
+	_ ScreenedConstraint = Percentage{}
+)

@@ -1,0 +1,210 @@
+package constraints
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"gecco/internal/bitset"
+	"gecco/internal/eventlog"
+	"gecco/internal/instances"
+)
+
+// Screens must be *exact*: whenever Screen returns Holds or Fails, the
+// verdict must equal the naive per-event evaluation (OfLog + HoldsInstances)
+// — including its floating-point behaviour. This property test drives every
+// screened constraint type over random indexes with mixed-kind columns
+// (numeric values interleaved with strings on the same attribute), missing
+// values, negative numbers, non-monotonic timestamps, and multi-instance
+// traces, under both segmentation policies.
+
+// randQuickIndex builds a small random log exercising the awkward cases.
+func randQuickIndex(r *rand.Rand) *eventlog.Index {
+	b := eventlog.NewBuilder()
+	b.SetName("screen-quick")
+	nc := 2 + r.Intn(6)
+	nt := 1 + r.Intn(6)
+	base := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	for t := 0; t < nt; t++ {
+		b.StartTrace(fmt.Sprintf("t%d", t))
+		tl := r.Intn(12)
+		if t == 0 {
+			tl++ // at least one event overall
+		}
+		for e := 0; e < tl; e++ {
+			b.AddEvent(fmt.Sprintf("c%d", r.Intn(nc)))
+			switch r.Intn(10) {
+			case 0, 1, 2: // missing
+			case 3:
+				b.SetEventAttr("num", eventlog.Int(int64(r.Intn(20)-3))) // sometimes negative
+			case 4:
+				b.SetEventAttr("num", eventlog.String("oops")) // mixed-kind column
+			default:
+				b.SetEventAttr("num", eventlog.Float(float64(r.Intn(1000))/7))
+			}
+			switch {
+			case r.Intn(3) != 0:
+				b.SetEventAttr("role", eventlog.String(fmt.Sprintf("r%d", r.Intn(4))))
+			case r.Intn(4) == 0:
+				b.SetEventAttr("role", eventlog.Float(1.5)) // breaks strings-only
+			}
+			if r.Intn(4) != 0 {
+				// Deliberately non-monotonic within the trace.
+				ts := base.Add(time.Duration(r.Intn(100000)) * time.Second)
+				b.SetEventAttr(eventlog.AttrTimestamp, eventlog.Time(ts))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// quickConstraintPool enumerates screened constraints with thresholds
+// straddling the generated value ranges.
+func quickConstraintPool() []InstanceConstraint {
+	var cons []InstanceConstraint
+	for _, op := range []Op{LE, GE, EQ, LT, GT} {
+		for _, th := range []float64{-1, 0, 1, 2.5, 3, 140} {
+			for _, agg := range []Agg{Sum, Avg, Min, Max} {
+				cons = append(cons,
+					InstanceAggregate{AggFn: agg, Attr: "num", Op: op, Threshold: th},
+					InstanceAggregate{AggFn: agg, Attr: "nope", Op: op, Threshold: th})
+			}
+			cons = append(cons,
+				InstanceAggregate{AggFn: Count, Op: op, Threshold: th},
+				InstanceAggregate{AggFn: Distinct, Attr: "role", Op: op, Threshold: th},
+				InstanceAggregate{AggFn: Distinct, Attr: "nope", Op: op, Threshold: th})
+		}
+		cons = append(cons,
+			EventsPerClass{Op: op, N: 1},
+			EventsPerClass{Op: op, N: 2},
+			ClassCardinality{ClassName: "c0", Op: op, N: 1},
+			ClassCardinality{ClassName: "zz", Op: op, N: 1},
+			InstanceSpan{Op: op, Seconds: 0},
+			InstanceSpan{Op: op, Seconds: 50000},
+			AvgInstanceSpan{Op: op, Seconds: 0},
+			AvgInstanceSpan{Op: op, Seconds: 50000},
+		)
+	}
+	cons = append(cons,
+		MaxGap{Seconds: 0},
+		MaxGap{Seconds: 1e5},
+		Percentage{Fraction: 0.5, Inner: InstanceAggregate{AggFn: Count, Op: LE, Threshold: 2}},
+		Percentage{Fraction: 1, Inner: MaxGap{Seconds: 1e5}},
+	)
+	return cons
+}
+
+func TestScreensMatchNaiveEvaluationQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	pool := quickConstraintPool()
+	decidedHolds, decidedFails := 0, 0
+
+	for round := 0; round < 60; round++ {
+		x := randQuickIndex(r)
+		cache := NewAttrCache(x)
+		for _, pol := range []instances.Policy{instances.SplitOnRepeat, instances.WholeTrace} {
+			scr := &screenScratch{}
+			sc := &ScreenContext{X: x, Policy: pol, Cache: cache, scr: scr}
+			ictx := &InstanceContext{X: x}
+			for gi := 0; gi < 6; gi++ {
+				g := bitset.New(x.NumClasses())
+				for g.IsEmpty() {
+					for c := 0; c < x.NumClasses(); c++ {
+						if r.Intn(3) == 0 {
+							g.Add(c)
+						}
+					}
+				}
+				insts := instances.OfLog(x, g, pol)
+				for _, c := range pool {
+					scrC, ok := c.(ScreenedConstraint)
+					if !ok {
+						continue
+					}
+					verdict := scrC.Screen(sc, g)
+					if verdict == ScreenUnknown {
+						continue
+					}
+					naive := c.HoldsInstances(ictx, g, insts)
+					if (verdict == ScreenHolds) != naive {
+						t.Fatalf("policy %v group %v: screen of %v says %v, naive evaluation says %v",
+							pol, g, c, verdict == ScreenHolds, naive)
+					}
+					if verdict == ScreenHolds {
+						decidedHolds++
+					} else {
+						decidedFails++
+					}
+				}
+			}
+		}
+	}
+	// The screens must actually decide in both directions, or the test (and
+	// the optimisation) is vacuous.
+	if decidedHolds == 0 || decidedFails == 0 {
+		t.Fatalf("screens decided %d Holds / %d Fails — expected both non-zero", decidedHolds, decidedFails)
+	}
+}
+
+// TestEvaluatorScreenedMatchesNaive drives the full evaluator path —
+// screening, pooled collectors, scan fallback — against a naive conjunction
+// over OfLog instances, and pins the aggregate-cache-hit counter non-zero.
+func TestEvaluatorScreenedMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	pool := quickConstraintPool()
+	totalHits := 0
+	for round := 0; round < 40; round++ {
+		x := randQuickIndex(r)
+		var cs []Constraint
+		for i := 0; i < 4; i++ {
+			cs = append(cs, pool[r.Intn(len(pool))])
+		}
+		set := NewSet(cs...)
+		for _, pol := range []instances.Policy{instances.SplitOnRepeat, instances.WholeTrace} {
+			ev := NewEvaluator(x, set, pol)
+			ictx := &InstanceContext{X: x}
+			for gi := 0; gi < 8; gi++ {
+				g := bitset.New(x.NumClasses())
+				for c := 0; c < x.NumClasses(); c++ {
+					if r.Intn(3) == 0 {
+						g.Add(c)
+					}
+				}
+				if g.IsEmpty() {
+					continue
+				}
+				insts := instances.OfLog(x, g, pol)
+				naive := true
+				for _, c := range set.Instance {
+					if !c.HoldsInstances(ictx, g, insts) {
+						naive = false
+						break
+					}
+				}
+				if got := ev.HoldsInstance(g); got != naive {
+					t.Fatalf("policy %v group %v set %v: HoldsInstance = %v, naive = %v", pol, g, set, got, naive)
+				}
+				if got := ev.HoldsAnti(g); got != naiveAnti(ictx, set, g, insts) {
+					t.Fatalf("policy %v group %v set %v: HoldsAnti mismatch", pol, g, set)
+				}
+			}
+			totalHits += ev.ScreenHits()
+		}
+	}
+	if totalHits == 0 {
+		t.Fatal("ScreenHits stayed zero across the whole run — screens never fired")
+	}
+}
+
+func naiveAnti(ictx *InstanceContext, set *Set, g bitset.Set, insts []instances.Instance) bool {
+	for _, c := range set.Instance {
+		if c.Monotonicity() != AntiMonotonic {
+			continue
+		}
+		if !c.HoldsInstances(ictx, g, insts) {
+			return false
+		}
+	}
+	return true
+}

@@ -121,8 +121,14 @@ type Result struct {
 	NumCandidates      int
 	CandidatesTimedOut bool
 	ConstraintChecks   int
-	SolverNodes        int
-	Timings            Timings
+	// ScreenedChecks counts instance-constraint verdicts this solve decided
+	// from the bitset screens alone, without materialising instances.
+	ScreenedChecks int
+	// LBPruned counts beam-frontier nodes this solve skipped via the
+	// admissible distance lower bound instead of an exact Eq. 1 evaluation.
+	LBPruned    int
+	SolverNodes int
+	Timings     Timings
 }
 
 // Run executes the full GECCO pipeline on the log under the constraint set.

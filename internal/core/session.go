@@ -178,6 +178,9 @@ func (s *Session) solve(ctx context.Context, set *constraints.Set, cfg Config, o
 	workers := par.Workers(cfg.Workers)
 	ev := constraints.NewEvaluatorCached(x, set, cfg.Policy, s.attrs)
 	dc := s.Calc(cfg.Policy)
+	// The calc is session-shared; snapshot its prune counter so the Result
+	// reports this solve's contribution only.
+	prunedBefore := dc.LBPruned()
 
 	// Step 1: candidate computation.
 	t0 := time.Now()
@@ -323,6 +326,8 @@ func (s *Session) solve(ctx context.Context, set *constraints.Set, cfg Config, o
 		NumCandidates:      len(groups),
 		CandidatesTimedOut: cr.TimedOut,
 		ConstraintChecks:   ev.Checks(),
+		ScreenedChecks:     ev.ScreenHits(),
+		LBPruned:           dc.LBPruned() - prunedBefore,
 		Timings:            Timings{Candidates: candTime, Solve: solveTime},
 	}
 	if !res.Feasible {

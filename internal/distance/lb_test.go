@@ -1,0 +1,75 @@
+package distance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gecco/internal/bitset"
+	"gecco/internal/eventlog"
+	"gecco/internal/instances"
+	"gecco/internal/procgen"
+)
+
+// GroupLB must be admissible: GroupLB(g) <= Group(g) for every group, under
+// both policies, including the float-rounding edge where every instance term
+// equals the bound (the lbPad shave covers it). Random subsets of the
+// simulated running-example log exercise complete, partial, and
+// never-occurring groups.
+func TestGroupLBAdmissible(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, seed := range []int64{1, 7, 42} {
+		x := eventlog.NewIndex(procgen.RunningExample(120, seed))
+		for _, pol := range []instances.Policy{instances.SplitOnRepeat, instances.WholeTrace} {
+			c := NewCalc(x, pol)
+			checked := 0
+			for i := 0; i < 400; i++ {
+				g := bitset.New(x.NumClasses())
+				for cl := 0; cl < x.NumClasses(); cl++ {
+					if r.Intn(3) == 0 {
+						g.Add(cl)
+					}
+				}
+				if g.IsEmpty() {
+					continue
+				}
+				lb := c.GroupLB(g)
+				d := c.Group(g)
+				if math.IsInf(d, 1) {
+					if !math.IsInf(lb, 1) {
+						t.Fatalf("policy %v group %v: exact is +Inf but LB = %v", pol, g, lb)
+					}
+					continue
+				}
+				if lb > d {
+					t.Fatalf("policy %v group %v: LB %v exceeds exact distance %v — bound inadmissible", pol, g, lb, d)
+				}
+				// Once the exact value is memoised, the bound tightens to it.
+				if after := c.GroupLB(g); after != d {
+					t.Fatalf("policy %v group %v: LB after exact eval = %v, want the cached exact %v", pol, g, after, d)
+				}
+				checked++
+			}
+			if checked == 0 {
+				t.Fatal("no finite groups checked")
+			}
+		}
+	}
+}
+
+// Singletons make the bound tight before any exact evaluation: one class
+// occurring in some variant misses nothing, so LB = (0 + 1)/1 shaved by the
+// pad, and the exact distance is exactly 1.
+func TestGroupLBSingletonNearTight(t *testing.T) {
+	x := eventlog.NewIndex(procgen.RunningExampleTable1())
+	c := NewCalc(x, instances.SplitOnRepeat)
+	g := bitset.New(x.NumClasses())
+	g.Add(0)
+	lb := c.GroupLB(g)
+	if lb > 1 || lb < 1-1e-9 {
+		t.Fatalf("singleton LB = %v, want just below 1", lb)
+	}
+	if d := c.Group(g); lb > d {
+		t.Fatalf("singleton LB %v exceeds exact %v", lb, d)
+	}
+}

@@ -163,19 +163,15 @@ func (x *Index) Occurs(g bitset.Set) bool {
 		return false
 	}
 	acc := x.ClassTraces[first].Clone()
-	ok := true
+	ok := !acc.IsEmpty()
 	g.ForEach(func(c int) bool {
 		if c == first {
 			return true
 		}
-		acc = acc.Intersect(x.ClassTraces[c])
-		if acc.IsEmpty() {
-			ok = false
-			return false
-		}
-		return true
+		ok = acc.AndInto(x.ClassTraces[c])
+		return ok
 	})
-	return ok && !acc.IsEmpty()
+	return ok
 }
 
 // CoTraces returns the set of trace indices in which all classes of g occur.
@@ -186,10 +182,10 @@ func (x *Index) CoTraces(g bitset.Set) bitset.Set {
 	}
 	acc := x.ClassTraces[first].Clone()
 	g.ForEach(func(c int) bool {
-		if c != first {
-			acc = acc.Intersect(x.ClassTraces[c])
+		if c == first {
+			return true
 		}
-		return !acc.IsEmpty()
+		return acc.AndInto(x.ClassTraces[c])
 	})
 	return acc
 }
@@ -199,7 +195,7 @@ func (x *Index) CoTraces(g bitset.Set) bitset.Set {
 func (x *Index) AnyTraces(g bitset.Set) bitset.Set {
 	acc := bitset.New(x.NumTraces())
 	g.ForEach(func(c int) bool {
-		acc = acc.Union(x.ClassTraces[c])
+		acc.OrInto(x.ClassTraces[c])
 		return true
 	})
 	return acc

@@ -1,0 +1,102 @@
+package instances
+
+import (
+	"gecco/internal/bitset"
+	"gecco/internal/eventlog"
+)
+
+// Collector materialises group instances into reusable storage. OfLog
+// allocates a fresh position slice per instance — profiled as the dominant
+// cost of constraint checking (slice growth plus GC pressure) — whereas a
+// Collector keeps one flat position arena, one descriptor list, and one
+// class scratch bitset across calls, so a steady-state Collect performs no
+// allocation at all.
+//
+// The returned instances and their Positions slices alias the Collector's
+// arena: they are valid only until the next Collect call and must not be
+// retained. A Collector is not safe for concurrent use; callers pool them
+// per goroutine (see constraints.Evaluator).
+type Collector struct {
+	nClasses int
+	nTraces  int
+
+	pos  []int // flat position arena, filled per Collect
+	segs []seg // instance descriptors into pos
+	out  []Instance
+
+	seen     bitset.Set // classes of the instance under construction
+	seenList []int
+	anyTr    bitset.Set // merged trace mask scratch
+}
+
+type seg struct{ trace, start, end int }
+
+// NewCollector returns a Collector sized for the index.
+func NewCollector(x *eventlog.Index) *Collector {
+	return &Collector{
+		nClasses: x.NumClasses(),
+		nTraces:  x.NumTraces(),
+		seen:     bitset.New(x.NumClasses()),
+		anyTr:    bitset.New(x.NumTraces()),
+	}
+}
+
+// Collect returns the instances of g across the log, equivalent to
+// OfLog(x, g, p) but backed by the Collector's reusable buffers. The result
+// is invalidated by the next Collect.
+//
+//gecco:hotpath
+func (co *Collector) Collect(x *eventlog.Index, g bitset.Set, p Policy) []Instance {
+	co.pos = co.pos[:0]
+	co.segs = co.segs[:0]
+
+	// Traces holding at least one class of g, merged in place — no AnyTraces
+	// allocation.
+	co.anyTr.Clear()
+	g.ForEach(func(c int) bool {
+		co.anyTr.OrInto(x.ClassTraces[c])
+		return true
+	})
+
+	co.anyTr.ForEach(func(t int) bool {
+		seq := x.Seq(t)
+		start := len(co.pos)
+		for pos, cid := range seq {
+			c := int(cid)
+			if !g.Contains(c) {
+				continue
+			}
+			if p == SplitOnRepeat {
+				if co.seen.Contains(c) {
+					// Class repeats: close the instance under construction.
+					if len(co.pos) > start {
+						co.segs = append(co.segs, seg{t, start, len(co.pos)})
+						start = len(co.pos)
+					}
+					for _, sc := range co.seenList {
+						co.seen.Remove(sc)
+					}
+					co.seenList = co.seenList[:0]
+				}
+				co.seen.Add(c)
+				co.seenList = append(co.seenList, c)
+			}
+			co.pos = append(co.pos, pos)
+		}
+		if len(co.pos) > start {
+			co.segs = append(co.segs, seg{t, start, len(co.pos)})
+		}
+		for _, sc := range co.seenList {
+			co.seen.Remove(sc)
+		}
+		co.seenList = co.seenList[:0]
+		return true
+	})
+
+	// The arena is final: descriptor views are stable subslices now.
+	co.out = co.out[:0]
+	for _, s := range co.segs {
+		co.out = append(co.out, Instance{Trace: s.trace, Positions: co.pos[s.start:s.end]})
+	}
+	return co.out
+}

@@ -128,13 +128,23 @@ func DistinctClasses(x *eventlog.Index, inst *Instance) int {
 	return present.Len()
 }
 
-// ClassCounts returns, for each class id present in the instance, the number
-// of its events (used by per-class cardinality constraints).
-func ClassCounts(x *eventlog.Index, inst *Instance) map[int]int {
-	out := make(map[int]int, len(inst.Positions))
+// ClassCountsInto tallies the instance's per-class event counts into the
+// caller-provided counts slice (len >= NumClasses, zeroed on entry for every
+// class the instance can touch) and appends each first-seen class id to
+// touched, returning the extended touched list. Callers reuse one counts
+// slice across instances by re-zeroing only the touched entries — this is
+// the allocation-free replacement for the former map-returning ClassCounts
+// on the per-class cardinality hot path.
+//
+//gecco:hotpath
+func ClassCountsInto(x *eventlog.Index, inst *Instance, counts []int, touched []int) []int {
 	seq := x.Seq(inst.Trace)
 	for _, pos := range inst.Positions {
-		out[int(seq[pos])]++
+		c := int(seq[pos])
+		if counts[c] == 0 {
+			touched = append(touched, c)
+		}
+		counts[c]++
 	}
-	return out
+	return touched
 }

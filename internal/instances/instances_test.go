@@ -106,16 +106,31 @@ func TestOfLogCountsAllInstances(t *testing.T) {
 	}
 }
 
-func TestClassCounts(t *testing.T) {
+func TestClassCountsInto(t *testing.T) {
 	x := indexed(t)
 	g := group(x, procgen.RCP, procgen.CKC, procgen.CKT)
 	insts := OfTrace(x, 3, g, WholeTrace)
-	counts := ClassCounts(x, &insts[0])
+	counts := make([]int, x.NumClasses())
+	touched := ClassCountsInto(x, &insts[0], counts, nil)
 	if counts[x.ClassID[procgen.RCP]] != 2 {
 		t.Errorf("rcp count = %d, want 2", counts[x.ClassID[procgen.RCP]])
 	}
 	if counts[x.ClassID[procgen.CKC]] != 1 {
 		t.Errorf("ckc count = %d, want 1", counts[x.ClassID[procgen.CKC]])
+	}
+	// touched lists exactly the classes occurring in the instance, once each.
+	want := map[int]bool{
+		x.ClassID[procgen.RCP]: true,
+		x.ClassID[procgen.CKC]: true,
+		x.ClassID[procgen.CKT]: true,
+	}
+	if len(touched) != len(want) {
+		t.Fatalf("touched = %v, want the %d distinct classes", touched, len(want))
+	}
+	for _, c := range touched {
+		if !want[c] {
+			t.Errorf("touched contains unexpected class %d", c)
+		}
 	}
 }
 

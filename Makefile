@@ -12,8 +12,11 @@ MAX_REGRESS ?= 0.25
 # -index-bench adds columnar index build-throughput and bytes/event rows plus
 # the restart cost rows (IndexCold = re-parse+build, IndexOpen = OpenIndex on
 # the persistent file, with a hard >= 5x open-vs-cold floor), so it guards
-# both the event-log core's memory layout and the persistent format's point.
-BENCH_FLAGS = -table 6 -quick -stream-bench -index-bench -eval-bench
+# both the event-log core's memory layout and the persistent format's point;
+# -pipeline-bench adds the staged engine's end-to-end rows (cold, fully
+# cached warm, and tail-only change) so the /pipeline serving path and its
+# stage cache are guarded too.
+BENCH_FLAGS = -table 6 -quick -stream-bench -index-bench -eval-bench -pipeline-bench
 # Where `make serve` keeps the warm tier (spilled session indexes, persisted
 # results); `make clean-data` wipes it.
 DATA_DIR ?= gecco-data

@@ -296,18 +296,25 @@ func BenchmarkAblationInstancePolicy(b *testing.B) {
 
 // BenchmarkBaselines measures each baseline end to end on one log.
 func BenchmarkBaselines(b *testing.B) {
+	ctx := context.Background()
 	log := procgen.RunningExample(300, 23)
+	x := eventlog.NewIndex(log)
 	set := constraints.NewSet(constraints.MustParse("|g| <= 5"))
 	b.Run("BLQ", func(b *testing.B) {
+		sess, err := core.NewSession(log)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := baselines.BLQ(log, set, core.Config{}); err != nil {
+			if _, err := baselines.BLQ(ctx, sess, set, core.Config{}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("BLP", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := baselines.BLP(log, 4, instances.SplitOnRepeat); err != nil {
+			if _, err := baselines.BLP(ctx, x, 4, instances.SplitOnRepeat); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -315,7 +322,7 @@ func BenchmarkBaselines(b *testing.B) {
 	b.Run("BLG", func(b *testing.B) {
 		set := constraints.NewSet(constraints.MustParse("distinct(role) <= 1"))
 		for i := 0; i < b.N; i++ {
-			if _, err := baselines.BLG(log, set, instances.SplitOnRepeat); err != nil {
+			if _, err := baselines.BLG(ctx, x, set, instances.SplitOnRepeat); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,7 +29,9 @@ import (
 
 	"gecco"
 	"gecco/internal/candidates"
-	"gecco/internal/suggest"
+	"gecco/internal/eventlog"
+	"gecco/internal/pipeline"
+	"gecco/internal/service"
 )
 
 type constraintList []string
@@ -58,6 +61,7 @@ func main() {
 		quiet       = flag.Bool("q", false, "suppress the grouping report")
 		suggestOnly = flag.Bool("suggest", false, "profile the log and print constraint suggestions, then exit")
 		sweepFile   = flag.String("sweep", "", "file with constraint sets separated by '---' lines; solve all on one session and compare")
+		pipelineArg = flag.String("pipeline", "", "run a staged pipeline: 'default' or a JSON stage-list file (stages: filter, suggest, abstract, discover, conform)")
 	)
 	var extra constraintList
 	flag.Var(&extra, "constraint", "single constraint (repeatable)")
@@ -73,7 +77,7 @@ func main() {
 
 	if *suggestOnly {
 		fmt.Println("suggested constraints (singleton pass rate | constraint | rationale):")
-		for _, s := range suggest.Suggest(log) {
+		for _, s := range gecco.SuggestConstraints(log) {
 			fmt.Printf("  %5.0f%%  %-34s  # %s\n", 100*s.SingletonPass, s.Constraint, s.Rationale)
 		}
 		return
@@ -123,6 +127,11 @@ func main() {
 		cfg.Solver = gecco.SolverMIP
 	}
 
+	if *pipelineArg != "" {
+		fatal(runPipeline(log, *pipelineArg, set, *outPath))
+		return
+	}
+
 	if *sweepFile != "" {
 		fatal(runSweep(log, *sweepFile, text, cfg))
 		return
@@ -152,6 +161,75 @@ func main() {
 	if *dotPath != "" {
 		fatal(os.WriteFile(*dotPath, []byte(gecco.DFGDot(res.Abstracted, *dotFrac)), 0o644))
 	}
+}
+
+// runPipeline runs the staged engine offline: no per-stage cache, no
+// session LRU — every stage executes. specArg is "default" for the standard
+// suggest → abstract → discover → conform pipeline, or a JSON stage-list
+// file in the POST /pipeline wire format.
+func runPipeline(log *gecco.Log, specArg string, set *gecco.ConstraintSet, outPath string) error {
+	text := ""
+	if specArg != "default" {
+		b, err := os.ReadFile(specArg)
+		if err != nil {
+			return err
+		}
+		text = string(b)
+	}
+	specs, err := pipeline.ParseSpecs(text)
+	if err != nil {
+		return err
+	}
+	stages, err := pipeline.BuildStages(specs)
+	if err != nil {
+		return err
+	}
+	digest := service.LogDigest(log)
+	base := &pipeline.State{Index: eventlog.NewIndex(log), IndexKey: digest}
+	if set.Len() > 0 {
+		base.Constraints = set
+	}
+	start := time.Now()
+	res, err := pipeline.Run(context.Background(), stages, base, pipeline.BaseKey(digest, set.String()), nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pipeline on %s (%d stages):\n", log.Name, len(res.Stages))
+	for _, st := range res.Stages {
+		fmt.Printf("  %-10s %9s  key %s\n", st.Stage, st.Duration.Round(time.Millisecond), st.Key[:12])
+	}
+	state := res.State
+	if len(state.Suggestions) > 0 && state.Constraints != nil {
+		fmt.Println("adopted constraints:")
+		for _, c := range state.Constraints.All() {
+			fmt.Printf("  %s\n", c)
+		}
+	}
+	if a := state.Abstraction; a != nil {
+		if a.Feasible {
+			fmt.Printf("abstraction: distance %.4f, %d activities\n", a.Distance, len(a.Grouping.Names))
+			for i, name := range a.Grouping.Names {
+				fmt.Printf("  %-20s <- %s\n", name, strings.Join(a.GroupClasses[i], ", "))
+			}
+		} else {
+			fmt.Printf("abstraction: infeasible (%s); downstream stages used the input log\n", a.Diagnostics)
+		}
+	}
+	if m := state.Model; m != nil {
+		fmt.Printf("model: %d activities, %d edges, CFC %.1f, size %d\n",
+			len(m.Labels), m.Graph.NumEdges(), m.CFC(), m.Size())
+	}
+	if c := state.Conformance; c != nil {
+		fmt.Printf("conformance: fitness %.4f, precision %.4f\n", c.Fitness, c.Precision)
+		for _, mf := range c.Misfits {
+			fmt.Printf("  misfit %s -> %s (%d)\n", mf.From, mf.To, mf.Count)
+		}
+	}
+	fmt.Printf("pipeline total: %s\n", time.Since(start).Round(time.Millisecond))
+	if outPath != "" && state.Abstraction != nil && state.Abstraction.Feasible {
+		return writeLog(outPath, state.Abstraction.Abstracted)
+	}
+	return nil
 }
 
 // runSweep solves every constraint set of the sweep file on one session and

@@ -268,25 +268,46 @@ const (
 )
 
 // Log preprocessing helpers (see internal/logfilter for the full set).
+// These wrappers keep the package-level *Log convenience API; the
+// underlying operations run on the columnar index and cannot fail on an
+// uncancelled context, so errors reduce to panics on impossible states.
 
 // FilterTopVariants keeps the traces of the most frequent variants covering
 // the given fraction of the log (e.g. 0.8).
 func FilterTopVariants(log *Log, fraction float64) *Log {
-	return logfilter.TopVariants(log, fraction)
+	//lint:gecco-allow(ctxflow): convenience wrapper; use internal/logfilter for cancellation
+	x, err := logfilter.TopVariants(context.Background(), eventlog.NewIndex(log), fraction)
+	return mustLog(x, err)
 }
 
 // FilterSample keeps each trace with probability p, deterministically.
 func FilterSample(log *Log, p float64, seed int64) *Log {
-	return logfilter.Sample(log, p, seed)
+	//lint:gecco-allow(ctxflow): convenience wrapper; use internal/logfilter for cancellation
+	x, err := logfilter.Sample(context.Background(), eventlog.NewIndex(log), p, seed)
+	return mustLog(x, err)
 }
 
 // FilterProjectClasses keeps only events of the given classes.
 func FilterProjectClasses(log *Log, classes []string) *Log {
-	return logfilter.ProjectClasses(log, classes)
+	//lint:gecco-allow(ctxflow): convenience wrapper; use internal/logfilter for cancellation
+	x, err := logfilter.ProjectClasses(context.Background(), eventlog.NewIndex(log), classes)
+	return mustLog(x, err)
 }
 
 // SuggestConstraints profiles the log and returns ranked constraint
 // proposals (§VIII future work; see internal/suggest).
 func SuggestConstraints(log *Log) []suggest.Suggestion {
-	return suggest.Suggest(log)
+	//lint:gecco-allow(ctxflow): convenience wrapper; use internal/suggest for cancellation
+	sugs, err := suggest.Suggest(context.Background(), eventlog.NewIndex(log))
+	if err != nil {
+		panic("gecco: " + err.Error()) // unreachable: Background is never cancelled
+	}
+	return sugs
+}
+
+func mustLog(x *eventlog.Index, err error) *Log {
+	if err != nil {
+		panic("gecco: " + err.Error()) // unreachable: Background is never cancelled
+	}
+	return x.ReconstructLog()
 }

@@ -12,7 +12,8 @@ import (
 //
 // Two rules:
 //
-//  1. In the pipeline packages (core, service, stream, candidates), an
+//  1. In the pipeline packages (core, service, stream, candidates, and the
+//     mining packages discovery/conformance/suggest/logfilter/pipeline), an
 //     exported function that loops over traces, candidates, variants, or a
 //     frontier must accept a context.Context — otherwise a client
 //     disconnect or shutdown cannot stop the scan.
@@ -26,9 +27,14 @@ var CtxFlow = &Analyzer{
 	Run:  runCtxFlow,
 }
 
-// ctxflowScope are the pipeline packages rule 1 applies to.
+// ctxflowScope are the pipeline packages rule 1 applies to. PR 9 extended
+// it to the mining packages when they moved onto the columnar core and
+// grew ctx parameters: they now sit on the serving path via the staged
+// pipeline engine.
 var ctxflowScope = []string{
 	"internal/core", "internal/service", "internal/stream", "internal/candidates",
+	"internal/discovery", "internal/conformance", "internal/suggest",
+	"internal/logfilter", "internal/pipeline",
 }
 
 // ctxflowLoopMarkers are identifier fragments (lower-cased) that mark a loop

@@ -11,6 +11,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -32,12 +33,13 @@ import (
 // graph, a Cypher-like query derived from the class-based constraints
 // retrieves candidate paths, and GECCO's Steps 2–3 select and apply the
 // grouping. Instance-based and grouping constraints beyond bounds are not
-// expressible — the baseline's documented limitation.
-func BLQ(log *eventlog.Log, set *constraints.Set, cfg core.Config) (*core.Result, error) {
+// expressible — the baseline's documented limitation. The caller's session
+// supplies the frozen index and graph, so no *eventlog.Log is materialised.
+func BLQ(ctx context.Context, sess *core.Session, set *constraints.Set, cfg core.Config) (*core.Result, error) {
 	cfg.CustomCandidates = func(x *eventlog.Index, graph *dfg.Graph) ([]bitset.Set, error) {
 		return queryCandidates(x, graph, set)
 	}
-	return core.Run(log, set, cfg)
+	return sess.Solve(ctx, set, cfg)
 }
 
 // queryCandidates builds and runs the graph query for the constraint set.
@@ -147,12 +149,14 @@ func buildQuery(set *constraints.Set) (string, error) {
 // normalised adjacency is clustered into numGroups groups via normalised
 // spectral clustering. Only the group count is controllable; all other
 // constraint categories are unsupported.
-func BLP(log *eventlog.Log, numGroups int, policy instances.Policy) (*core.Result, error) {
+func BLP(ctx context.Context, x *eventlog.Index, numGroups int, policy instances.Policy) (*core.Result, error) {
 	if numGroups < 1 {
 		return nil, fmt.Errorf("baselines: BLP needs numGroups >= 1")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("baselines: %w", err)
+	}
 	t0 := time.Now()
-	x := eventlog.NewIndex(log)
 	n := x.NumClasses()
 	if numGroups > n {
 		numGroups = n
@@ -238,9 +242,8 @@ func BLP(log *eventlog.Log, numGroups int, policy instances.Policy) (*core.Resul
 // iteration the constraint-respecting merge with the lowest resulting total
 // distance is applied; the procedure stops when no merge improves the total
 // distance. Grouping constraints cannot be enforced.
-func BLG(log *eventlog.Log, set *constraints.Set, policy instances.Policy) (*core.Result, error) {
+func BLG(ctx context.Context, x *eventlog.Index, set *constraints.Set, policy instances.Policy) (*core.Result, error) {
 	t0 := time.Now()
-	x := eventlog.NewIndex(log)
 	ev := constraints.NewEvaluator(x, set, policy)
 	dc := distance.NewCalc(x, policy)
 	n := x.NumClasses()
@@ -258,13 +261,18 @@ func BLG(log *eventlog.Log, set *constraints.Set, policy instances.Policy) (*cor
 	if !feasible {
 		// Some singleton already violates R: greedy has no repair step, so
 		// the problem is unsolvable for BL_G (mirroring its lower solve
-		// rate in Table VII).
+		// rate in Table VII). The infeasibility contract hands back the
+		// input log unchanged (§V-C), reconstructed from the index on this
+		// cold path only.
 		return &core.Result{
-			Abstracted:  log,
+			Abstracted:  x.ReconstructLog(),
 			Diagnostics: ev.Diagnose(),
 		}, nil
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("baselines: %w", err)
+		}
 		bestI, bestJ := -1, -1
 		bestDelta := -1e-12 // require strict improvement
 		var bestMerge bitset.Set

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -12,6 +13,19 @@ import (
 	"gecco/internal/metrics"
 	"gecco/internal/procgen"
 )
+
+var bg = context.Background()
+
+// mkSess builds a solver session for BLQ (which shares GECCO's candidate
+// machinery through the session's frozen artifacts).
+func mkSess(t *testing.T, log *eventlog.Log) *core.Session {
+	t.Helper()
+	sess, err := core.NewSession(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
 
 func groupingKey(gc [][]string) string {
 	parts := make([]string, len(gc))
@@ -30,7 +44,7 @@ func TestBLQRespectsClassConstraints(t *testing.T) {
 		constraints.MustParse("|g| <= 3"),
 		constraints.MustParse("cannotlink(rcp, acc)"),
 	)
-	res, err := BLQ(log, set, core.Config{})
+	res, err := BLQ(bg, mkSess(t, log), set, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +68,7 @@ func TestBLQClassAttrConstraint(t *testing.T) {
 		constraints.MustParse("|g| <= 4"),
 		constraints.MustParse("distinct(class.org) <= 1"),
 	)
-	res, err := BLQ(log, set, core.Config{})
+	res, err := BLQ(bg, mkSess(t, log), set, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +92,7 @@ func TestBLQClassAttrConstraint(t *testing.T) {
 func TestBLQNotBetterThanGecco(t *testing.T) {
 	log := procgen.RunningExampleTable1()
 	set := constraints.NewSet(constraints.MustParse("|g| <= 5"))
-	blq, err := BLQ(log, set, core.Config{})
+	blq, err := BLQ(bg, mkSess(t, log), set, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +110,7 @@ func TestBLQNotBetterThanGecco(t *testing.T) {
 
 func TestBLPPartitionCount(t *testing.T) {
 	log := procgen.RunningExampleTable1()
-	res, err := BLP(log, 4, instances.SplitOnRepeat)
+	res, err := BLP(bg, eventlog.NewIndex(log), 4, instances.SplitOnRepeat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +147,7 @@ func TestBLPVersusGeccoSilhouette(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	blp, err := BLP(log, target, instances.SplitOnRepeat)
+	blp, err := BLP(bg, eventlog.NewIndex(log), target, instances.SplitOnRepeat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +164,7 @@ func TestBLPVersusGeccoSilhouette(t *testing.T) {
 func TestBLGStopsAtLocalOptimum(t *testing.T) {
 	log := procgen.RunningExampleTable1()
 	set := constraints.NewSet(constraints.MustParse("distinct(role) <= 1"))
-	res, err := BLG(log, set, instances.SplitOnRepeat)
+	res, err := BLG(bg, eventlog.NewIndex(log), set, instances.SplitOnRepeat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +200,7 @@ func TestBLGInfeasibleWhenSingletonViolates(t *testing.T) {
 	// Every singleton violates sum >= 101 (events are 60s), and greedy has
 	// no repair mechanism.
 	set := constraints.NewSet(constraints.MustParse("sum(duration) >= 101"))
-	res, err := BLG(log, set, instances.SplitOnRepeat)
+	res, err := BLG(bg, eventlog.NewIndex(log), set, instances.SplitOnRepeat)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package conformance
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -8,6 +9,36 @@ import (
 	"gecco/internal/eventlog"
 	"gecco/internal/procgen"
 )
+
+// Test helpers running the ctx/Index API on pointer logs; uncancelled runs
+// cannot fail, so errors fail the test immediately.
+
+func selfEvaluate(t *testing.T, log *eventlog.Log) Result {
+	t.Helper()
+	r, err := SelfEvaluate(context.Background(), eventlog.NewIndex(log))
+	if err != nil {
+		t.Fatalf("SelfEvaluate: %v", err)
+	}
+	return r
+}
+
+func evaluate(t *testing.T, log *eventlog.Log, m *discovery.Model) Result {
+	t.Helper()
+	r, err := Evaluate(context.Background(), eventlog.NewIndex(log), m, Options{})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	return r
+}
+
+func discover(t *testing.T, log *eventlog.Log, opts discovery.Options) *discovery.Model {
+	t.Helper()
+	m, err := discovery.Discover(context.Background(), eventlog.NewIndex(log), opts)
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	return m
+}
 
 func mkLog(seqs [][]string) *eventlog.Log {
 	log := &eventlog.Log{}
@@ -27,7 +58,7 @@ func TestSelfEvaluatePerfectFitness(t *testing.T) {
 		procgen.RunningExample(200, 3),
 		procgen.LoanLog(100, 7),
 	} {
-		r := SelfEvaluate(log)
+		r := selfEvaluate(t, log)
 		if math.Abs(r.Fitness-1) > 1e-12 {
 			t.Fatalf("self-fitness = %f, want 1", r.Fitness)
 		}
@@ -38,19 +69,19 @@ func TestSelfEvaluatePerfectFitness(t *testing.T) {
 }
 
 func TestUnfitLogDetected(t *testing.T) {
-	model := discovery.Discover(eventlog.NewIndex(mkLog([][]string{{"a", "b", "c"}})), discovery.Options{EdgeFilter: 1})
+	model := discover(t, mkLog([][]string{{"a", "b", "c"}}), discovery.Options{EdgeFilter: 1})
 	// b,a,c reverses an edge and starts wrongly.
 	bad := mkLog([][]string{{"b", "a", "c"}})
-	r := Evaluate(bad, model)
+	r := evaluate(t, bad, model)
 	if r.Fitness >= 0.8 {
 		t.Fatalf("reversed trace should lose fitness, got %f", r.Fitness)
 	}
 }
 
 func TestUnknownClassesAreMisfits(t *testing.T) {
-	model := discovery.Discover(eventlog.NewIndex(mkLog([][]string{{"a", "b"}})), discovery.Options{EdgeFilter: 1})
+	model := discover(t, mkLog([][]string{{"a", "b"}}), discovery.Options{EdgeFilter: 1})
 	alien := mkLog([][]string{{"x", "y"}})
-	r := Evaluate(alien, model)
+	r := evaluate(t, alien, model)
 	if r.Fitness != 0 {
 		t.Fatalf("alien log fitness = %f, want 0", r.Fitness)
 	}
@@ -59,13 +90,13 @@ func TestUnknownClassesAreMisfits(t *testing.T) {
 func TestPrecisionPenalisesUnusedBehaviour(t *testing.T) {
 	// Model from a rich log, evaluated against a log using only one path.
 	rich := mkLog([][]string{{"a", "b", "d"}, {"a", "c", "d"}})
-	model := discovery.Discover(eventlog.NewIndex(rich), discovery.Options{EdgeFilter: 1})
+	model := discover(t, rich, discovery.Options{EdgeFilter: 1})
 	narrow := mkLog([][]string{{"a", "b", "d"}})
-	r := Evaluate(narrow, model)
+	r := evaluate(t, narrow, model)
 	if r.Fitness != 1 {
 		t.Fatalf("narrow log should fit, got %f", r.Fitness)
 	}
-	full := Evaluate(rich, model)
+	full := evaluate(t, rich, model)
 	if r.Precision >= full.Precision {
 		t.Fatalf("narrow log precision %f should be below full log %f", r.Precision, full.Precision)
 	}
@@ -94,14 +125,14 @@ func TestAbstractedLogSelfConformance(t *testing.T) {
 		}
 		abstracted.Traces = append(abstracted.Traces, at)
 	}
-	r := SelfEvaluate(abstracted)
+	r := selfEvaluate(t, abstracted)
 	if r.Fitness != 1 {
 		t.Fatalf("abstracted self-fitness %f", r.Fitness)
 	}
 	// Abstraction concentrates behaviour: the abstracted log's model is
 	// exercised at least as completely as the original's.
-	if r.Precision < SelfEvaluate(log).Precision-1e-9 {
+	if r.Precision < selfEvaluate(t, log).Precision-1e-9 {
 		t.Fatalf("abstraction should not reduce DFG precision: %f vs %f",
-			r.Precision, SelfEvaluate(log).Precision)
+			r.Precision, selfEvaluate(t, log).Precision)
 	}
 }

@@ -10,6 +10,9 @@
 package discovery
 
 import (
+	"context"
+	"fmt"
+
 	"gecco/internal/dfg"
 	"gecco/internal/eventlog"
 )
@@ -51,8 +54,13 @@ type Model struct {
 	EndClasses   []int
 }
 
-// Discover runs the pipeline on an indexed log.
-func Discover(x *eventlog.Index, opts Options) *Model {
+// Discover runs the pipeline on an indexed log. Cancelling ctx between
+// stages returns an error wrapping ctx.Err(); a never-cancelled context
+// leaves the model byte-identical at any point of interruption-free history.
+func Discover(ctx context.Context, x *eventlog.Index, opts Options) (*Model, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("discovery: %w", err)
+	}
 	opts = opts.withDefaults()
 	full := dfg.Build(x)
 
@@ -68,17 +76,9 @@ func Discover(x *eventlog.Index, opts Options) *Model {
 		}
 	}
 	// Stage 2: short loops (a→b→a with strong asymmetry) vs concurrency.
-	for a := 0; a < full.N; a++ {
-		for b := a + 1; b < full.N; b++ {
-			fab, fba := full.Freq[a][b], full.Freq[b][a]
-			if fab == 0 || fba == 0 {
-				continue
-			}
-			balance := 1 - absInt(fab-fba)/float64(fab+fba)
-			if balance >= opts.Epsilon {
-				m.Concurrent[[2]int{a, b}] = true
-			}
-		}
+	detectConcurrency(m, full, opts.Epsilon)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("discovery: %w", err)
 	}
 	// Stage 3: prune self-loops (treated as activity annotations) and
 	// edges between concurrent pairs (interleaving artifacts, as in Split
@@ -88,6 +88,9 @@ func Discover(x *eventlog.Index, opts Options) *Model {
 		pruned = dropEdgePair(pruned, key[0], key[1])
 	}
 	m.Graph = pruned.FilterTopEdges(opts.EdgeFilter)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("discovery: %w", err)
+	}
 	// Stage 4: gateway synthesis.
 	m.Splits = make([][][]int, m.Graph.N)
 	m.Joins = make([][][]int, m.Graph.N)
@@ -103,7 +106,27 @@ func Discover(x *eventlog.Index, opts Options) *Model {
 			m.EndClasses = append(m.EndClasses, v)
 		}
 	}
-	return m
+	return m, nil
+}
+
+// detectConcurrency fills m.Concurrent with the balanced a↔b pairs. The scan
+// is quadratic in the number of classes and runs once per discovery, so it
+// stays allocation-free over the frequency matrix.
+//
+//gecco:hotpath
+func detectConcurrency(m *Model, full *dfg.Graph, epsilon float64) {
+	for a := 0; a < full.N; a++ {
+		for b := a + 1; b < full.N; b++ {
+			fab, fba := full.Freq[a][b], full.Freq[b][a]
+			if fab == 0 || fba == 0 {
+				continue
+			}
+			balance := 1 - absInt(fab-fba)/float64(fab+fba)
+			if balance >= epsilon {
+				m.Concurrent[[2]int{a, b}] = true
+			}
+		}
+	}
 }
 
 func absInt(x int) float64 {

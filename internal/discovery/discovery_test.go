@@ -1,11 +1,23 @@
 package discovery
 
 import (
+	"context"
 	"testing"
 
 	"gecco/internal/eventlog"
 	"gecco/internal/procgen"
 )
+
+// discover runs Discover under a background context, failing the test on
+// error (an uncancelled discovery cannot fail).
+func discover(t *testing.T, x *eventlog.Index, opts Options) *Model {
+	t.Helper()
+	m, err := Discover(context.Background(), x, opts)
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	return m
+}
 
 func mkLog(seqs [][]string) *eventlog.Log {
 	log := &eventlog.Log{}
@@ -21,7 +33,7 @@ func mkLog(seqs [][]string) *eventlog.Log {
 
 func TestSelfLoopDetection(t *testing.T) {
 	log := mkLog([][]string{{"a", "b", "b", "c"}})
-	m := Discover(eventlog.NewIndex(log), Options{})
+	m := discover(t, eventlog.NewIndex(log), Options{})
 	x := eventlog.NewIndex(log)
 	if !m.SelfLoop[x.ClassID["b"]] {
 		t.Error("self-loop on b not detected")
@@ -45,7 +57,7 @@ func TestConcurrencyDetection(t *testing.T) {
 		{"a", "c", "b", "d"},
 	})
 	x := eventlog.NewIndex(log)
-	m := Discover(x, Options{})
+	m := discover(t, x, Options{})
 	b, c := x.ClassID["b"], x.ClassID["c"]
 	key := [2]int{min(b, c), max(b, c)}
 	if !m.Concurrent[key] {
@@ -63,7 +75,7 @@ func TestXorSplitCFC(t *testing.T) {
 		{"a", "b", "d"},
 		{"a", "c", "d"},
 	})
-	m := Discover(eventlog.NewIndex(log), Options{})
+	m := discover(t, eventlog.NewIndex(log), Options{})
 	cfc := m.CFC()
 	// a: XOR split (2 branches) = 2; d has XOR join (no split);
 	// start is unique; total 2... b,c → d joins contribute no split.
@@ -78,7 +90,7 @@ func TestAndSplitCFC(t *testing.T) {
 		{"a", "b", "c", "d"},
 		{"a", "c", "b", "d"},
 	})
-	m := Discover(eventlog.NewIndex(log), Options{})
+	m := discover(t, eventlog.NewIndex(log), Options{})
 	if cfc := m.CFC(); cfc != 1 {
 		t.Fatalf("CFC = %f, want 1 (single AND split)", cfc)
 	}
@@ -86,7 +98,7 @@ func TestAndSplitCFC(t *testing.T) {
 
 func TestSequenceHasZeroCFC(t *testing.T) {
 	log := mkLog([][]string{{"a", "b", "c", "d"}})
-	m := Discover(eventlog.NewIndex(log), Options{})
+	m := discover(t, eventlog.NewIndex(log), Options{})
 	if cfc := m.CFC(); cfc != 0 {
 		t.Fatalf("CFC = %f, want 0 for a pure sequence", cfc)
 	}
@@ -95,7 +107,7 @@ func TestSequenceHasZeroCFC(t *testing.T) {
 func TestAbstractionReducesComplexity(t *testing.T) {
 	// The motivating claim: abstracting the running example reduces CFC.
 	log := procgen.RunningExample(300, 29)
-	orig := Discover(eventlog.NewIndex(log), Options{})
+	orig := discover(t, eventlog.NewIndex(log), Options{})
 	if orig.CFC() <= 0 {
 		t.Fatal("original log should have positive complexity")
 	}
@@ -119,7 +131,7 @@ func TestAbstractionReducesComplexity(t *testing.T) {
 		}
 		abstracted.Traces = append(abstracted.Traces, at)
 	}
-	abs := Discover(eventlog.NewIndex(abstracted), Options{})
+	abs := discover(t, eventlog.NewIndex(abstracted), Options{})
 	if abs.CFC() >= orig.CFC() {
 		t.Fatalf("abstraction did not reduce CFC: %f -> %f", orig.CFC(), abs.CFC())
 	}
@@ -130,7 +142,7 @@ func TestSizeCountsGateways(t *testing.T) {
 		{"a", "b", "d"},
 		{"a", "c", "d"},
 	})
-	m := Discover(eventlog.NewIndex(log), Options{})
+	m := discover(t, eventlog.NewIndex(log), Options{})
 	// 4 activities + 1 XOR split at a + 1 XOR join at d.
 	if s := m.Size(); s != 6 {
 		t.Fatalf("Size = %d, want 6", s)
@@ -140,8 +152,8 @@ func TestSizeCountsGateways(t *testing.T) {
 func TestEdgeFilterReducesEdges(t *testing.T) {
 	log := procgen.RunningExample(400, 31)
 	x := eventlog.NewIndex(log)
-	all := Discover(x, Options{EdgeFilter: 1})
-	some := Discover(x, Options{EdgeFilter: 0.5})
+	all := discover(t, x, Options{EdgeFilter: 1})
+	some := discover(t, x, Options{EdgeFilter: 0.5})
 	if some.Graph.NumEdges() > all.Graph.NumEdges() {
 		t.Fatal("stronger filter kept more edges")
 	}

@@ -155,6 +155,24 @@ func (x *Index) Column(attr string) *Column {
 	return nil
 }
 
+// Columns returns every event-attribute column in first-seen order. The
+// returned slice and the columns it holds are shared with the index and must
+// not be modified.
+func (x *Index) Columns() []*Column { return x.cols }
+
+// TraceAttrs returns trace t's trace-level attributes, or nil when it has
+// none. The map is shared with the index and must not be modified.
+func (x *Index) TraceAttrs(t int) map[string]Value {
+	if x.traceAttrs == nil {
+		return nil
+	}
+	return x.traceAttrs[t]
+}
+
+// LogAttrs returns the log-level attributes, or nil when there are none. The
+// map is shared with the index and must not be modified.
+func (x *Index) LogAttrs() map[string]Value { return x.logAttrs }
+
 // Occurs reports whether all classes of g co-occur in at least one trace
 // (the occurs(g, L) predicate of Algorithms 1 and 2).
 func (x *Index) Occurs(g bitset.Set) bool {

@@ -12,6 +12,7 @@ import (
 	"gecco/internal/eventlog"
 	"gecco/internal/instances"
 	"gecco/internal/metrics"
+	"gecco/internal/pipeline"
 )
 
 // Options tunes the harness; zero values pick defaults sized for a laptop
@@ -55,7 +56,7 @@ type Measures struct {
 
 // evaluate scores a finished run against the original log, reusing the
 // session's index for the silhouette and size-reduction measures.
-func evaluate(sess *core.Session, res *core.Result, elapsed time.Duration) Measures {
+func evaluate(ctx context.Context, sess *core.Session, res *core.Result, elapsed time.Duration) Measures {
 	m := Measures{Applicable: true, Seconds: elapsed.Seconds()}
 	if res == nil || !res.Feasible {
 		return m
@@ -63,7 +64,11 @@ func evaluate(sess *core.Session, res *core.Result, elapsed time.Duration) Measu
 	x := sess.Index()
 	m.Solved = true
 	m.SRed = metrics.SizeReduction(len(res.Grouping.Groups), x.NumClasses())
-	m.CRed = metrics.ComplexityReductionFromIndex(x, res.Abstracted, discovery.Options{})
+	// A cancelled scoring pass leaves CRed at zero; the run itself already
+	// finished, so the problem still counts as solved.
+	if cred, err := metrics.ComplexityReduction(ctx, x, eventlog.NewIndex(res.Abstracted), discovery.Options{}); err == nil {
+		m.CRed = cred
+	}
 	m.Sil = metrics.Silhouette(x, res.Grouping.Groups)
 	m.Dist = res.Distance
 	return m
@@ -104,7 +109,7 @@ func RunProblemSession(ctx context.Context, sess *core.Session, id SetID, mode c
 	if err != nil {
 		return Measures{Applicable: true, Seconds: elapsed.Seconds()}
 	}
-	return evaluate(sess, res, elapsed)
+	return evaluate(ctx, sess, res, elapsed)
 }
 
 // sessionPool lazily builds and reuses one session per log, so a table
@@ -264,7 +269,7 @@ func Table7(ctx context.Context, opts Options) []Row {
 	for _, id := range []SetID{SetBL1, SetBL2, SetBL3} {
 		for _, log := range opts.Logs {
 			geccoQ.add(pool.run(ctx, log, id, core.DFGUnbounded, opts))
-			blq.add(runBaselineQ(pool.get(log), id, opts))
+			blq.add(runBaselineQ(ctx, pool.get(log), id, opts))
 		}
 	}
 	rows = append(rows, withLabel(geccoQ.row("BL[1-3] DFG∞"), "BL[1-3] DFG∞"))
@@ -274,7 +279,7 @@ func Table7(ctx context.Context, opts Options) []Row {
 	geccoP, blp := &aggregate{}, &aggregate{}
 	for _, log := range opts.Logs {
 		geccoP.add(pool.run(ctx, log, SetBL4, core.Exhaustive, opts))
-		blp.add(runBaselineP(pool.get(log), opts))
+		blp.add(runBaselineP(ctx, pool.get(log), opts))
 	}
 	rows = append(rows, withLabel(geccoP.row(""), "BL4 Exh"))
 	rows = append(rows, withLabel(blp.row(""), "BL4 BL_P"))
@@ -284,7 +289,7 @@ func Table7(ctx context.Context, opts Options) []Row {
 	for _, id := range []SetID{SetA, SetM, SetN} {
 		for _, log := range opts.Logs {
 			geccoG.add(pool.run(ctx, log, id, core.DFGBeam, opts))
-			blg.add(runBaselineG(pool.get(log), id, opts))
+			blg.add(runBaselineG(ctx, pool.get(log), id, opts))
 		}
 	}
 	rows = append(rows, withLabel(geccoG.row(""), "A,M,N DFGk"))
@@ -297,7 +302,38 @@ func withLabel(r Row, label string) Row {
 	return r
 }
 
-func runBaselineQ(sess *core.Session, id SetID, opts Options) Measures {
+// runBaseline executes one baseline solver as a single-stage pipeline run:
+// the solver is wrapped in a func stage so the engine's validation and
+// state-threading are the same machinery the service endpoint uses, keeping
+// the harness an honest consumer of the production path.
+func runBaseline(ctx context.Context, sess *core.Session, set *constraints.Set, name string,
+	solve func(ctx context.Context, in *pipeline.State) (*core.Result, error)) Measures {
+	base := &pipeline.State{Index: sess.Index()}
+	needs := []pipeline.Artifact{pipeline.ArtifactLog}
+	if set != nil && set.Len() > 0 {
+		base.Constraints = set
+		needs = append(needs, pipeline.ArtifactConstraints)
+	}
+	stage := pipeline.NewFuncStage(name, "", needs, []pipeline.Artifact{pipeline.ArtifactAbstraction},
+		func(ctx context.Context, env *pipeline.Env, in *pipeline.State) (*pipeline.State, error) {
+			res, err := solve(ctx, in)
+			if err != nil {
+				return nil, err
+			}
+			next := *in
+			next.Abstraction = res
+			return &next, nil
+		})
+	start := time.Now()
+	out, err := pipeline.Run(ctx, []pipeline.Stage{stage}, base, pipeline.BaseKey("", ""), nil)
+	elapsed := time.Since(start)
+	if err != nil {
+		return Measures{Applicable: true, Seconds: elapsed.Seconds()}
+	}
+	return evaluate(ctx, sess, out.State.Abstraction, elapsed)
+}
+
+func runBaselineQ(ctx context.Context, sess *core.Session, id SetID, opts Options) Measures {
 	if sess == nil {
 		return sessionBuildFailure()
 	}
@@ -305,16 +341,12 @@ func runBaselineQ(sess *core.Session, id SetID, opts Options) Measures {
 	if !ok {
 		return Measures{}
 	}
-	start := time.Now()
-	res, err := baselines.BLQ(sess.Log(), set, core.Config{SolverTimeout: opts.SolverTimeout})
-	elapsed := time.Since(start)
-	if err != nil {
-		return Measures{Applicable: true, Seconds: elapsed.Seconds()}
-	}
-	return evaluate(sess, res, elapsed)
+	return runBaseline(ctx, sess, set, "bl_q", func(ctx context.Context, in *pipeline.State) (*core.Result, error) {
+		return baselines.BLQ(ctx, sess, in.Constraints, core.Config{SolverTimeout: opts.SolverTimeout})
+	})
 }
 
-func runBaselineP(sess *core.Session, opts Options) Measures {
+func runBaselineP(ctx context.Context, sess *core.Session, opts Options) Measures {
 	if sess == nil {
 		return sessionBuildFailure()
 	}
@@ -322,16 +354,12 @@ func runBaselineP(sess *core.Session, opts Options) Measures {
 	if n < 1 {
 		n = 1
 	}
-	start := time.Now()
-	res, err := baselines.BLP(sess.Log(), n, instances.SplitOnRepeat)
-	elapsed := time.Since(start)
-	if err != nil {
-		return Measures{Applicable: true, Seconds: elapsed.Seconds()}
-	}
-	return evaluate(sess, res, elapsed)
+	return runBaseline(ctx, sess, nil, "bl_p", func(ctx context.Context, in *pipeline.State) (*core.Result, error) {
+		return baselines.BLP(ctx, in.Index, n, instances.SplitOnRepeat)
+	})
 }
 
-func runBaselineG(sess *core.Session, id SetID, opts Options) Measures {
+func runBaselineG(ctx context.Context, sess *core.Session, id SetID, opts Options) Measures {
 	if sess == nil {
 		return sessionBuildFailure()
 	}
@@ -348,11 +376,7 @@ func runBaselineG(sess *core.Session, id SetID, opts Options) Measures {
 	for _, c := range set.Instance {
 		set2.Add(c)
 	}
-	start := time.Now()
-	res, err := baselines.BLG(sess.Log(), set2, instances.SplitOnRepeat)
-	elapsed := time.Since(start)
-	if err != nil {
-		return Measures{Applicable: true, Seconds: elapsed.Seconds()}
-	}
-	return evaluate(sess, res, elapsed)
+	return runBaseline(ctx, sess, set2, "bl_g", func(ctx context.Context, in *pipeline.State) (*core.Result, error) {
+		return baselines.BLG(ctx, in.Index, in.Constraints, instances.SplitOnRepeat)
+	})
 }

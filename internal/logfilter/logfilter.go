@@ -2,12 +2,20 @@
 // operations applied before abstraction and discovery: variant-frequency
 // filtering (the trace-level analogue of the paper's 80/20 DFG views),
 // time-window and attribute slicing, class projection, and deterministic
-// sampling. All functions return new logs; inputs are never mutated.
+// sampling. All functions consume and produce columnar eventlog.Index
+// views — inputs are never mutated, and outputs are rebuilt through the
+// sanctioned eventlog.Builder path so that downstream stages (sessions,
+// discovery, conformance) operate on a first-class index, not a
+// materialised pointer log. Cancelling ctx aborts a copy mid-trace and
+// returns an error wrapping ctx.Err().
 package logfilter
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"time"
 
 	"gecco/internal/eventlog"
@@ -17,14 +25,17 @@ import (
 // whose cumulative share of traces reaches fraction (e.g. 0.8 keeps the
 // variants covering 80 % of traces). Ties are broken by variant string for
 // determinism. fraction >= 1 returns a copy of the whole log.
-func TopVariants(log *eventlog.Log, fraction float64) *eventlog.Log {
+func TopVariants(ctx context.Context, x *eventlog.Index, fraction float64) (*eventlog.Index, error) {
 	type vc struct {
 		variant string
 		count   int
 	}
-	counts := make(map[string]int)
-	for i := range log.Traces {
-		counts[log.Traces[i].Variant()]++
+	// Variants are keyed by their class-name string (exactly the legacy
+	// Trace.Variant() text), so index variants that render identically
+	// merge before ranking.
+	counts := make(map[string]int, x.NumVariants())
+	for v := 0; v < x.NumVariants(); v++ {
+		counts[variantString(x, v)] += x.VariantCount[v]
 	}
 	ranked := make([]vc, 0, len(counts))
 	for v, c := range counts {
@@ -39,71 +50,58 @@ func TopVariants(log *eventlog.Log, fraction float64) *eventlog.Log {
 	keep := make(map[string]bool, len(ranked))
 	cum := 0
 	for _, r := range ranked {
-		if float64(cum) >= fraction*float64(len(log.Traces)) {
+		if float64(cum) >= fraction*float64(x.NumTraces()) {
 			break
 		}
 		keep[r.variant] = true
 		cum += r.count
 	}
-	out := &eventlog.Log{Name: log.Name}
-	for i := range log.Traces {
-		if keep[log.Traces[i].Variant()] {
-			out.Traces = append(out.Traces, cloneTrace(&log.Traces[i]))
-		}
-	}
-	return out
+	return selectTraces(ctx, x, func(t int) bool {
+		return keep[variantString(x, x.TraceVariant[t])]
+	})
 }
 
 // MinVariantCount keeps traces whose variant occurs at least n times.
-func MinVariantCount(log *eventlog.Log, n int) *eventlog.Log {
-	counts := make(map[string]int)
-	for i := range log.Traces {
-		counts[log.Traces[i].Variant()]++
+func MinVariantCount(ctx context.Context, x *eventlog.Index, n int) (*eventlog.Index, error) {
+	counts := make(map[string]int, x.NumVariants())
+	for v := 0; v < x.NumVariants(); v++ {
+		counts[variantString(x, v)] += x.VariantCount[v]
 	}
-	out := &eventlog.Log{Name: log.Name}
-	for i := range log.Traces {
-		if counts[log.Traces[i].Variant()] >= n {
-			out.Traces = append(out.Traces, cloneTrace(&log.Traces[i]))
-		}
-	}
-	return out
+	return selectTraces(ctx, x, func(t int) bool {
+		return counts[variantString(x, x.TraceVariant[t])] >= n
+	})
 }
 
 // TimeWindow keeps the traces whose first event falls in [from, to).
 // Traces without timestamps are dropped.
-func TimeWindow(log *eventlog.Log, from, to time.Time) *eventlog.Log {
-	out := &eventlog.Log{Name: log.Name}
-	for i := range log.Traces {
-		tr := &log.Traces[i]
-		if len(tr.Events) == 0 {
-			continue
+func TimeWindow(ctx context.Context, x *eventlog.Index, from, to time.Time) (*eventlog.Index, error) {
+	col := x.Column(eventlog.AttrTimestamp)
+	return selectTraces(ctx, x, func(t int) bool {
+		if x.TraceLen(t) == 0 || col == nil {
+			return false
 		}
-		ts, ok := tr.Events[0].Timestamp()
-		if !ok || ts.Before(from) || !ts.Before(to) {
-			continue
-		}
-		out.Traces = append(out.Traces, cloneTrace(tr))
-	}
-	return out
+		ts, ok := col.Time(x.TraceStart(t))
+		return ok && !ts.Before(from) && ts.Before(to)
+	})
 }
 
-// WhereTrace keeps traces for which pred returns true.
-func WhereTrace(log *eventlog.Log, pred func(*eventlog.Trace) bool) *eventlog.Log {
-	out := &eventlog.Log{Name: log.Name}
-	for i := range log.Traces {
-		if pred(&log.Traces[i]) {
-			out.Traces = append(out.Traces, cloneTrace(&log.Traces[i]))
-		}
-	}
-	return out
+// WhereTrace keeps traces for which pred returns true; pred receives the
+// index and a trace position.
+func WhereTrace(ctx context.Context, x *eventlog.Index, pred func(x *eventlog.Index, t int) bool) (*eventlog.Index, error) {
+	return selectTraces(ctx, x, func(t int) bool { return pred(x, t) })
 }
 
 // HasAttrValue returns a trace predicate matching traces containing at
 // least one event whose attribute equals the given (string) value.
-func HasAttrValue(attr, value string) func(*eventlog.Trace) bool {
-	return func(tr *eventlog.Trace) bool {
-		for i := range tr.Events {
-			if v, ok := tr.Events[i].Attrs[attr]; ok && v.AsString() == value {
+func HasAttrValue(attr, value string) func(*eventlog.Index, int) bool {
+	return func(x *eventlog.Index, t int) bool {
+		col := x.Column(attr)
+		if col == nil {
+			return false
+		}
+		start, n := x.TraceStart(t), x.TraceLen(t)
+		for pos := start; pos < start+n; pos++ {
+			if k, ok := col.Key(pos); ok && k == value {
 				return true
 			}
 		}
@@ -113,84 +111,129 @@ func HasAttrValue(attr, value string) func(*eventlog.Trace) bool {
 
 // ProjectClasses keeps only the events whose class is in the given set;
 // traces that become empty are dropped.
-func ProjectClasses(log *eventlog.Log, classes []string) *eventlog.Log {
-	keep := make(map[string]bool, len(classes))
-	for _, c := range classes {
-		keep[c] = true
-	}
-	out := &eventlog.Log{Name: log.Name}
-	for i := range log.Traces {
-		src := &log.Traces[i]
-		tr := eventlog.Trace{ID: src.ID}
-		for j := range src.Events {
-			if keep[src.Events[j].Class] {
-				tr.Events = append(tr.Events, cloneEvent(&src.Events[j]))
-			}
-		}
-		if len(tr.Events) > 0 {
-			out.Traces = append(out.Traces, tr)
+func ProjectClasses(ctx context.Context, x *eventlog.Index, classes []string) (*eventlog.Index, error) {
+	keep := make([]bool, x.NumClasses())
+	for _, name := range classes {
+		if c, ok := x.ClassID[name]; ok {
+			keep[c] = true
 		}
 	}
-	return out
+	return copyLog(ctx, x, func(t int) bool { return true }, keep)
 }
 
 // DropClasses removes events of the given classes (the complement of
 // ProjectClasses); traces that become empty are dropped.
-func DropClasses(log *eventlog.Log, classes []string) *eventlog.Log {
-	drop := make(map[string]bool, len(classes))
-	for _, c := range classes {
-		drop[c] = true
+func DropClasses(ctx context.Context, x *eventlog.Index, classes []string) (*eventlog.Index, error) {
+	keep := make([]bool, x.NumClasses())
+	for i := range keep {
+		keep[i] = true
 	}
-	all := log.Classes()
-	var keep []string
-	for _, c := range all {
-		if !drop[c] {
-			keep = append(keep, c)
+	for _, name := range classes {
+		if c, ok := x.ClassID[name]; ok {
+			keep[c] = false
 		}
 	}
-	return ProjectClasses(log, keep)
+	return copyLog(ctx, x, func(t int) bool { return true }, keep)
 }
 
 // Sample keeps each trace with probability p, deterministically per seed.
 // The relative trace order is preserved.
-func Sample(log *eventlog.Log, p float64, seed int64) *eventlog.Log {
+func Sample(ctx context.Context, x *eventlog.Index, p float64, seed int64) (*eventlog.Index, error) {
 	rng := rand.New(rand.NewSource(seed))
-	out := &eventlog.Log{Name: log.Name}
-	for i := range log.Traces {
-		if rng.Float64() < p {
-			out.Traces = append(out.Traces, cloneTrace(&log.Traces[i]))
-		}
+	// The RNG is consumed once per trace in order, exactly like the legacy
+	// implementation, so a given (log, p, seed) keeps the same traces.
+	kept := make([]bool, x.NumTraces())
+	for t := range kept {
+		kept[t] = rng.Float64() < p
 	}
-	return out
+	return selectTraces(ctx, x, func(t int) bool { return kept[t] })
 }
 
 // Head keeps the first n traces.
-func Head(log *eventlog.Log, n int) *eventlog.Log {
-	if n > len(log.Traces) {
-		n = len(log.Traces)
-	}
-	out := &eventlog.Log{Name: log.Name}
-	for i := 0; i < n; i++ {
-		out.Traces = append(out.Traces, cloneTrace(&log.Traces[i]))
-	}
-	return out
+func Head(ctx context.Context, x *eventlog.Index, n int) (*eventlog.Index, error) {
+	return selectTraces(ctx, x, func(t int) bool { return t < n })
 }
 
-func cloneTrace(tr *eventlog.Trace) eventlog.Trace {
-	out := eventlog.Trace{ID: tr.ID, Events: make([]eventlog.Event, len(tr.Events))}
-	for i := range tr.Events {
-		out.Events[i] = cloneEvent(&tr.Events[i])
+// variantString renders variant v as its comma-joined class-name sequence
+// (the legacy Trace.Variant() text).
+func variantString(x *eventlog.Index, v int) string {
+	seq := x.VariantSeq(v)
+	names := make([]string, len(seq))
+	for i, c := range seq {
+		names[i] = x.Classes[c]
 	}
-	return out
+	return strings.Join(names, ",")
 }
 
-func cloneEvent(e *eventlog.Event) eventlog.Event {
-	out := eventlog.Event{Class: e.Class}
-	if e.Attrs != nil {
-		out.Attrs = make(map[string]eventlog.Value, len(e.Attrs))
-		for k, v := range e.Attrs {
-			out.Attrs[k] = v
+// selectTraces rebuilds the index keeping the traces selected by keep, in
+// original order, with all classes.
+func selectTraces(ctx context.Context, x *eventlog.Index, keep func(t int) bool) (*eventlog.Index, error) {
+	return copyLog(ctx, x, keep, nil)
+}
+
+// copyLog is the shared filter kernel: it streams the selected traces (and,
+// when keepClass is non-nil, only events of the kept classes — traces that
+// become empty are dropped) through an eventlog.Builder, carrying over log,
+// trace and event attributes. Event attributes are copied per column in the
+// source column order, so repeated filtering is deterministic.
+func copyLog(ctx context.Context, x *eventlog.Index, keep func(t int) bool, keepClass []bool) (*eventlog.Index, error) {
+	b := eventlog.NewBuilder()
+	b.SetName(x.Name)
+	copyAttrs(x.LogAttrs(), b.SetLogAttr)
+	cols := x.Columns()
+	for t := 0; t < x.NumTraces(); t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("logfilter: %w", err)
+		}
+		if !keep(t) {
+			continue
+		}
+		seq := x.Seq(t)
+		if keepClass != nil && !anyKept(seq, keepClass) {
+			continue
+		}
+		b.StartTrace(x.TraceID(t))
+		copyAttrs(x.TraceAttrs(t), b.SetTraceAttr)
+		start := x.TraceStart(t)
+		for j, c := range seq {
+			if keepClass != nil && !keepClass[c] {
+				continue
+			}
+			b.AddEvent(x.Classes[c])
+			for _, col := range cols {
+				if v, ok := col.Value(start + j); ok {
+					b.SetEventAttr(col.Name(), v)
+				}
+			}
 		}
 	}
-	return out
+	return b.Build(), nil
+}
+
+// anyKept reports whether the sequence contains at least one kept class.
+//
+//gecco:hotpath
+func anyKept(seq []uint32, keepClass []bool) bool {
+	for _, c := range seq {
+		if keepClass[c] {
+			return true
+		}
+	}
+	return false
+}
+
+// copyAttrs feeds the attribute map into a builder setter in sorted name
+// order, so rebuilt indexes are deterministic.
+func copyAttrs(attrs map[string]eventlog.Value, set func(string, eventlog.Value)) {
+	if len(attrs) == 0 {
+		return
+	}
+	names := make([]string, 0, len(attrs))
+	for k := range attrs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		set(k, attrs[k])
+	}
 }

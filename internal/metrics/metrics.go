@@ -6,6 +6,7 @@
 package metrics
 
 import (
+	"context"
 	"math"
 
 	"gecco/internal/bitset"
@@ -22,27 +23,26 @@ func SizeReduction(numGroups, numClasses int) float64 {
 	return 1 - float64(numGroups)/float64(numClasses)
 }
 
-// ComplexityReduction discovers models from both logs and returns
+// ComplexityReduction discovers models from both indexed logs and returns
 // 1 - CFC(abstracted)/CFC(original). Non-positive original complexity
-// yields 0.
-func ComplexityReduction(original, abstracted *eventlog.Log, opts discovery.Options) float64 {
-	return ComplexityReductionFromIndex(eventlog.NewIndex(original), abstracted, opts)
-}
-
-// ComplexityReductionFromIndex is ComplexityReduction with the original
-// log's index already built — callers holding a core.Session reuse its
-// frozen index instead of re-interning (or reconstructing) the log.
-func ComplexityReductionFromIndex(original *eventlog.Index, abstracted *eventlog.Log, opts discovery.Options) float64 {
-	origCFC := discovery.Discover(original, opts).CFC()
+// yields 0. Callers holding a core.Session should pass its frozen index as
+// original instead of re-interning (or reconstructing) the log. Cancelling
+// ctx aborts discovery and returns an error wrapping ctx.Err().
+func ComplexityReduction(ctx context.Context, original, abstracted *eventlog.Index, opts discovery.Options) (float64, error) {
+	origModel, err := discovery.Discover(ctx, original, opts)
+	if err != nil {
+		return 0, err
+	}
+	origCFC := origModel.CFC()
 	if origCFC <= 0 {
-		return 0
+		return 0, nil
 	}
-	absCFC := discovery.Discover(eventlog.NewIndex(abstracted), opts).CFC()
-	red := 1 - absCFC/origCFC
-	if red < 0 {
-		return red // abstraction can, in principle, increase complexity
+	absModel, err := discovery.Discover(ctx, abstracted, opts)
+	if err != nil {
+		return 0, err
 	}
-	return red
+	red := 1 - absModel.CFC()/origCFC
+	return red, nil // can be negative: abstraction can, in principle, increase complexity
 }
 
 // PositionalDistances returns the pairwise distance matrix between event

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -130,11 +131,15 @@ func TestComplexityReduction(t *testing.T) {
 			Events: []eventlog.Event{{Class: "X"}},
 		})
 	}
-	red := ComplexityReduction(orig, flat, discovery.Options{})
+	xo, xf := eventlog.NewIndex(orig), eventlog.NewIndex(flat)
+	red, err := ComplexityReduction(context.Background(), xo, xf, discovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if red <= 0.5 {
 		t.Fatalf("flattening should reduce complexity strongly, got %f", red)
 	}
-	if same := ComplexityReduction(orig, orig, discovery.Options{}); same != 0 {
-		t.Fatalf("self-comparison should be 0, got %f", same)
+	if same, err := ComplexityReduction(context.Background(), xo, xo, discovery.Options{}); err != nil || same != 0 {
+		t.Fatalf("self-comparison should be 0, got %f (err %v)", same, err)
 	}
 }

@@ -2,6 +2,7 @@ package procmodel
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -20,7 +21,11 @@ func discovered(t *testing.T, seqs [][]string) *discovery.Model {
 		}
 		log.Traces = append(log.Traces, tr)
 	}
-	return discovery.Discover(eventlog.NewIndex(log), discovery.Options{})
+	m, err := discovery.Discover(context.Background(), eventlog.NewIndex(log), discovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
 }
 
 func TestFromDiscoverySequence(t *testing.T) {
@@ -162,7 +167,10 @@ func TestPNMLSerialises(t *testing.T) {
 
 func TestRunningExampleModelExport(t *testing.T) {
 	log := procgen.RunningExample(300, 5)
-	d := discovery.Discover(eventlog.NewIndex(log), discovery.Options{})
+	d, err := discovery.Discover(context.Background(), eventlog.NewIndex(log), discovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	m := FromDiscovery("running-example", d)
 	if err := m.Validate(); err != nil {
 		t.Fatal(err)

@@ -114,6 +114,9 @@ type errorResponse struct {
 // Handler returns the service's HTTP API:
 //
 //	POST /abstract             run (or serve from cache) an abstraction
+//	POST /pipeline             run a staged pipeline (filter, suggest,
+//	                           abstract, discover, conform) with per-stage
+//	                           caching; ?stages= carries the JSON stage list
 //	GET  /jobs/{id}            poll a job
 //	POST /jobs/{id}/cancel     cancel a queued or running job (asynchronous:
 //	                           the response may still show it running; poll)
@@ -127,6 +130,7 @@ type errorResponse struct {
 func Handler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /abstract", func(w http.ResponseWriter, r *http.Request) { handleAbstract(s, w, r) })
+	mux.HandleFunc("POST /pipeline", func(w http.ResponseWriter, r *http.Request) { handlePipeline(s, w, r) })
 	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) { handleJob(s, w, r) })
 	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) { handleCancel(s, w, r) })
 	mux.HandleFunc("POST /stream", func(w http.ResponseWriter, r *http.Request) { handleStream(s, w, r) })

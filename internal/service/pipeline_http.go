@@ -1,0 +1,282 @@
+// HTTP surface of the staged pipeline engine: POST /pipeline accepts a raw
+// XES/CSV log (or the JSON envelope) plus a stage list and runs it through
+// RunPipeline. The endpoint mirrors /abstract's conventions — load shedding,
+// dual request forms, error-status mapping — so clients can switch between
+// one-shot solves and full pipelines without relearning the API.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"gecco/internal/conformance"
+	"gecco/internal/constraints"
+	"gecco/internal/csvlog"
+	"gecco/internal/eventlog"
+	"gecco/internal/pipeline"
+	"gecco/internal/xes"
+)
+
+// PipelineHTTPRequest is the JSON envelope accepted by POST /pipeline. Raw
+// XES or CSV bodies are also accepted, with constraints and the stage list
+// read from the constraints and stages query parameters.
+type PipelineHTTPRequest struct {
+	// Format of Log: "xes" or "csv"; default sniffs XES for bodies
+	// starting with '<'.
+	Format string `json:"format,omitempty"`
+	// Log is the event log serialised in Format.
+	Log string `json:"log"`
+	// Constraints holds newline-separated constraint declarations; empty
+	// lets a suggest stage derive them from the log.
+	Constraints string `json:"constraints,omitempty"`
+	// Stages is the stage list; empty runs the default
+	// suggest → abstract → discover → conform pipeline.
+	Stages []pipeline.StageSpec `json:"stages,omitempty"`
+	// IncludeAbstracted additionally returns the abstracted log serialised
+	// in the request format (it can be large; off by default).
+	IncludeAbstracted bool `json:"includeAbstracted,omitempty"`
+}
+
+// PipelineStageStatus reports one stage of a finished run.
+type PipelineStageStatus struct {
+	Stage string `json:"stage"`
+	// Key is the stage's chain key: it commits to the log, the user
+	// constraints, and every stage configuration up to this stage.
+	Key string `json:"key"`
+	// Cached reports the stage was adopted from the per-stage cache
+	// instead of executed.
+	Cached bool    `json:"cached"`
+	Ms     float64 `json:"ms"`
+}
+
+// PipelineSuggestion is one ranked constraint proposal of a suggest stage.
+type PipelineSuggestion struct {
+	Constraint    string  `json:"constraint"`
+	SingletonPass float64 `json:"singletonPass"`
+	Rationale     string  `json:"rationale"`
+}
+
+// PipelineAbstraction summarises the abstract stage's outcome.
+type PipelineAbstraction struct {
+	Feasible      bool       `json:"feasible"`
+	Distance      float64    `json:"distance,omitempty"`
+	GroupClasses  [][]string `json:"groupClasses,omitempty"`
+	ActivityNames []string   `json:"activityNames,omitempty"`
+	Diagnostics   string     `json:"diagnostics,omitempty"`
+}
+
+// PipelineModel summarises the discovered process model.
+type PipelineModel struct {
+	Activities []string `json:"activities"`
+	Edges      int      `json:"edges"`
+	CFC        float64  `json:"cfc"`
+	Size       int      `json:"size"`
+}
+
+// PipelineConformance reports the conform stage's evaluation.
+type PipelineConformance struct {
+	Fitness   float64              `json:"fitness"`
+	Precision float64              `json:"precision"`
+	Misfits   []conformance.Misfit `json:"misfits,omitempty"`
+}
+
+// PipelineResponse is the JSON result of POST /pipeline. Sections are
+// present exactly when a stage produced them, so a filter-only pipeline
+// returns just the stage statuses.
+type PipelineResponse struct {
+	Stages []PipelineStageStatus `json:"stages"`
+	// Constraints is the active constraint set the run solved under —
+	// echoed user constraints, or the suggest stage's adoptions.
+	Constraints []string             `json:"constraints,omitempty"`
+	Suggestions []PipelineSuggestion `json:"suggestions,omitempty"`
+	Abstraction *PipelineAbstraction `json:"abstraction,omitempty"`
+	Model       *PipelineModel       `json:"model,omitempty"`
+	Conformance *PipelineConformance `json:"conformance,omitempty"`
+	// Abstracted is the abstracted log (request format), only when asked
+	// for with includeAbstracted.
+	Abstracted string `json:"abstracted,omitempty"`
+}
+
+func handlePipeline(s *Service, w http.ResponseWriter, r *http.Request) {
+	// Same load-shed as /abstract: reject before parsing up to 64 MiB when
+	// no slot could run the stages anyway.
+	if s.Busy() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, ErrBusy)
+		return
+	}
+	env, err := decodePipelineRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, format, err := buildPipelineRequest(env)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out, err := s.RunPipeline(r.Context(), req)
+	if err != nil {
+		if errors.Is(err, ErrInvalidRequest) {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if errors.Is(err, ErrBusy) || errors.Is(err, ErrClosed) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if r.Context().Err() != nil {
+				status = 499 // client closed request
+			} else {
+				status = http.StatusServiceUnavailable
+			}
+		}
+		writeError(w, status, err)
+		return
+	}
+	resp, err := buildPipelineResponse(out, format, env.IncludeAbstracted)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodePipelineRequest accepts either the JSON envelope or a raw XES/CSV
+// body with the stage list in the stages query parameter (curl-friendly).
+func decodePipelineRequest(r *http.Request) (*PipelineHTTPRequest, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("reading body: %w", err)
+	}
+	if len(body) > maxBodyBytes {
+		return nil, fmt.Errorf("body exceeds %d bytes", maxBodyBytes)
+	}
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/json") {
+		env := &PipelineHTTPRequest{}
+		if err := json.Unmarshal(body, env); err != nil {
+			return nil, fmt.Errorf("decoding JSON envelope: %w", err)
+		}
+		return env, nil
+	}
+	q := r.URL.Query()
+	specs, err := pipeline.ParseSpecs(q.Get("stages"))
+	if err != nil {
+		return nil, err
+	}
+	return &PipelineHTTPRequest{
+		Format:            q.Get("format"),
+		Log:               string(body),
+		Constraints:       q.Get("constraints"),
+		Stages:            specs,
+		IncludeAbstracted: q.Get("includeAbstracted") == "true",
+	}, nil
+}
+
+// buildPipelineRequest parses the envelope into a service pipeline request
+// plus the format to serialise any returned log in.
+func buildPipelineRequest(env *PipelineHTTPRequest) (PipelineRequest, string, error) {
+	format := strings.ToLower(env.Format)
+	if format == "" {
+		if strings.HasPrefix(strings.TrimSpace(env.Log), "<") {
+			format = "xes"
+		} else {
+			format = "csv"
+		}
+	}
+	var (
+		log *eventlog.Log
+		err error
+	)
+	switch format {
+	case "xes":
+		log, err = xes.Read(strings.NewReader(env.Log))
+	case "csv":
+		log, err = csvlog.Read(strings.NewReader(env.Log), csvlog.Options{})
+	default:
+		return PipelineRequest{}, "", fmt.Errorf("unknown format %q (want xes or csv)", env.Format)
+	}
+	if err != nil {
+		return PipelineRequest{}, "", fmt.Errorf("parsing %s log: %w", format, err)
+	}
+	set, err := constraints.ParseSet(env.Constraints)
+	if err != nil {
+		return PipelineRequest{}, "", fmt.Errorf("parsing constraints: %w", err)
+	}
+	return PipelineRequest{Log: log, Constraints: set, Stages: env.Stages}, format, nil
+}
+
+func buildPipelineResponse(out *PipelineOutcome, format string, includeAbstracted bool) (*PipelineResponse, error) {
+	resp := &PipelineResponse{Stages: make([]PipelineStageStatus, len(out.Stages))}
+	for i, st := range out.Stages {
+		resp.Stages[i] = PipelineStageStatus{
+			Stage:  st.Stage,
+			Key:    st.Key,
+			Cached: st.Cached,
+			Ms:     ms(st.Duration),
+		}
+	}
+	state := out.State
+	if state.Constraints != nil {
+		for _, c := range state.Constraints.All() {
+			resp.Constraints = append(resp.Constraints, c.String())
+		}
+	}
+	for _, sg := range state.Suggestions {
+		resp.Suggestions = append(resp.Suggestions, PipelineSuggestion{
+			Constraint:    sg.Constraint.String(),
+			SingletonPass: sg.SingletonPass,
+			Rationale:     sg.Rationale,
+		})
+	}
+	if res := state.Abstraction; res != nil {
+		abs := &PipelineAbstraction{
+			Feasible:      res.Feasible,
+			Distance:      res.Distance,
+			GroupClasses:  res.GroupClasses,
+			ActivityNames: res.Grouping.Names,
+		}
+		if res.Diagnostics != nil {
+			abs.Diagnostics = res.Diagnostics.String()
+		}
+		resp.Abstraction = abs
+		if includeAbstracted && res.Feasible && res.Abstracted != nil {
+			var b strings.Builder
+			var err error
+			if format == "csv" {
+				err = csvlog.Write(&b, res.Abstracted)
+			} else {
+				err = xes.Write(&b, res.Abstracted)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("serialising abstracted log: %w", err)
+			}
+			resp.Abstracted = b.String()
+		}
+	}
+	if m := state.Model; m != nil {
+		resp.Model = &PipelineModel{
+			Activities: m.Labels,
+			Edges:      m.Graph.NumEdges(),
+			CFC:        m.CFC(),
+			Size:       m.Size(),
+		}
+	}
+	if c := state.Conformance; c != nil {
+		resp.Conformance = &PipelineConformance{
+			Fitness:   c.Fitness,
+			Precision: c.Precision,
+			Misfits:   c.Misfits,
+		}
+	}
+	return resp, nil
+}

@@ -89,6 +89,10 @@ type Options struct {
 	MaxStreams int
 	// NoStreams disables the streaming workload entirely.
 	NoStreams bool
+	// PipelineCacheCapacity bounds the per-stage state LRU behind POST
+	// /pipeline (each entry pins the indexes a pipeline state carries).
+	// <= 0 means 64; NoCache disables it together with the result cache.
+	PipelineCacheCapacity int
 	// DefaultWorkers is the per-job worker count applied when a request
 	// leaves Config.Workers at 0; 0 keeps the pipeline default (all CPUs).
 	DefaultWorkers int
@@ -136,6 +140,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.NoStreams {
 		o.MaxStreams = 0
+	}
+	if o.PipelineCacheCapacity <= 0 {
+		o.PipelineCacheCapacity = 64
+	}
+	if o.NoCache {
+		o.PipelineCacheCapacity = 0
 	}
 	return o
 }
@@ -256,6 +266,9 @@ type Stats struct {
 	// counts, and arrival/regrouping totals across all streams ever served.
 	Streams StreamStats `json:"streams"`
 	Jobs    JobStats    `json:"jobs"`
+	// Pipeline reports the staged-run engine: per-stage cache hit/miss
+	// counters and the state LRU's occupancy.
+	Pipeline PipelineStats `json:"pipeline"`
 	// Disk reports the warm tier under the data dir; nil when DataDir is
 	// unset (or its store could not be opened).
 	Disk *DiskStats `json:"disk,omitempty"`
@@ -269,6 +282,7 @@ type Service struct {
 	sessions *sessionCache  // nil when NoSessions
 	streams  *streamManager // nil when NoStreams
 	store    *diskStore     // nil when DataDir unset or unusable
+	pipe     *stageCache    // nil when the pipeline cache is disabled
 	sem      chan struct{}
 
 	baseCtx    context.Context
@@ -282,12 +296,13 @@ type Service struct {
 	queued   int             // jobs waiting for a concurrency slot
 	nextID   int64
 
-	started   atomic.Int64
-	completed atomic.Int64
-	failed    atomic.Int64
-	cancelled atomic.Int64
-	coalesced atomic.Int64
-	active    sync.WaitGroup
+	started      atomic.Int64
+	completed    atomic.Int64
+	failed       atomic.Int64
+	cancelled    atomic.Int64
+	coalesced    atomic.Int64
+	pipelineRuns atomic.Int64
+	active       sync.WaitGroup
 }
 
 // New builds a service; the caller must Close it.
@@ -317,12 +332,17 @@ func New(opts Options) *Service {
 	if store != nil && opts.CacheCapacity > 0 {
 		store.loadResults(cache)
 	}
+	var pipe *stageCache
+	if opts.PipelineCacheCapacity > 0 {
+		pipe = newStageCache(opts.PipelineCacheCapacity)
+	}
 	return &Service{
 		opts:       opts,
 		cache:      cache,
 		sessions:   sessions,
 		streams:    streams,
 		store:      store,
+		pipe:       pipe,
 		sem:        make(chan struct{}, opts.MaxConcurrent),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -485,6 +505,10 @@ func (s *Service) Stats() Stats {
 		Cancelled: s.cancelled.Load(),
 		Coalesced: s.coalesced.Load(),
 	}
+	if s.pipe != nil {
+		st.Pipeline = s.pipe.Stats()
+	}
+	st.Pipeline.Runs = s.pipelineRuns.Load()
 	if s.store != nil {
 		st.Disk = s.store.stats()
 	}

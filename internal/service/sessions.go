@@ -83,6 +83,43 @@ func newSessionCache(capacity int, store *diskStore) *sessionCache {
 // one build. A build error is not cached: the entry is removed so the next
 // request retries.
 func (c *sessionCache) getOrCreate(digest string, log *eventlog.Log) (*core.Session, error) {
+	return c.getOrCreateFrom(digest, func() (*core.Session, error) {
+		if c.store != nil {
+			if x, ok := c.store.openIndex(digest); ok {
+				if s, serr := core.NewSessionFromIndex(x); serr == nil {
+					return s, nil
+				}
+				x.Close()
+			}
+		}
+		return core.NewSession(log)
+	})
+}
+
+// getOrCreateIndex is getOrCreate for callers that already hold a columnar
+// index (the pipeline engine's possibly-filtered working views, keyed by
+// their derivation chain): on a miss the session wraps the index directly —
+// after trying a warm-open of a previously spilled copy — so filtered logs
+// join the same LRU, spill tier, and coalescing as uploaded ones.
+func (c *sessionCache) getOrCreateIndex(key string, x *eventlog.Index) (*core.Session, error) {
+	return c.getOrCreateFrom(key, func() (*core.Session, error) {
+		if c.store != nil {
+			if fx, ok := c.store.openIndex(key); ok {
+				if s, serr := core.NewSessionFromIndex(fx); serr == nil {
+					return s, nil
+				}
+				fx.Close()
+			}
+		}
+		return core.NewSessionFromIndex(x)
+	})
+}
+
+// getOrCreateFrom returns the live session for the digest, building it via
+// mk on first use. Concurrent callers for the same new digest share one
+// build. A build error is not cached: the entry is removed so the next
+// request retries.
+func (c *sessionCache) getOrCreateFrom(digest string, mk func() (*core.Session, error)) (*core.Session, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[digest]; ok {
 		c.order.MoveToFront(el)
@@ -105,7 +142,7 @@ func (c *sessionCache) getOrCreate(digest string, log *eventlog.Log) (*core.Sess
 	}
 	c.mu.Unlock()
 
-	return c.build(e, digest, log)
+	return c.build(e, digest, mk)
 }
 
 // spillLocked hands an evicted entry's index to the warm tier, so the next
@@ -120,20 +157,20 @@ func (c *sessionCache) spillLocked(e *sessionEntry) {
 	}
 }
 
-// build constructs the session for a fresh entry and publishes the outcome.
-// The deferred publish runs even if NewSession panics (converting the panic
-// into an error for latecomers before it propagates), so a caller that
-// recovers — net/http handler recovery, say — cannot strand other
+// build constructs the session for a fresh entry via mk and publishes the
+// outcome. The deferred publish runs even if mk panics (converting the
+// panic into an error for latecomers before it propagates), so a caller
+// that recovers — net/http handler recovery, say — cannot strand other
 // goroutines blocked on the entry's done channel. A failed build is removed
 // from the cache so the next request retries; the identity check guards
 // against the entry having been evicted and replaced meanwhile.
 //
-// With a warm tier configured, a previously spilled index is opened from
-// disk (mmap, no parse, no build) and only the digest's first-ever build
-// pays full price. A corrupt or unreadable file falls back to building from
-// the log — openIndex already deleted it, so the fallback's eventual
-// eviction re-spills a good copy.
-func (c *sessionCache) build(e *sessionEntry, digest string, log *eventlog.Log) (sess *core.Session, err error) {
+// The mk closures passed by getOrCreate/getOrCreateIndex try the warm tier
+// first: a previously spilled index is opened from disk (mmap, no parse, no
+// build) and only the digest's first-ever build pays full price. A corrupt
+// or unreadable file falls back to the cold path — openIndex already
+// deleted it, so the fallback's eventual eviction re-spills a good copy.
+func (c *sessionCache) build(e *sessionEntry, digest string, mk func() (*core.Session, error)) (sess *core.Session, err error) {
 	defer func() {
 		if sess == nil && err == nil {
 			err = errors.New("service: session build panicked")
@@ -149,15 +186,7 @@ func (c *sessionCache) build(e *sessionEntry, digest string, log *eventlog.Log) 
 		c.mu.Unlock()
 		close(e.done)
 	}()
-	if c.store != nil {
-		if x, ok := c.store.openIndex(digest); ok {
-			if s, serr := core.NewSessionFromIndex(x); serr == nil {
-				return s, nil
-			}
-			x.Close()
-		}
-	}
-	return core.NewSession(log)
+	return mk()
 }
 
 // peek returns the digest's live session when one exists, bumping recency,

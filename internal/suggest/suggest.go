@@ -5,6 +5,11 @@
 // groups, i.e. event classes, that already satisfy the constraint — a
 // cheap feasibility proxy).
 //
+// Profiling runs on the columnar eventlog.Index: categorical cardinalities
+// come straight from each column's string dictionary and numeric/time scans
+// walk the typed payload arrays, so no pointer-heavy *eventlog.Log is ever
+// materialised.
+//
 // Heuristics:
 //   - Categorical attributes with few distinct values (role, origin
 //     system, ...) suggest per-instance and class-level homogeneity
@@ -18,6 +23,7 @@
 package suggest
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -42,15 +48,18 @@ type Suggestion struct {
 // attribute still counts as a grouping-relevant category.
 const maxCategorical = 12
 
-// Suggest profiles the log and returns ranked constraint suggestions
-// (most broadly satisfiable first, ties broken by rationale text).
-func Suggest(log *eventlog.Log) []Suggestion {
-	x := eventlog.NewIndex(log)
+// Suggest profiles the indexed log and returns ranked constraint
+// suggestions (most broadly satisfiable first, ties broken by rationale
+// text). Cancelling ctx returns an error wrapping ctx.Err().
+func Suggest(ctx context.Context, x *eventlog.Index) ([]Suggestion, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("suggest: %w", err)
+	}
 	var out []Suggestion
 
-	catAttrs, numAttrs, hasTime := profileAttrs(log)
+	catAttrs, numAttrs, hasTime := profileColumns(x)
 	for _, attr := range catAttrs {
-		vals := distinctValues(log, attr)
+		vals := distinctKeys(x, x.Column(attr))
 		out = append(out,
 			propose(x, constraints.InstanceAggregate{
 				AggFn: constraints.Distinct, Attr: attr, Op: constraints.LE, Threshold: 1,
@@ -59,8 +68,11 @@ func Suggest(log *eventlog.Log) []Suggestion {
 				fmt.Sprintf("event classes partition by %q; forbid activities mixing %s values (as in the paper's case study)", attr, attr)),
 		)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("suggest: %w", err)
+	}
 	for _, attr := range numAttrs {
-		vals := numericValues(log, attr)
+		vals := numericColumn(x.Column(attr), x.NumEvents())
 		if len(vals) == 0 {
 			continue
 		}
@@ -70,7 +82,7 @@ func Suggest(log *eventlog.Log) []Suggestion {
 		}, fmt.Sprintf("90%% of observed %q values are below %g; bound instances accordingly", attr, p90)))
 	}
 	if hasTime {
-		gaps := interEventGaps(log)
+		gaps := interEventGaps(x)
 		if len(gaps) > 0 {
 			p95 := percentile(gaps, 0.95)
 			out = append(out, propose(x, constraints.MaxGap{Seconds: p95},
@@ -85,13 +97,16 @@ func Suggest(log *eventlog.Log) []Suggestion {
 		out = append(out, propose(x, constraints.GroupCount{Op: constraints.LE, N: target},
 			fmt.Sprintf("%d classes; about %d activities is a moderate abstraction target", n, target)))
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("suggest: %w", err)
+	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].SingletonPass != out[j].SingletonPass {
 			return out[i].SingletonPass > out[j].SingletonPass
 		}
 		return out[i].Rationale < out[j].Rationale
 	})
-	return out
+	return out, nil
 }
 
 func propose(x *eventlog.Index, c constraints.Constraint, rationale string) Suggestion {
@@ -120,74 +135,92 @@ func singletonPass(x *eventlog.Index, c constraints.Constraint) float64 {
 	return float64(pass) / float64(n)
 }
 
-// profileAttrs partitions event attributes into categorical (string, few
-// values) and numeric, and reports timestamp presence.
-func profileAttrs(log *eventlog.Log) (cat, num []string, hasTime bool) {
-	strVals := make(map[string]map[string]struct{})
-	numeric := make(map[string]bool)
-	for i := range log.Traces {
-		for j := range log.Traces[i].Events {
-			for k, v := range log.Traces[i].Events[j].Attrs {
-				switch {
-				case k == eventlog.AttrTimestamp:
-					hasTime = true
-				case v.Kind == eventlog.KindString:
-					m, ok := strVals[k]
-					if !ok {
-						m = make(map[string]struct{})
-						strVals[k] = m
-					}
-					m[v.Str] = struct{}{}
-				case v.IsNumeric():
-					numeric[k] = true
-				}
-			}
+// profileColumns partitions event-attribute columns into categorical
+// (string, few values) and numeric, and reports timestamp presence. A
+// column's string cardinality is its dictionary size — strings are interned
+// at build time, so no value scan is needed for the categorical gate; the
+// numeric probe scans typed kinds only on columns that are not uniformly
+// string.
+func profileColumns(x *eventlog.Index) (cat, num []string, hasTime bool) {
+	numEvents := x.NumEvents()
+	for _, col := range x.Columns() {
+		name := col.Name()
+		if name == eventlog.AttrTimestamp {
+			// A timestamp column never joins the categorical or numeric
+			// pools, mirroring the attribute profile's precedence.
+			hasTime = true
+			continue
 		}
-	}
-	for k, m := range strVals {
-		if len(m) >= 2 && len(m) <= maxCategorical {
-			cat = append(cat, k)
+		if n := col.NumCodes(); n >= 2 && n <= maxCategorical {
+			cat = append(cat, name)
 		}
-	}
-	for k := range numeric {
-		num = append(num, k)
+		if !col.StringsOnly() && hasNumericValue(col, numEvents) {
+			num = append(num, name)
+		}
 	}
 	sort.Strings(cat)
 	sort.Strings(num)
 	return cat, num, hasTime
 }
 
-func distinctValues(log *eventlog.Log, attr string) int {
+// hasNumericValue reports whether the column holds at least one numeric
+// (int or float) value.
+//
+//gecco:hotpath
+func hasNumericValue(col *eventlog.Column, numEvents int) bool {
+	for pos := 0; pos < numEvents; pos++ {
+		if _, ok := col.Num(pos); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// distinctKeys counts the distinct categorical keys (Value.AsString texts)
+// of the column. For uniformly-string columns that is exactly the
+// dictionary size; mixed columns fall back to a key scan.
+func distinctKeys(x *eventlog.Index, col *eventlog.Column) int {
+	if col.StringsOnly() {
+		return col.NumCodes()
+	}
 	seen := make(map[string]struct{})
-	for i := range log.Traces {
-		for j := range log.Traces[i].Events {
-			if v, ok := log.Traces[i].Events[j].Attrs[attr]; ok {
-				seen[v.AsString()] = struct{}{}
-			}
+	for pos := 0; pos < x.NumEvents(); pos++ {
+		if k, ok := col.Key(pos); ok {
+			seen[k] = struct{}{}
 		}
 	}
 	return len(seen)
 }
 
-func numericValues(log *eventlog.Log, attr string) []float64 {
+// numericColumn collects the column's numeric payloads in global position
+// (trace-major) order.
+//
+//gecco:hotpath
+func numericColumn(col *eventlog.Column, numEvents int) []float64 {
 	var out []float64
-	for i := range log.Traces {
-		for j := range log.Traces[i].Events {
-			if v, ok := log.Traces[i].Events[j].Attrs[attr]; ok && v.IsNumeric() {
-				out = append(out, v.Num)
-			}
+	for pos := 0; pos < numEvents; pos++ {
+		if v, ok := col.Num(pos); ok {
+			out = append(out, v)
 		}
 	}
 	return out
 }
 
-func interEventGaps(log *eventlog.Log) []float64 {
+// interEventGaps collects the gaps in seconds between adjacent timestamped
+// events within each trace.
+//
+//gecco:hotpath
+func interEventGaps(x *eventlog.Index) []float64 {
+	col := x.Column(eventlog.AttrTimestamp)
+	if col == nil {
+		return nil
+	}
 	var out []float64
-	for i := range log.Traces {
-		ev := log.Traces[i].Events
-		for j := 1; j < len(ev); j++ {
-			t1, ok1 := ev[j-1].Timestamp()
-			t2, ok2 := ev[j].Timestamp()
+	for t := 0; t < x.NumTraces(); t++ {
+		start, n := x.TraceStart(t), x.TraceLen(t)
+		for j := 1; j < n; j++ {
+			t1, ok1 := col.Time(start + j - 1)
+			t2, ok2 := col.Time(start + j)
 			if ok1 && ok2 {
 				out = append(out, t2.Sub(t1).Seconds())
 			}

@@ -1,17 +1,30 @@
 package suggest
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"gecco/internal/constraints"
 	"gecco/internal/core"
+	"gecco/internal/eventlog"
 	"gecco/internal/procgen"
 )
 
+// mustSuggest profiles the log's index under a background context, failing
+// the test on error (an uncancelled profiling pass cannot fail).
+func mustSuggest(t *testing.T, log *eventlog.Log) []Suggestion {
+	t.Helper()
+	sugs, err := Suggest(context.Background(), eventlog.NewIndex(log))
+	if err != nil {
+		t.Fatalf("Suggest: %v", err)
+	}
+	return sugs
+}
+
 func TestSuggestRunningExample(t *testing.T) {
 	log := procgen.RunningExampleTable1()
-	sugs := Suggest(log)
+	sugs := mustSuggest(t, log)
 	if len(sugs) == 0 {
 		t.Fatal("no suggestions for a log with role/cost/duration attributes")
 	}
@@ -51,7 +64,7 @@ func TestSuggestRunningExample(t *testing.T) {
 }
 
 func TestSuggestionsRankedByFeasibility(t *testing.T) {
-	sugs := Suggest(procgen.LoanLog(100, 7))
+	sugs := mustSuggest(t, procgen.LoanLog(100, 7))
 	for i := 1; i < len(sugs); i++ {
 		if sugs[i-1].SingletonPass < sugs[i].SingletonPass {
 			t.Fatal("suggestions not sorted by singleton pass rate")
@@ -63,7 +76,7 @@ func TestSuggestionsRankedByFeasibility(t *testing.T) {
 // DSL parser and runs through the pipeline without error.
 func TestSuggestionsAreRunnable(t *testing.T) {
 	log := procgen.RunningExampleTable1()
-	for _, s := range Suggest(log) {
+	for _, s := range mustSuggest(t, log) {
 		if _, err := constraints.Parse(s.Constraint.String()); err != nil {
 			t.Errorf("suggestion %q does not round-trip: %v", s.Constraint, err)
 			continue
@@ -80,14 +93,14 @@ func TestSuggestionsAreRunnable(t *testing.T) {
 
 func TestSuggestGroupCountOnlyForLargerLogs(t *testing.T) {
 	tiny := procgen.BuildLog(procgen.CollectionSpecs()[8]) // 4 classes
-	for _, s := range Suggest(tiny) {
+	for _, s := range mustSuggest(t, tiny) {
 		if _, ok := s.Constraint.(constraints.GroupCount); ok {
 			t.Fatal("group-count suggestion on a 4-class log")
 		}
 	}
 	larger := procgen.RunningExampleTable1() // 8 classes
 	found := false
-	for _, s := range Suggest(larger) {
+	for _, s := range mustSuggest(t, larger) {
 		if gc, ok := s.Constraint.(constraints.GroupCount); ok {
 			found = true
 			if gc.N < 2 {

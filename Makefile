@@ -15,13 +15,16 @@ MAX_REGRESS ?= 0.25
 # both the event-log core's memory layout and the persistent format's point;
 # -pipeline-bench adds the staged engine's end-to-end rows (cold, fully
 # cached warm, and tail-only change) so the /pipeline serving path and its
-# stage cache are guarded too.
-BENCH_FLAGS = -table 6 -quick -stream-bench -index-bench -eval-bench -pipeline-bench
+# stage cache are guarded too; -shard-bench adds cluster throughput at 1, 2
+# and 4 shards through the digest router (with a hard >= 2.5x 4-shard-vs-1
+# floor), so the gate also guards the scale-out claim of the sharded
+# serving layer.
+BENCH_FLAGS = -table 6 -quick -stream-bench -index-bench -eval-bench -pipeline-bench -shard-bench
 # Where `make serve` keeps the warm tier (spilled session indexes, persisted
 # results); `make clean-data` wipes it.
 DATA_DIR ?= gecco-data
 
-.PHONY: build test race vet lint staticcheck fmt-check bench bench-gate bench-baseline serve examples clean-data all
+.PHONY: build test race vet lint staticcheck fmt-check bench bench-gate bench-baseline shard-bench serve examples clean-data all
 
 all: build vet lint fmt-check test
 
@@ -32,7 +35,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/par/ ./internal/candidates/ ./internal/distance/ ./internal/constraints/ ./internal/core/ ./internal/service/ ./internal/stream/ ./internal/eventlog/ ./internal/experiments/ .
+	$(GO) test -race ./internal/par/ ./internal/candidates/ ./internal/distance/ ./internal/constraints/ ./internal/core/ ./internal/service/ ./internal/shard/ ./internal/stream/ ./internal/eventlog/ ./internal/experiments/ .
 
 vet:
 	$(GO) vet ./...
@@ -73,6 +76,12 @@ bench-gate:
 # the reference machine, commit the result).
 bench-baseline:
 	$(GO) run ./cmd/gecco-bench $(BENCH_FLAGS) -json $(BASELINE)
+
+# Just the scale-out measurement: 1/2/4-shard cluster throughput through the
+# digest router, with the hard >= 2.5x 4-shard floor. Fast enough to run on
+# its own while touching the router or the ring.
+shard-bench:
+	$(GO) run ./cmd/gecco-bench -table none -shard-bench
 
 # Build and smoke-run every example program, so example drift fails CI
 # instead of rotting silently.

@@ -59,6 +59,7 @@ type benchReport struct {
 	Index    bool              `json:"indexBench"`
 	Eval     bool              `json:"evalBench"`
 	Pipeline bool              `json:"pipelineBench"`
+	Shard    bool              `json:"shardBench"`
 	GOOS     string            `json:"goos"`
 	GOARCH   string            `json:"goarch"`
 	NumCPU   int               `json:"numCPU"`
@@ -80,6 +81,7 @@ func main() {
 		streams    = flag.Bool("stream-bench", false, "measure the online abstractor's per-arrival cost at window sizes 200 and 2000 (rows feed -json/-baseline; fails if the cost is not flat in the window)")
 		evals      = flag.Bool("eval-bench", false, "measure the solver kernels in isolation: screened HoldsInstance checks/s, exact Eq. 1 distance evals/s on a cold memo, and the beam frontier prune rate of the admissible lower bound (rows feed -json/-baseline; fails if screening or pruning never fires)")
 		pipelines  = flag.Bool("pipeline-bench", false, "measure the staged pipeline engine end to end on the loan-application case study: the cold filter→abstract→discover→conform run, the fully cached warm re-run (bounding the engine's per-request overhead), and a tail-only change that must adopt the cached abstract stage (rows feed -json/-baseline; fails if any cached stage re-executes)")
+		shardsB    = flag.Bool("shard-bench", false, "measure cluster throughput through the digest router at 1, 2, and 4 in-process shards on the Table VI workload (rows feed -json/-baseline; fails unless 4-shard throughput is >= 2.5x single-shard)")
 		indexes    = flag.Bool("index-bench", false, "measure the columnar index: build throughput (events/s), estimated bytes/event vs the pointer-heavy *Log, and restart cost (re-parse+build vs OpenIndex on the persistent file); fails unless the index is >= 2x smaller and OpenIndex >= 5x faster")
 		jsonOut    = flag.String("json", "", "write the measured rows as a JSON bench report to this file")
 		baseline   = flag.String("baseline", "", "compare the measured rows against this JSON bench report and fail on regression")
@@ -166,6 +168,14 @@ func main() {
 		}
 		measured = append(measured, rows...)
 	}
+	if *shardsB {
+		rows, err := experiments.ShardBench(ctx, os.Stdout, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gecco-bench:", err)
+			os.Exit(1)
+		}
+		measured = append(measured, rows...)
+	}
 	if *jsonOut != "" {
 		report := benchReport{
 			Table:    *table,
@@ -175,6 +185,7 @@ func main() {
 			Index:    *indexes,
 			Eval:     *evals,
 			Pipeline: *pipelines,
+			Shard:    *shardsB,
 			GOOS:     runtime.GOOS,
 			GOARCH:   runtime.GOARCH,
 			NumCPU:   runtime.NumCPU(),
@@ -188,7 +199,7 @@ func main() {
 		fmt.Printf("bench report written to %s\n", *jsonOut)
 	}
 	if *baseline != "" {
-		current := benchReport{Table: *table, Quick: *quick, Budget: opts.MaxChecks, Stream: *streams, Index: *indexes, Eval: *evals, Pipeline: *pipelines, Workers: *workers}
+		current := benchReport{Table: *table, Quick: *quick, Budget: opts.MaxChecks, Stream: *streams, Index: *indexes, Eval: *evals, Pipeline: *pipelines, Shard: *shardsB, Workers: *workers}
 		if err := gate(*baseline, current, measured, *maxRegress); err != nil {
 			fmt.Fprintln(os.Stderr, "gecco-bench: REGRESSION GATE FAILED:", err)
 			os.Exit(1)
@@ -253,10 +264,11 @@ func gate(baselinePath string, current benchReport, measured []experiments.Row, 
 	if base.Table != current.Table || base.Quick != current.Quick ||
 		base.Budget != current.Budget || base.Workers != current.Workers ||
 		base.Stream != current.Stream || base.Index != current.Index ||
-		base.Eval != current.Eval || base.Pipeline != current.Pipeline {
-		return fmt.Errorf("run settings (table=%s quick=%t budget=%d workers=%d stream=%t index=%t eval=%t pipeline=%t) do not match baseline (table=%s quick=%t budget=%d workers=%d stream=%t index=%t eval=%t pipeline=%t); rerun with the baseline's flags or regenerate it",
-			current.Table, current.Quick, current.Budget, current.Workers, current.Stream, current.Index, current.Eval, current.Pipeline,
-			base.Table, base.Quick, base.Budget, base.Workers, base.Stream, base.Index, base.Eval, base.Pipeline)
+		base.Eval != current.Eval || base.Pipeline != current.Pipeline ||
+		base.Shard != current.Shard {
+		return fmt.Errorf("run settings (table=%s quick=%t budget=%d workers=%d stream=%t index=%t eval=%t pipeline=%t shard=%t) do not match baseline (table=%s quick=%t budget=%d workers=%d stream=%t index=%t eval=%t pipeline=%t shard=%t); rerun with the baseline's flags or regenerate it",
+			current.Table, current.Quick, current.Budget, current.Workers, current.Stream, current.Index, current.Eval, current.Pipeline, current.Shard,
+			base.Table, base.Quick, base.Budget, base.Workers, base.Stream, base.Index, base.Eval, base.Pipeline, base.Shard)
 	}
 	if base.GOOS != runtime.GOOS || base.GOARCH != runtime.GOARCH || base.NumCPU != runtime.NumCPU() {
 		fmt.Printf("gate WARNING: baseline recorded on %s/%s numCPU=%d, this run is %s/%s numCPU=%d — wall-times are only roughly comparable\n",

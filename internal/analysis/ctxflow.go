@@ -30,11 +30,12 @@ var CtxFlow = &Analyzer{
 // ctxflowScope are the pipeline packages rule 1 applies to. PR 9 extended
 // it to the mining packages when they moved onto the columnar core and
 // grew ctx parameters: they now sit on the serving path via the staged
-// pipeline engine.
+// pipeline engine. PR 10 added internal/shard: ring lookups sit on every
+// routed request, so the same hot-path discipline applies.
 var ctxflowScope = []string{
 	"internal/core", "internal/service", "internal/stream", "internal/candidates",
 	"internal/discovery", "internal/conformance", "internal/suggest",
-	"internal/logfilter", "internal/pipeline",
+	"internal/logfilter", "internal/pipeline", "internal/shard",
 }
 
 // ctxflowLoopMarkers are identifier fragments (lower-cased) that mark a loop

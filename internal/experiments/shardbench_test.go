@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"gecco/internal/shard"
+)
+
+// TestShardBenchPlacementBalanced pins the property the shard bench's
+// seeds were chosen for: the working-set logs place evenly on every
+// measured cluster size — slot i is owned by shard i%4 on the 4-member
+// ring and by shard i%2 on the 2-member ring. If this fails, something
+// upstream changed what the router hashes — XES serialisation, procgen
+// output, or the ring itself — and the bench's measured speedup no
+// longer reflects a balanced partition: re-derive shardBenchSeeds rather
+// than loosening this test.
+func TestShardBenchPlacementBalanced(t *testing.T) {
+	logs, err := shardBenchLogs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 4} {
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("shard-%d", i)
+		}
+		ring := shard.New(ids, 0)
+		for i, text := range logs {
+			want := fmt.Sprintf("shard-%d", i%n)
+			if got := ring.Owner(text); got != want {
+				t.Errorf("%d-shard ring, log %d: owned by %s, want %s", n, i, got, want)
+			}
+		}
+	}
+}
+
+// TestShardBenchWorkingSetSized pins the capacity arithmetic the bench's
+// doc comments argue from: the full working set must overflow one shard's
+// caches while a quarter of it fits comfortably.
+func TestShardBenchWorkingSetSized(t *testing.T) {
+	keys := shardBenchLogCount * len(shardBenchSets)
+	if keys <= shardBenchResultCap {
+		t.Errorf("working set (%d result keys) fits one shard's result cache (%d) — the 1-shard run would not thrash", keys, shardBenchResultCap)
+	}
+	if shardBenchLogCount <= shardBenchSessionCap {
+		t.Errorf("working set (%d logs) fits one shard's session cache (%d)", shardBenchLogCount, shardBenchSessionCap)
+	}
+	if perShard := keys / 4; perShard > shardBenchResultCap {
+		t.Errorf("a 4-shard slice (%d result keys) overflows the result cache (%d) — the 4-shard run would thrash too", perShard, shardBenchResultCap)
+	}
+	if perLogs := shardBenchLogCount / 4; perLogs > shardBenchSessionCap {
+		t.Errorf("a 4-shard slice (%d logs) overflows the session cache (%d)", perLogs, shardBenchSessionCap)
+	}
+}

@@ -291,7 +291,7 @@ func TestConcurrentOpenWhileEvicting(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
 				k := (g + i) % len(logs)
-				sess, err := c.getOrCreate(digests[k], logs[k])
+				sess, err := c.getOrCreate(digests[k], staticLog(logs[k]))
 				if err != nil {
 					t.Errorf("getOrCreate(%d): %v", k, err)
 					return

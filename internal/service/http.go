@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"gecco/internal/abstraction"
@@ -65,6 +66,14 @@ type AbstractRequest struct {
 	// Async returns 202 with a job ID instead of blocking; poll
 	// GET /jobs/{id} for the result.
 	Async bool `json:"async,omitempty"`
+	// OmitAbstracted drops the serialised abstracted log from the
+	// response, leaving the grouping, distance, and counters — for callers
+	// that only want the metrics, the serialisation is most of the
+	// response's cost and nearly all of its bytes. A pure rendering
+	// choice: it never affects the result cache key, and a poller can make
+	// it per-poll with ?abstracted=false on GET /jobs/{id}. In the
+	// raw-body form, pass abstracted=false as a query parameter.
+	OmitAbstracted bool `json:"omitAbstracted,omitempty"`
 }
 
 // AbstractResponse is the JSON result of a finished abstraction.
@@ -125,7 +134,9 @@ type errorResponse struct {
 //	                           persistent stream (create-or-append)
 //	GET  /stream/{name}        snapshot a named stream
 //	POST /stream/{name}/close  drop a named stream's state
-//	GET  /healthz              liveness
+//	GET  /healthz              liveness (200 while the process runs)
+//	GET  /readyz               readiness (503 while draining, so routers
+//	                           take the shard out of rotation)
 //	GET  /stats                cache, session, stream, and job counters
 func Handler(s *Service) http.Handler {
 	mux := http.NewServeMux()
@@ -136,8 +147,20 @@ func Handler(s *Service) http.Handler {
 	mux.HandleFunc("POST /stream", func(w http.ResponseWriter, r *http.Request) { handleStream(s, w, r) })
 	mux.HandleFunc("GET /stream/{name}", func(w http.ResponseWriter, r *http.Request) { handleStreamGet(s, w, r) })
 	mux.HandleFunc("POST /stream/{name}/close", func(w http.ResponseWriter, r *http.Request) { handleStreamClose(s, w, r) })
+	// Liveness and readiness are deliberately split: /healthz answers "is
+	// the process alive" (restart me if not) and stays 200 through a drain,
+	// while /readyz answers "should I receive new work" and flips to 503 the
+	// moment StartDrain is called — so an orchestrator drains a shard without
+	// killing its in-flight jobs.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
@@ -163,7 +186,7 @@ func handleAbstract(s *Service, w http.ResponseWriter, r *http.Request) {
 		handleBatch(s, w, r, env)
 		return
 	}
-	req, format, err := buildRequest(env)
+	req, format, err := buildRequest(s, env)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -213,7 +236,7 @@ func handleAbstract(s *Service, w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
-	resp, err := buildResponse(res, format)
+	resp, err := buildResponse(res, format, env.OmitAbstracted)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -241,14 +264,15 @@ func handleBatch(s *Service, w http.ResponseWriter, r *http.Request, env *Abstra
 		writeError(w, http.StatusBadRequest, fmt.Errorf("use either constraints or constraintSets, not both"))
 		return
 	}
-	base, format, err := buildRequest(env)
+	base, format, err := buildRequest(s, env)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	// Hash the uploaded log once for the whole batch; every per-set request
-	// copy inherits the digest, so N sets cost one SHA-256 pass, not N.
-	base.logDigest()
+	// buildRequest filled the digest (parsing at most once), so every
+	// per-set request copy inherits it: N sets cost one SHA-256 pass and at
+	// most one parse — zero parses when the wire-digest memo already knows
+	// this upload.
 	// Parse every set up front: a malformed set is the client's mistake and
 	// fails the whole batch with 400 before any pipeline run is paid for.
 	sets := make([]*constraints.Set, len(env.ConstraintSets))
@@ -271,7 +295,7 @@ func handleBatch(s *Service, w http.ResponseWriter, r *http.Request, env *Abstra
 			item.Error = err.Error()
 			continue
 		}
-		built, err := buildResponse(res, format)
+		built, err := buildResponse(res, format, env.OmitAbstracted)
 		if err != nil {
 			item.Error = err.Error()
 			continue
@@ -291,12 +315,13 @@ func handleJob(s *Service, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want xes or csv)", format))
 		return
 	}
+	q := r.URL.Query().Get("abstracted")
 	snap, err := s.Job(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	writeJobSnapshot(w, snap, format)
+	writeJobSnapshot(w, snap, format, q == "false" || q == "0")
 }
 
 func handleCancel(s *Service, w http.ResponseWriter, r *http.Request) {
@@ -305,13 +330,14 @@ func handleCancel(s *Service, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	writeJobSnapshot(w, snap, "")
+	writeJobSnapshot(w, snap, "", false)
 }
 
 // writeJobSnapshot renders a job; formatOverride lets a poller that
 // coalesced onto a job submitted in the other wire format (the job's tag
-// records the first submitter's) ask for its own via ?format=.
-func writeJobSnapshot(w http.ResponseWriter, snap JobSnapshot, formatOverride string) {
+// records the first submitter's) ask for its own via ?format=;
+// omitAbstracted (?abstracted=false) drops the serialised log per poll.
+func writeJobSnapshot(w http.ResponseWriter, snap JobSnapshot, formatOverride string, omitAbstracted bool) {
 	resp := AbstractResponse{JobID: snap.ID, State: string(snap.State)}
 	format := formatOverride
 	if format == "" {
@@ -321,7 +347,7 @@ func writeJobSnapshot(w http.ResponseWriter, snap JobSnapshot, formatOverride st
 		format = "xes"
 	}
 	if snap.State == StateDone && snap.Result != nil {
-		built, err := buildResponse(snap.Result, format)
+		built, err := buildResponse(snap.Result, format, omitAbstracted)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return
@@ -381,6 +407,7 @@ func decodeAbstractRequest(r *http.Request) (*AbstractRequest, error) {
 		NamePrefix:      q.Get("namePrefix"),
 		NameByClassAttr: q.Get("nameByClassAttr"),
 		Async:           q.Get("async") == "true",
+		OmitAbstracted:  q.Get("abstracted") == "false" || q.Get("abstracted") == "0",
 	}
 	// A repeated constraints parameter is the raw-body batch form: each
 	// value is a full constraint set, all solved against the one body.
@@ -408,8 +435,14 @@ func decodeAbstractRequest(r *http.Request) (*AbstractRequest, error) {
 }
 
 // buildRequest parses the envelope into a service request plus the format
-// to serialise the response log in.
-func buildRequest(env *AbstractRequest) (Request, string, error) {
+// to serialise the response log in. The log itself parses lazily behind
+// the service's wire-digest memo: when a byte-identical upload has been
+// parsed before, the request carries only its canonical digest and a
+// loader, so a result-cache hit — or a live/warm-opened session — never
+// re-reads the XES/CSV at all. Parse errors on that path are impossible
+// by construction: the memo is only populated after a successful parse,
+// and parsing is deterministic.
+func buildRequest(s *Service, env *AbstractRequest) (Request, string, error) {
 	format := strings.ToLower(env.Format)
 	if format == "" {
 		if strings.HasPrefix(strings.TrimSpace(env.Log), "<") {
@@ -418,20 +451,31 @@ func buildRequest(env *AbstractRequest) (Request, string, error) {
 			format = "csv"
 		}
 	}
-	var (
-		log *eventlog.Log
-		err error
-	)
-	switch format {
-	case "xes":
-		log, err = xes.Read(strings.NewReader(env.Log))
-	case "csv":
-		log, err = csvlog.Read(strings.NewReader(env.Log), csvlog.Options{})
-	default:
+	if format != "xes" && format != "csv" {
 		return Request{}, "", fmt.Errorf("unknown format %q (want xes or csv)", env.Format)
 	}
-	if err != nil {
-		return Request{}, "", fmt.Errorf("parsing %s log: %w", format, err)
+	// One parse-once loader shared by every per-set copy of a batch
+	// request: whichever copy needs the events first pays the parse, the
+	// rest reuse it.
+	var (
+		parseOnce sync.Once
+		parsed    *eventlog.Log
+		parseErr  error
+	)
+	text := env.Log
+	load := func() (*eventlog.Log, error) {
+		//lint:gecco-allow(oncesafe): a fresh Once per request is the point — every per-set copy of this one request shares the closure (and so this Once); single-flight across requests is the wire memo's job, not this loader's
+		parseOnce.Do(func() {
+			if format == "xes" {
+				parsed, parseErr = xes.Read(strings.NewReader(text))
+			} else {
+				parsed, parseErr = csvlog.Read(strings.NewReader(text), csvlog.Options{})
+			}
+			if parseErr != nil {
+				parseErr = fmt.Errorf("parsing %s log: %w", format, parseErr)
+			}
+		})
+		return parsed, parseErr
 	}
 	set, err := constraints.ParseSet(env.Constraints)
 	if err != nil {
@@ -472,7 +516,23 @@ func buildRequest(env *AbstractRequest) (Request, string, error) {
 	default:
 		return Request{}, "", fmt.Errorf("unknown solver %q (want bb or mip)", env.Solver)
 	}
-	return Request{Log: log, Constraints: set, Config: cfg, Tag: format}, format, nil
+	req := Request{Constraints: set, Config: cfg, Tag: format, loadLog: load}
+	wk := wireKey(format, text)
+	if d, ok := s.wire.get(wk); ok {
+		req.digest = d
+		return req, format, nil
+	}
+	log, err := load()
+	if err != nil {
+		return Request{}, "", err
+	}
+	req.Log = log
+	// Empty logs are rejected by validation, so memoising one would let a
+	// later byte-identical upload dodge that check via the lazy path.
+	if len(log.Traces) > 0 {
+		s.wire.put(wk, req.logDigest())
+	}
+	return req, format, nil
 }
 
 // parseMode maps the wire spelling of a candidate mode onto core.Mode.
@@ -489,7 +549,7 @@ func parseMode(s string) (core.Mode, error) {
 	}
 }
 
-func buildResponse(res *JobResult, format string) (*AbstractResponse, error) {
+func buildResponse(res *JobResult, format string, omitAbstracted bool) (*AbstractResponse, error) {
 	resp := &AbstractResponse{
 		Feasible:           res.Feasible,
 		Distance:           res.Distance,
@@ -505,7 +565,7 @@ func buildResponse(res *JobResult, format string) (*AbstractResponse, error) {
 	if res.Diagnostics != nil {
 		resp.Diagnostics = res.Diagnostics.String()
 	}
-	if res.Abstracted != nil {
+	if res.Abstracted != nil && !omitAbstracted {
 		var b strings.Builder
 		var err error
 		if format == "csv" {

@@ -1,0 +1,567 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gecco/internal/shard"
+)
+
+// ForwardHeader marks a request as already routed. A shard that receives it
+// serves locally unconditionally — two routers with momentarily divergent
+// down-lists must not bounce a request between each other.
+const ForwardHeader = "X-Gecco-Forward"
+
+// ShardOptions configures a Router over a fixed peer set.
+type ShardOptions struct {
+	// Peers are the dial base URLs of every shard in the cluster, e.g.
+	// "http://10.0.0.1:8080", in a fixed order shared by all nodes.
+	Peers []string
+	// MemberIDs are the ring identities of the peers, index-aligned with
+	// Peers. Defaults to the Peers addresses themselves. Stable IDs
+	// ("shard-0", ...) decouple placement from dial addresses, so moving a
+	// shard to a new port does not reshuffle the keyspace.
+	MemberIDs []string
+	// Self is this node's index into Peers, or -1 for a pure coordinator
+	// that owns no keys and only forwards (its svc is nil).
+	Self int
+	// VNodes is the per-member virtual-node count; <= 0 means
+	// shard.DefaultVirtualNodes.
+	VNodes int
+	// ForwardRetries is how many times a buffered forward is attempted per
+	// peer before the peer is marked down and the ring heals to its
+	// successor; <= 0 means 3.
+	ForwardRetries int
+	// ForwardBackoff is the sleep between retries (doubling each attempt);
+	// <= 0 means 25ms.
+	ForwardBackoff time.Duration
+	// ProbeTimeout bounds the /readyz probe made before proxying a stream
+	// (whose body cannot be replayed, so the owner is probed first);
+	// <= 0 means 2s.
+	ProbeTimeout time.Duration
+	// DownCooldown is how long a peer that exhausted its retries stays out
+	// of the preference order before being tried again; <= 0 means 3s.
+	DownCooldown time.Duration
+	// Client performs forwarded requests. Defaults to a dedicated client
+	// with no overall timeout (streams are long-lived; cancellation rides
+	// the request context).
+	Client *http.Client
+}
+
+func (o ShardOptions) withDefaults() ShardOptions {
+	if len(o.MemberIDs) == 0 {
+		o.MemberIDs = o.Peers
+	}
+	if o.ForwardRetries <= 0 {
+		o.ForwardRetries = 3
+	}
+	if o.ForwardBackoff <= 0 {
+		o.ForwardBackoff = 25 * time.Millisecond
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.DownCooldown <= 0 {
+		o.DownCooldown = 3 * time.Second
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	return o
+}
+
+// Router fronts a shard cluster: it computes each request's routing key
+// (the uploaded log's content for /abstract and /pipeline, the stream name
+// for /stream, the job-ID prefix for /jobs) before any load-shedding, serves
+// the request locally when the ring places the key here, and otherwise
+// forwards it to the owning shard — with retry/backoff on connection
+// failure and a heal to the ring successor when a peer stays unreachable.
+// It implements http.Handler and replaces Handler(svc) as the top-level mux
+// in sharded deployments; with svc == nil it is a pure coordinator.
+type Router struct {
+	svc   *Service
+	local http.Handler // Handler(svc); nil on a pure coordinator
+	opts  ShardOptions
+	ring  *shard.Ring
+
+	selfID   string
+	addrByID map[string]string
+
+	// downMu guards downUntil: peers that exhausted forward retries are
+	// benched for DownCooldown so subsequent requests heal straight to the
+	// ring successor instead of re-paying the connect timeout.
+	downMu    sync.Mutex
+	downUntil map[string]time.Time
+}
+
+// NewRouter builds a Router for svc (nil = pure coordinator) over the given
+// peer set. An empty peer list with a non-nil svc yields a single-node
+// router that serves everything locally.
+func NewRouter(svc *Service, opts ShardOptions) (*Router, error) {
+	opts = opts.withDefaults()
+	if len(opts.MemberIDs) != len(opts.Peers) {
+		return nil, fmt.Errorf("shard: %d member IDs for %d peers", len(opts.MemberIDs), len(opts.Peers))
+	}
+	if opts.Self >= len(opts.Peers) {
+		return nil, fmt.Errorf("shard: self index %d out of range for %d peers", opts.Self, len(opts.Peers))
+	}
+	if svc == nil && opts.Self >= 0 {
+		return nil, fmt.Errorf("shard: self index %d set but no local service", opts.Self)
+	}
+	if svc != nil && opts.Self < 0 && len(opts.Peers) > 0 {
+		return nil, fmt.Errorf("shard: local service present but self index unset; use Self: -1 only for pure coordinators")
+	}
+	rt := &Router{
+		svc:       svc,
+		opts:      opts,
+		ring:      shard.New(opts.MemberIDs, opts.VNodes),
+		addrByID:  make(map[string]string, len(opts.Peers)),
+		downUntil: make(map[string]time.Time),
+	}
+	if svc != nil {
+		rt.local = Handler(svc)
+	}
+	for i, id := range opts.MemberIDs {
+		rt.addrByID[id] = strings.TrimSuffix(opts.Peers[i], "/")
+	}
+	if opts.Self >= 0 {
+		rt.selfID = opts.MemberIDs[opts.Self]
+	}
+	return rt, nil
+}
+
+// Ring exposes the router's placement ring (read-only) for stats and tests.
+func (rt *Router) Ring() *shard.Ring { return rt.ring }
+
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// An already-forwarded request is served locally no matter what this
+	// router thinks the placement is: the sender owns the routing decision,
+	// and honouring it unconditionally makes forwarding loop-free.
+	if r.Header.Get(ForwardHeader) != "" {
+		rt.serveLocal(w, r, nil)
+		return
+	}
+	// A router with no peers is a single-node deployment: everything is
+	// local, no key extraction needed.
+	if rt.ring.Len() == 0 {
+		rt.serveLocal(w, r, nil)
+		return
+	}
+	path := r.URL.Path
+	switch {
+	case path == "/healthz":
+		// Liveness is always local: it answers for this process only.
+		if rt.local != nil {
+			rt.local.ServeHTTP(w, r)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "role": "coordinator"})
+	case path == "/readyz":
+		if rt.local != nil {
+			rt.local.ServeHTTP(w, r)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready", "role": "coordinator"})
+	case path == "/stats":
+		rt.handleClusterStats(w, r)
+	case path == "/abstract" || path == "/pipeline":
+		rt.routeByLog(w, r)
+	case path == "/stream" && r.Method == http.MethodPost:
+		rt.routeStreamPost(w, r)
+	case strings.HasPrefix(path, "/stream/"):
+		name := strings.TrimPrefix(path, "/stream/")
+		name = strings.TrimSuffix(name, "/close")
+		rt.route(w, r, "stream:"+name, nil)
+	case strings.HasPrefix(path, "/jobs/"):
+		rt.routeJob(w, r)
+	default:
+		rt.serveLocal(w, r, nil)
+	}
+}
+
+// routeByLog keys /abstract and /pipeline by the uploaded log's content: the
+// same text every per-log artifact (session, index, memo, result cache
+// entry) is digested by, so the owner of the key owns the artifacts. The
+// body must be read up front to extract the key; it is replayed into the
+// local handler or the forwarded request.
+func (rt *Router) routeByLog(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	if len(body) > maxBodyBytes {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("body exceeds %d bytes", maxBodyBytes))
+		return
+	}
+	key := string(body)
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		// Decode only the log field: the routing key must match the raw-body
+		// form of the same log, so identical logs land on the same shard
+		// regardless of which envelope the client used.
+		var env struct {
+			Log string `json:"log"`
+		}
+		if err := json.Unmarshal(body, &env); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding JSON envelope: %w", err))
+			return
+		}
+		key = env.Log
+	}
+	rt.route(w, r, key, body)
+}
+
+// routeJob routes job polls and cancels by the shard prefix baked into the
+// job ID ("s3-job-17" was minted by shard index 3), so cross-shard polling
+// needs no lookup table. IDs without a recognised prefix are local.
+func (rt *Router) routeJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	id = strings.TrimSuffix(id, "/cancel")
+	if rest, ok := strings.CutPrefix(id, "s"); ok {
+		if num, _, ok := strings.Cut(rest, "-"); ok {
+			if i, err := strconv.Atoi(num); err == nil && i >= 0 && i < len(rt.opts.MemberIDs) {
+				rt.routeToMember(w, r, rt.opts.MemberIDs[i], nil)
+				return
+			}
+		}
+	}
+	rt.serveLocal(w, r, nil)
+}
+
+// routeStreamPost keys named streams by "stream:<name>" so a stream's window
+// state always lives on one shard across requests. Anonymous streams have no
+// cross-request state; they are served locally, or — on a pure coordinator —
+// sent to the fixed owner of the anonymous key so placement stays
+// deterministic.
+func (rt *Router) routeStreamPost(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("stream")
+	if name == "" && rt.svc != nil {
+		rt.serveLocal(w, r, nil)
+		return
+	}
+	key := "stream:" + name
+	for _, member := range rt.candidates(key) {
+		if member == rt.selfID && rt.svc != nil {
+			rt.serveLocal(w, r, nil)
+			return
+		}
+		// The NDJSON body streams and cannot be replayed after a failed
+		// attempt, so readiness is probed first (probes are idempotent and
+		// retry freely); the proxy itself is single-shot.
+		if !rt.probeReady(r, member) {
+			rt.markDown(member)
+			continue
+		}
+		rt.proxyStream(w, r, member)
+		return
+	}
+	writeError(w, http.StatusBadGateway, fmt.Errorf("no reachable shard for stream %q", name))
+}
+
+// route serves the key's owner: locally when this node owns it, else by
+// forwarding down the key's preference order. body replaces the consumed
+// request body (nil when it was not read).
+func (rt *Router) route(w http.ResponseWriter, r *http.Request, key string, body []byte) {
+	for _, member := range rt.candidates(key) {
+		if member == rt.selfID && rt.svc != nil {
+			rt.serveLocal(w, r, body)
+			return
+		}
+		if rt.forward(w, r, member, body) {
+			return
+		}
+		rt.markDown(member)
+	}
+	writeError(w, http.StatusBadGateway, fmt.Errorf("no reachable shard owns this request"))
+}
+
+// routeToMember is route for a pre-resolved member (job IDs name their
+// shard directly); an unreachable member falls back to local, where the
+// poll yields a definitive 404 rather than a gateway error.
+func (rt *Router) routeToMember(w http.ResponseWriter, r *http.Request, member string, body []byte) {
+	if member == rt.selfID && rt.svc != nil {
+		rt.serveLocal(w, r, body)
+		return
+	}
+	if rt.forward(w, r, member, body) {
+		return
+	}
+	rt.markDown(member)
+	if rt.svc != nil {
+		rt.serveLocal(w, r, body)
+		return
+	}
+	writeError(w, http.StatusBadGateway, fmt.Errorf("shard %s unreachable", member))
+}
+
+// candidates returns the key's preference order with benched peers moved to
+// the back: the healthy successor is tried first, exactly as if the ring had
+// healed without the down members, but a fully-benched ring still tries
+// everyone rather than failing outright.
+func (rt *Router) candidates(key string) []string {
+	seq := rt.ring.Sequence(key)
+	now := time.Now()
+	up := make([]string, 0, len(seq))
+	var benched []string
+	rt.downMu.Lock()
+	for _, m := range seq {
+		if until, ok := rt.downUntil[m]; ok && now.Before(until) {
+			benched = append(benched, m)
+			continue
+		}
+		up = append(up, m)
+	}
+	rt.downMu.Unlock()
+	return append(up, benched...)
+}
+
+func (rt *Router) markDown(member string) {
+	if member == rt.selfID {
+		return
+	}
+	rt.downMu.Lock()
+	rt.downUntil[member] = time.Now().Add(rt.opts.DownCooldown)
+	rt.downMu.Unlock()
+}
+
+// serveLocal dispatches to the wrapped service's own mux, replaying a
+// consumed body when one was read for key extraction.
+func (rt *Router) serveLocal(w http.ResponseWriter, r *http.Request, body []byte) {
+	if rt.local == nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("coordinator has no local service for %s", r.URL.Path))
+		return
+	}
+	if body != nil {
+		r = r.Clone(r.Context())
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		r.ContentLength = int64(len(body))
+	}
+	rt.local.ServeHTTP(w, r)
+}
+
+// forward relays a buffered request to member, retrying transport failures
+// with doubling backoff. Any HTTP response — including 4xx/5xx — is relayed
+// verbatim and counts as success: the owner answered; its answer stands.
+// Returns false only when the peer never answered.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, member string, body []byte) bool {
+	addr, ok := rt.addrByID[member]
+	if !ok {
+		return false
+	}
+	backoff := rt.opts.ForwardBackoff
+	for attempt := 0; attempt < rt.opts.ForwardRetries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-r.Context().Done():
+				return false
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, addr+r.URL.RequestURI(), bytes.NewReader(body))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return true
+		}
+		req.Header = r.Header.Clone()
+		req.Header.Set(ForwardHeader, rt.forwarderID())
+		resp, err := rt.opts.Client.Do(req)
+		if err != nil {
+			if r.Context().Err() != nil {
+				// The client went away; nothing to relay and no reason to
+				// blame the peer.
+				return true
+			}
+			continue
+		}
+		relayResponse(w, resp, false)
+		return true
+	}
+	return false
+}
+
+// probeReady reports whether member answers GET /readyz with 200, retrying
+// transport errors. A 503 (draining) is a definitive "route past me".
+func (rt *Router) probeReady(r *http.Request, member string) bool {
+	addr, ok := rt.addrByID[member]
+	if !ok {
+		return false
+	}
+	backoff := rt.opts.ForwardBackoff
+	for attempt := 0; attempt < rt.opts.ForwardRetries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-r.Context().Done():
+				return false
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), rt.opts.ProbeTimeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/readyz", nil)
+		if err != nil {
+			cancel()
+			return false
+		}
+		req.Header.Set(ForwardHeader, rt.forwarderID())
+		resp, err := rt.opts.Client.Do(req)
+		cancel()
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	}
+	return false
+}
+
+// proxyStream relays a full-duplex NDJSON stream: the client's request body
+// streams through to the owner while the owner's response lines stream back,
+// flushed per chunk so drift alerts arrive as they happen, not when a buffer
+// fills.
+func (rt *Router) proxyStream(w http.ResponseWriter, r *http.Request, member string) {
+	addr := rt.addrByID[member]
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, addr+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set(ForwardHeader, rt.forwarderID())
+	// Force chunked upload: the proxy must not buffer the request body
+	// waiting for a length it will never learn.
+	req.ContentLength = -1
+	resp, err := rt.opts.Client.Do(req)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("proxying stream to %s: %v", member, err))
+		return
+	}
+	rc := http.NewResponseController(w)
+	rc.EnableFullDuplex()
+	relayResponse(w, resp, true)
+}
+
+// relayResponse copies a forwarded response to the client; flush streams
+// each read chunk immediately (NDJSON proxying).
+func relayResponse(w http.ResponseWriter, resp *http.Response, flush bool) {
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		// Headers are copied wholesale; iteration order does not reach the
+		// wire in any observable way beyond HTTP's own unordered semantics.
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	if !flush {
+		io.Copy(w, resp.Body)
+		return
+	}
+	rc := http.NewResponseController(w)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			rc.Flush()
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// handleClusterStats fans /stats out to every ring member and merges the
+// answers into cluster totals plus a per-shard breakdown. ?scope=local (or
+// an already-forwarded request, handled in ServeHTTP) returns just this
+// shard's counters — which is also what the fan-out asks peers for.
+func (rt *Router) handleClusterStats(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("scope") == "local" {
+		rt.serveLocal(w, r, nil)
+		return
+	}
+	if rt.ring.Len() == 0 {
+		rt.serveLocal(w, r, nil)
+		return
+	}
+	out := ClusterStats{Shards: make(map[string]Stats, rt.ring.Len())}
+	type answer struct {
+		member string
+		stats  Stats
+		err    error
+	}
+	members := rt.ring.Members()
+	answers := make([]answer, len(members))
+	var wg sync.WaitGroup
+	for i, member := range members {
+		if member == rt.selfID && rt.svc != nil {
+			answers[i] = answer{member: member, stats: rt.svc.Stats()}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, member string) {
+			defer wg.Done()
+			st, err := rt.fetchStats(r, member)
+			answers[i] = answer{member: member, stats: st, err: err}
+		}(i, member)
+	}
+	wg.Wait()
+	// Merge in canonical member order; MergeStats is commutative and
+	// associative (pinned by test), so the order is cosmetic anyway.
+	for _, a := range answers {
+		if a.err != nil {
+			out.Unreachable = append(out.Unreachable, a.member)
+			continue
+		}
+		out.Stats = MergeStats(out.Stats, a.stats)
+		out.Shards[a.member] = a.stats
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (rt *Router) fetchStats(r *http.Request, member string) (Stats, error) {
+	addr, ok := rt.addrByID[member]
+	if !ok {
+		return Stats{}, fmt.Errorf("unknown member %s", member)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), rt.opts.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/stats?scope=local", nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	req.Header.Set(ForwardHeader, rt.forwarderID())
+	resp, err := rt.opts.Client.Do(req)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Stats{}, fmt.Errorf("shard %s: /stats returned %d", member, resp.StatusCode)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Stats{}, fmt.Errorf("shard %s: decoding stats: %w", member, err)
+	}
+	return st, nil
+}
+
+// forwarderID identifies this router on the forward header (useful in peer
+// logs; any non-empty value short-circuits re-routing).
+func (rt *Router) forwarderID() string {
+	if rt.selfID != "" {
+		return rt.selfID
+	}
+	return "coordinator"
+}

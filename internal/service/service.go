@@ -105,6 +105,12 @@ type Options struct {
 	// The directory is created if missing; if it cannot be, persistence is
 	// disabled with a note on stderr and the service runs in-memory.
 	DataDir string
+	// JobIDPrefix is prepended to generated job IDs ("job-1" becomes
+	// "<prefix>job-1"). In a sharded cluster each shard sets a distinct
+	// prefix ("s0-", "s1-", ...) so a job ID names its owning shard and the
+	// router can forward GET /jobs/{id} polls without a lookup table. Empty
+	// keeps the classic unprefixed IDs.
+	JobIDPrefix string
 }
 
 func (o Options) withDefaults() Options {
@@ -166,6 +172,12 @@ type Request struct {
 	// against one log hashes it once, not N times. Filled lazily inside the
 	// service; external callers leave it empty.
 	digest string
+	// loadLog, when non-nil, parses the uploaded log on demand. The HTTP
+	// layer sets it together with a pre-known digest (via the wire-digest
+	// memo) and leaves Log nil, so requests served from the result cache —
+	// or from a warm-opened spilled index — never pay the parse. Invariant:
+	// either Log is non-nil or digest is non-empty.
+	loadLog func() (*eventlog.Log, error)
 }
 
 // logDigest returns the request's memoised log digest, computing it on
@@ -175,6 +187,18 @@ func (r *Request) logDigest() string {
 		r.digest = LogDigest(r.Log)
 	}
 	return r.digest
+}
+
+// log returns the parsed event log, invoking the lazy loader on first use.
+func (r *Request) log() (*eventlog.Log, error) {
+	if r.Log == nil && r.loadLog != nil {
+		l, err := r.loadLog()
+		if err != nil {
+			return nil, err
+		}
+		r.Log = l
+	}
+	return r.Log, nil
 }
 
 // JobState enumerates a job's lifecycle.
@@ -283,6 +307,7 @@ type Service struct {
 	streams  *streamManager // nil when NoStreams
 	store    *diskStore     // nil when DataDir unset or unusable
 	pipe     *stageCache    // nil when the pipeline cache is disabled
+	wire     *wireMemo      // raw upload bytes -> canonical log digest
 	sem      chan struct{}
 
 	baseCtx    context.Context
@@ -303,6 +328,11 @@ type Service struct {
 	coalesced    atomic.Int64
 	pipelineRuns atomic.Int64
 	active       sync.WaitGroup
+
+	// draining marks the service as leaving rotation: /readyz reports 503 so
+	// routers and load balancers stop sending new work, while liveness and
+	// in-flight jobs are unaffected. Set by StartDrain (and by Close).
+	draining atomic.Bool
 }
 
 // New builds a service; the caller must Close it.
@@ -343,6 +373,7 @@ func New(opts Options) *Service {
 		streams:    streams,
 		store:      store,
 		pipe:       pipe,
+		wire:       newWireMemo(),
 		sem:        make(chan struct{}, opts.MaxConcurrent),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -357,6 +388,7 @@ func New(opts Options) *Service {
 // live session's index is spilled after the jobs drain, so a restarted
 // process warm-opens its whole working set.
 func (s *Service) Close() {
+	s.draining.Store(true)
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
@@ -375,6 +407,17 @@ func (s *Service) Close() {
 		s.store.close()
 	}
 }
+
+// StartDrain takes the service out of rotation without stopping it:
+// readiness (/readyz) flips to 503 so routers remove the shard, while
+// liveness stays green and queued and running jobs finish normally. The
+// intended departure sequence is StartDrain → stop accepting connections →
+// Close (which cancels stragglers and spills every live session to the warm
+// tier, so ring successors warm-open the .gidx files instead of re-parsing).
+func (s *Service) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain (or Close) has been called.
+func (s *Service) Draining() bool { return s.draining.Load() }
 
 // Meta describes how a synchronous request was served.
 type Meta struct {
@@ -526,7 +569,11 @@ func (s *Service) Stats() Stats {
 }
 
 func validate(req Request) error {
-	if req.Log == nil || len(req.Log.Traces) == 0 {
+	// A digest-bearing lazy request is valid without a parsed Log: the
+	// wire-digest memo only learns uploads that passed this check parsed,
+	// so the lazy path cannot smuggle in an empty log.
+	lazy := req.Log == nil && req.digest != "" && req.loadLog != nil
+	if !lazy && (req.Log == nil || len(req.Log.Traces) == 0) {
 		return fmt.Errorf("%w: empty log", ErrInvalidRequest)
 	}
 	if req.Constraints == nil {
@@ -570,7 +617,7 @@ func (s *Service) startOrJoin(key string, req *Request, detached bool) (job *Job
 	s.nextID++
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	job = &Job{
-		id:       fmt.Sprintf("job-%d", s.nextID),
+		id:       fmt.Sprintf("%sjob-%d", s.opts.JobIDPrefix, s.nextID),
 		key:      key,
 		tag:      req.Tag,
 		state:    StateQueued,
@@ -625,9 +672,13 @@ func (s *Service) run(ctx context.Context, job *Job, req Request) {
 // safe for cacheable and non-cacheable requests alike.
 func (s *Service) solve(ctx context.Context, req Request, cfg core.Config) (*JobResult, error) {
 	if s.sessions == nil {
-		return core.RunContext(ctx, req.Log, req.Constraints, cfg)
+		log, err := req.log()
+		if err != nil {
+			return nil, err
+		}
+		return core.RunContext(ctx, log, req.Constraints, cfg)
 	}
-	sess, err := s.sessions.getOrCreate(req.logDigest(), req.Log)
+	sess, err := s.sessions.getOrCreate(req.logDigest(), req.log)
 	if err != nil {
 		return nil, err
 	}
@@ -737,7 +788,7 @@ func (s *Service) adoptCached(key, tag string, res *JobResult) JobSnapshot {
 	s.nextID++
 	now := time.Now()
 	job := &Job{
-		id:          fmt.Sprintf("job-%d", s.nextID),
+		id:          fmt.Sprintf("%sjob-%d", s.opts.JobIDPrefix, s.nextID),
 		key:         key,
 		tag:         tag,
 		state:       StateDone,

@@ -81,8 +81,10 @@ func newSessionCache(capacity int, store *diskStore) *sessionCache {
 // getOrCreate returns the live session for the log digest, building and
 // caching it on first use. Concurrent callers for the same new digest share
 // one build. A build error is not cached: the entry is removed so the next
-// request retries.
-func (c *sessionCache) getOrCreate(digest string, log *eventlog.Log) (*core.Session, error) {
+// request retries. The log arrives as a loader, not a value: when the
+// session is live or its index warm-opens from the spill tier, the upload
+// is never parsed at all (see the wire-digest memo).
+func (c *sessionCache) getOrCreate(digest string, load func() (*eventlog.Log, error)) (*core.Session, error) {
 	return c.getOrCreateFrom(digest, func() (*core.Session, error) {
 		if c.store != nil {
 			if x, ok := c.store.openIndex(digest); ok {
@@ -91,6 +93,10 @@ func (c *sessionCache) getOrCreate(digest string, log *eventlog.Log) (*core.Sess
 				}
 				x.Close()
 			}
+		}
+		log, err := load()
+		if err != nil {
+			return nil, err
 		}
 		return core.NewSession(log)
 	})

@@ -179,7 +179,7 @@ func TestGetOrCreateNeverReturnsNilSession(t *testing.T) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				sess, err := c.getOrCreate("digest", log)
+				sess, err := c.getOrCreate("digest", staticLog(log))
 				if err != nil {
 					t.Errorf("getOrCreate: %v", err)
 					return
@@ -220,4 +220,10 @@ func TestSessionMemoLimitRetiresSession(t *testing.T) {
 	if st.Evictions != 3 {
 		t.Fatalf("evictions = %d, want 3", st.Evictions)
 	}
+}
+
+// staticLog adapts an already-parsed log to getOrCreate's lazy-loader
+// signature for tests that build their logs up front.
+func staticLog(log *eventlog.Log) func() (*eventlog.Log, error) {
+	return func() (*eventlog.Log, error) { return log, nil }
 }
